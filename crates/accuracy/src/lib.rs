@@ -1,0 +1,26 @@
+//! # cadmc-accuracy
+//!
+//! Accuracy evaluation for the `cadmc` reproduction of *Context-Aware Deep
+//! Model Compression for Edge Cloud Computing* (ICDCS 2020).
+//!
+//! The paper scores each candidate model by training it with knowledge
+//! distillation and measuring CIFAR10 accuracy (Eq. 2). This crate offers
+//! two interchangeable implementations of that scoring
+//! ([`AccuracyEvaluator`]):
+//!
+//! * [`AccuracyOracle`] — a deterministic, calibrated model anchored to the
+//!   paper's reported numbers (used by the search engine; see DESIGN.md's
+//!   substitution table);
+//! * [`TrainedEvaluator`] — actually trains/distills candidates with the
+//!   `cadmc-nn` runtime at TinyCnn scale (used to validate the oracle's
+//!   qualitative behaviour with real gradients).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod evaluator;
+mod oracle;
+pub mod validation;
+
+pub use evaluator::{AccuracyEvaluator, TrainedEvaluator};
+pub use oracle::{AccuracyOracle, AppliedAction, OracleConfig};

@@ -1,0 +1,1002 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Graph`] records operations eagerly: every op both computes its value
+//! (so intermediate results — e.g. policy logits to sample from — can be read
+//! immediately) and appends a node to the tape. [`Graph::backward`] then
+//! walks the tape in reverse, producing gradients for every parameter node.
+//!
+//! The op set is deliberately matched to what the higher layers need:
+//! dense algebra and activations for LSTM policy controllers, softmax losses
+//! for REINFORCE and knowledge distillation, and im2col / pooling ops for
+//! the small-CNN runtime.
+
+use std::collections::HashMap;
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, ParamSet};
+
+/// Handle to a node in a [`Graph`] tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(usize);
+
+/// Convolution geometry for [`Graph::im2col`] and the NHWC/NCHW permutations.
+///
+/// Inputs are matrices of shape `(batch, channels * height * width)` in
+/// NCHW element order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeom {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Stride (same in both spatial dims).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub pad: usize,
+}
+
+impl ConvGeom {
+    /// Output height after the convolution/pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (kernel larger than the padded
+    /// input, or zero stride).
+    pub fn out_h(&self) -> usize {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.height + 2 * self.pad >= self.kernel,
+            "kernel {} exceeds padded height {}",
+            self.kernel,
+            self.height + 2 * self.pad
+        );
+        (self.height + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output width after the convolution/pool.
+    pub fn out_w(&self) -> usize {
+        assert!(self.stride > 0, "stride must be positive");
+        assert!(
+            self.width + 2 * self.pad >= self.kernel,
+            "kernel {} exceeds padded width {}",
+            self.kernel,
+            self.width + 2 * self.pad
+        );
+        (self.width + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Flattened input width `channels * height * width`.
+    pub fn input_len(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+enum Op {
+    /// Leaf holding a constant (no gradient flows out).
+    Constant,
+    /// Leaf bound to a parameter in a [`ParamSet`].
+    Param(ParamId),
+    Add(VarId, VarId),
+    Sub(VarId, VarId),
+    Hadamard(VarId, VarId),
+    Scale(VarId, f32),
+    AddScalar(VarId),
+    MatMul(VarId, VarId),
+    Transpose(VarId),
+    Sigmoid(VarId),
+    Tanh(VarId),
+    Relu(VarId),
+    Square(VarId),
+    AddBroadcastRow(VarId, VarId),
+    HCat(VarId, VarId),
+    SliceCols(VarId, usize),
+    MeanAll(VarId),
+    SumAll(VarId),
+    SoftmaxCrossEntropy {
+        logits: VarId,
+        targets: Matrix,
+        softmax: Matrix,
+    },
+    PickLogSoftmax {
+        logits: VarId,
+        picks: Vec<usize>,
+        softmax: Matrix,
+    },
+    EntropyRows {
+        logits: VarId,
+        softmax: Matrix,
+    },
+    Im2Col {
+        input: VarId,
+        geom: ConvGeom,
+        batch: usize,
+    },
+    NhwcToNchw {
+        input: VarId,
+        batch: usize,
+        out_h: usize,
+        out_w: usize,
+        channels: usize,
+    },
+    MaxPool {
+        input: VarId,
+        argmax: Vec<usize>,
+        in_cols: usize,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// Gradients produced by [`Graph::backward`], keyed by parameter.
+#[derive(Debug, Default)]
+pub struct Gradients {
+    by_param: HashMap<ParamId, Matrix>,
+}
+
+impl Gradients {
+    /// Gradient for `param`, if it participated in the graph.
+    pub fn get(&self, param: ParamId) -> Option<&Matrix> {
+        self.by_param.get(&param)
+    }
+
+    /// Iterates over `(param, gradient)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.by_param.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of parameters with gradients.
+    pub fn len(&self) -> usize {
+        self.by_param.len()
+    }
+
+    /// Whether no gradients were produced.
+    pub fn is_empty(&self) -> bool {
+        self.by_param.is_empty()
+    }
+
+    /// Merges another gradient set into this one (summing overlaps).
+    pub fn merge(&mut self, other: Gradients) {
+        for (k, v) in other.by_param {
+            match self.by_param.get_mut(&k) {
+                Some(acc) => acc.add_assign(&v),
+                None => {
+                    self.by_param.insert(k, v);
+                }
+            }
+        }
+    }
+
+    /// Global L2 norm across all gradients.
+    pub fn global_norm(&self) -> f32 {
+        self.by_param
+            .values()
+            .map(|m| {
+                let n = m.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for m in self.by_param.values_mut() {
+                for v in m.data_mut() {
+                    *v *= s;
+                }
+            }
+        }
+    }
+}
+
+/// An eager autodiff tape.
+///
+/// # Examples
+///
+/// ```
+/// use cadmc_autodiff::{Graph, Matrix, ParamSet};
+///
+/// let mut params = ParamSet::new();
+/// let w = params.insert("w", Matrix::from_rows(&[&[2.0]]));
+/// let mut g = Graph::new();
+/// let x = g.constant(Matrix::from_rows(&[&[3.0]]));
+/// let wv = g.param(&params, w);
+/// let y = g.matmul(x, wv);
+/// let loss = g.mean_all(y);
+/// let grads = g.backward(loss);
+/// // d(3w)/dw = 3
+/// assert_eq!(grads.get(w).unwrap().at(0, 0), 3.0);
+/// ```
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Reads the computed value of a node.
+    pub fn value(&self, id: VarId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> VarId {
+        self.nodes.push(Node { value, op });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Adds a constant leaf (no gradient flows into it).
+    pub fn constant(&mut self, value: Matrix) -> VarId {
+        self.push(value, Op::Constant)
+    }
+
+    /// Adds a leaf bound to `param`, cloning its current value.
+    pub fn param(&mut self, set: &ParamSet, param: ParamId) -> VarId {
+        self.push(set.value(param).clone(), Op::Param(param))
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).sub(self.value(b));
+        self.push(v, Op::Sub(a, b))
+    }
+
+    /// Elementwise product.
+    pub fn hadamard(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).scale(s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.value(a).map(|x| x + s);
+        self.push(v, Op::AddScalar(a))
+    }
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Transpose.
+    pub fn transpose(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).transpose();
+        self.push(v, Op::Transpose(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: VarId) -> VarId {
+        let v = self.value(a).map(|x| x * x);
+        self.push(v, Op::Square(a))
+    }
+
+    /// Adds a `1 x cols` bias row to every row of `a`.
+    pub fn add_broadcast_row(&mut self, a: VarId, bias: VarId) -> VarId {
+        let v = self.value(a).add_row_broadcast(self.value(bias));
+        self.push(v, Op::AddBroadcastRow(a, bias))
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn hcat(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.value(a).hcat(self.value(b));
+        self.push(v, Op::HCat(a, b))
+    }
+
+    /// Column slice `[start, start+width)`.
+    pub fn slice_cols(&mut self, a: VarId, start: usize, width: usize) -> VarId {
+        let v = self.value(a).slice_cols(start, width);
+        self.push(v, Op::SliceCols(a, start))
+    }
+
+    /// Mean over all elements, producing a `1x1` value.
+    pub fn mean_all(&mut self, a: VarId) -> VarId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(v, Op::MeanAll(a))
+    }
+
+    /// Sum over all elements, producing a `1x1` value.
+    pub fn sum_all(&mut self, a: VarId) -> VarId {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(v, Op::SumAll(a))
+    }
+
+    /// Mean softmax cross-entropy between `logits` rows and soft `targets`
+    /// rows (each a probability distribution), producing a `1x1` loss.
+    ///
+    /// Soft targets make this usable for both hard-label classification
+    /// (one-hot rows) and knowledge distillation (teacher softmax rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn softmax_cross_entropy(&mut self, logits: VarId, targets: Matrix) -> VarId {
+        let lv = self.value(logits);
+        assert_eq!(lv.shape(), targets.shape(), "cross-entropy shape mismatch");
+        let softmax = lv.softmax_rows();
+        let mut loss = 0.0;
+        for r in 0..lv.rows() {
+            for c in 0..lv.cols() {
+                let p = softmax.at(r, c).max(1e-12);
+                loss -= targets.at(r, c) * p.ln();
+            }
+        }
+        loss /= lv.rows() as f32;
+        let v = Matrix::from_vec(1, 1, vec![loss]);
+        self.push(
+            v,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets,
+                softmax,
+            },
+        )
+    }
+
+    /// For each row `i` of `logits`, the log of the softmax probability of
+    /// class `picks[i]`, producing an `N x 1` column of log-probabilities.
+    ///
+    /// This is the building block for REINFORCE: multiply by advantages and
+    /// sum to get the surrogate objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `picks.len()` differs from the number of rows or any pick
+    /// is out of range.
+    pub fn pick_log_softmax(&mut self, logits: VarId, picks: &[usize]) -> VarId {
+        let lv = self.value(logits);
+        assert_eq!(picks.len(), lv.rows(), "one pick per logits row required");
+        let softmax = lv.softmax_rows();
+        let mut out = Matrix::zeros(lv.rows(), 1);
+        for (r, &p) in picks.iter().enumerate() {
+            assert!(p < lv.cols(), "pick {p} out of range for {} classes", lv.cols());
+            *out.at_mut(r, 0) = softmax.at(r, p).max(1e-12).ln();
+        }
+        self.push(
+            out,
+            Op::PickLogSoftmax {
+                logits,
+                picks: picks.to_vec(),
+                softmax,
+            },
+        )
+    }
+
+    /// Mean Shannon entropy of the row-wise softmax of `logits`, as a
+    /// `1x1` node — the entropy-bonus term of regularized policy-gradient
+    /// objectives. Rows with masked (−∞-ish) entries contribute only their
+    /// live options, since masked options carry no probability mass.
+    pub fn entropy_rows(&mut self, logits: VarId) -> VarId {
+        let lv = self.value(logits);
+        let softmax = lv.softmax_rows();
+        let mut total = 0.0f32;
+        for r in 0..softmax.rows() {
+            for c in 0..softmax.cols() {
+                let p = softmax.at(r, c);
+                if p > 1e-12 {
+                    total -= p * p.ln();
+                }
+            }
+        }
+        let v = Matrix::from_vec(1, 1, vec![total / softmax.rows() as f32]);
+        self.push(v, Op::EntropyRows { logits, softmax })
+    }
+
+    /// im2col: unfolds conv patches of an NCHW batch.
+    ///
+    /// `input` must have shape `(batch, geom.input_len())`; the result has
+    /// shape `(batch * out_h * out_w, channels * kernel * kernel)`, ready to
+    /// be multiplied by a `(channels*k*k, out_channels)` weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the geometry.
+    pub fn im2col(&mut self, input: VarId, geom: ConvGeom) -> VarId {
+        let iv = self.value(input);
+        assert_eq!(
+            iv.cols(),
+            geom.input_len(),
+            "im2col input width mismatch: {} vs {}",
+            iv.cols(),
+            geom.input_len()
+        );
+        let batch = iv.rows();
+        let v = im2col_forward(iv, geom);
+        self.push(v, Op::Im2Col { input, geom, batch })
+    }
+
+    /// Permutes a `(batch*out_h*out_w, channels)` matrix (NHWC rows, the
+    /// natural output of `im2col` matmul) into `(batch, channels*out_h*out_w)`
+    /// NCHW layout.
+    pub fn nhwc_to_nchw(
+        &mut self,
+        input: VarId,
+        batch: usize,
+        out_h: usize,
+        out_w: usize,
+    ) -> VarId {
+        let iv = self.value(input);
+        assert_eq!(iv.rows(), batch * out_h * out_w, "nhwc_to_nchw row mismatch");
+        let channels = iv.cols();
+        let v = nhwc_to_nchw_forward(iv, batch, out_h, out_w);
+        self.push(
+            v,
+            Op::NhwcToNchw {
+                input,
+                batch,
+                out_h,
+                out_w,
+                channels,
+            },
+        )
+    }
+
+    /// Max pooling over an NCHW batch described by `geom` (where
+    /// `geom.kernel`/`geom.stride` are the pool window and stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input width does not match the geometry.
+    pub fn max_pool(&mut self, input: VarId, geom: ConvGeom) -> VarId {
+        let iv = self.value(input);
+        assert_eq!(iv.cols(), geom.input_len(), "max_pool input width mismatch");
+        let (v, argmax) = max_pool_forward(iv, geom);
+        let in_cols = iv.cols();
+        self.push(v, Op::MaxPool { input, argmax, in_cols })
+    }
+
+    /// Runs reverse-mode differentiation from `loss` (which must be `1x1`)
+    /// and returns per-parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a `1x1` node.
+    pub fn backward(&self, loss: VarId) -> Gradients {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward expects a scalar (1x1) loss node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut out = Gradients::default();
+
+        for idx in (0..=loss.0).rev() {
+            let Some(g) = grads[idx].take() else { continue };
+            match &self.nodes[idx].op {
+                Op::Constant => {}
+                Op::Param(p) => match out.by_param.get_mut(p) {
+                    Some(acc) => acc.add_assign(&g),
+                    None => {
+                        out.by_param.insert(*p, g);
+                    }
+                },
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(self.value(*b));
+                    let gb = g.hadamard(self.value(*a));
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, *a, g.scale(*s)),
+                Op::AddScalar(a) => accumulate(&mut grads, *a, g),
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul(&self.value(*b).transpose());
+                    let gb = self.value(*a).transpose().matmul(&g);
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Transpose(a) => accumulate(&mut grads, *a, g.transpose()),
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = g.zip_map(y, |gv, yv| gv * yv * (1.0 - yv));
+                    accumulate(&mut grads, *a, gx);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[idx].value;
+                    let gx = g.zip_map(y, |gv, yv| gv * (1.0 - yv * yv));
+                    accumulate(&mut grads, *a, gx);
+                }
+                Op::Relu(a) => {
+                    let x = self.value(*a);
+                    let gx = g.zip_map(x, |gv, xv| if xv > 0.0 { gv } else { 0.0 });
+                    accumulate(&mut grads, *a, gx);
+                }
+                Op::Square(a) => {
+                    let x = self.value(*a);
+                    let gx = g.zip_map(x, |gv, xv| gv * 2.0 * xv);
+                    accumulate(&mut grads, *a, gx);
+                }
+                Op::AddBroadcastRow(a, bias) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *bias, g.sum_rows());
+                }
+                Op::HCat(a, b) => {
+                    let wa = self.value(*a).cols();
+                    let wb = self.value(*b).cols();
+                    accumulate(&mut grads, *a, g.slice_cols(0, wa));
+                    accumulate(&mut grads, *b, g.slice_cols(wa, wb));
+                }
+                Op::SliceCols(a, start) => {
+                    let src = self.value(*a);
+                    let mut gx = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            *gx.at_mut(r, start + c) += g.at(r, c);
+                        }
+                    }
+                    accumulate(&mut grads, *a, gx);
+                }
+                Op::MeanAll(a) => {
+                    let src = self.value(*a);
+                    let per = g.at(0, 0) / src.len() as f32;
+                    accumulate(&mut grads, *a, Matrix::full(src.rows(), src.cols(), per));
+                }
+                Op::SumAll(a) => {
+                    let src = self.value(*a);
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Matrix::full(src.rows(), src.cols(), g.at(0, 0)),
+                    );
+                }
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    targets,
+                    softmax,
+                } => {
+                    let n = softmax.rows() as f32;
+                    let scale = g.at(0, 0) / n;
+                    let gx = softmax.zip_map(targets, |s, t| (s - t) * scale);
+                    accumulate(&mut grads, *logits, gx);
+                }
+                Op::PickLogSoftmax {
+                    logits,
+                    picks,
+                    softmax,
+                } => {
+                    let mut gx = Matrix::zeros(softmax.rows(), softmax.cols());
+                    for (r, &p) in picks.iter().enumerate() {
+                        let up = g.at(r, 0);
+                        for c in 0..softmax.cols() {
+                            let onehot = if c == p { 1.0 } else { 0.0 };
+                            *gx.at_mut(r, c) += up * (onehot - softmax.at(r, c));
+                        }
+                    }
+                    accumulate(&mut grads, *logits, gx);
+                }
+                Op::EntropyRows { logits, softmax } => {
+                    // dH/dz_j = -p_j (ln p_j + H_row), averaged over rows.
+                    let n = softmax.rows() as f32;
+                    let up = g.at(0, 0) / n;
+                    let mut gx = Matrix::zeros(softmax.rows(), softmax.cols());
+                    for r in 0..softmax.rows() {
+                        let mut h_row = 0.0f32;
+                        for c in 0..softmax.cols() {
+                            let p = softmax.at(r, c);
+                            if p > 1e-12 {
+                                h_row -= p * p.ln();
+                            }
+                        }
+                        for c in 0..softmax.cols() {
+                            let p = softmax.at(r, c);
+                            if p > 1e-12 {
+                                *gx.at_mut(r, c) = -up * p * (p.ln() + h_row);
+                            }
+                        }
+                    }
+                    accumulate(&mut grads, *logits, gx);
+                }
+                Op::Im2Col { input, geom, batch } => {
+                    let gx = im2col_backward(&g, *geom, *batch);
+                    accumulate(&mut grads, *input, gx);
+                }
+                Op::NhwcToNchw {
+                    input,
+                    batch,
+                    out_h,
+                    out_w,
+                    channels,
+                } => {
+                    let gx = nchw_to_nhwc_forward(&g, *batch, *out_h, *out_w, *channels);
+                    accumulate(&mut grads, *input, gx);
+                }
+                Op::MaxPool {
+                    input,
+                    argmax,
+                    in_cols,
+                } => {
+                    let src_rows = self.value(*input).rows();
+                    let mut gx = Matrix::zeros(src_rows, *in_cols);
+                    let out_cols = g.cols();
+                    for r in 0..g.rows() {
+                        for c in 0..out_cols {
+                            let src = argmax[r * out_cols + c];
+                            gx.data_mut()[r * in_cols + src] += g.at(r, c);
+                        }
+                    }
+                    accumulate(&mut grads, *input, gx);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], id: VarId, g: Matrix) {
+    match &mut grads[id.0] {
+        Some(acc) => acc.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+fn im2col_forward(input: &Matrix, geom: ConvGeom) -> Matrix {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let batch = input.rows();
+    let patch = geom.channels * geom.kernel * geom.kernel;
+    let mut out = Matrix::zeros(batch * oh * ow, patch);
+    for n in 0..batch {
+        let row = input.row(n);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let orow = (n * oh + oy) * ow + ox;
+                let base = orow * patch;
+                for c in 0..geom.channels {
+                    for ky in 0..geom.kernel {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..geom.kernel {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            let dst = base + (c * geom.kernel + ky) * geom.kernel + kx;
+                            if iy >= 0
+                                && (iy as usize) < geom.height
+                                && ix >= 0
+                                && (ix as usize) < geom.width
+                            {
+                                let src =
+                                    (c * geom.height + iy as usize) * geom.width + ix as usize;
+                                out.data_mut()[dst] = row[src];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn im2col_backward(grad: &Matrix, geom: ConvGeom, batch: usize) -> Matrix {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let mut out = Matrix::zeros(batch, geom.input_len());
+    for n in 0..batch {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let grow = (n * oh + oy) * ow + ox;
+                for c in 0..geom.channels {
+                    for ky in 0..geom.kernel {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        for kx in 0..geom.kernel {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if iy >= 0
+                                && (iy as usize) < geom.height
+                                && ix >= 0
+                                && (ix as usize) < geom.width
+                            {
+                                let gcol = (c * geom.kernel + ky) * geom.kernel + kx;
+                                let dst =
+                                    (c * geom.height + iy as usize) * geom.width + ix as usize;
+                                *out.at_mut(n, dst) += grad.at(grow, gcol);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn nhwc_to_nchw_forward(input: &Matrix, batch: usize, out_h: usize, out_w: usize) -> Matrix {
+    let channels = input.cols();
+    let mut out = Matrix::zeros(batch, channels * out_h * out_w);
+    for n in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let srow = (n * out_h + oy) * out_w + ox;
+                for c in 0..channels {
+                    let dst = (c * out_h + oy) * out_w + ox;
+                    *out.at_mut(n, dst) = input.at(srow, c);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`nhwc_to_nchw_forward`]: used for the backward pass.
+fn nchw_to_nhwc_forward(
+    input: &Matrix,
+    batch: usize,
+    out_h: usize,
+    out_w: usize,
+    channels: usize,
+) -> Matrix {
+    let mut out = Matrix::zeros(batch * out_h * out_w, channels);
+    for n in 0..batch {
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let drow = (n * out_h + oy) * out_w + ox;
+                for c in 0..channels {
+                    let src = (c * out_h + oy) * out_w + ox;
+                    *out.at_mut(drow, c) = input.at(n, src);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn max_pool_forward(input: &Matrix, geom: ConvGeom) -> (Matrix, Vec<usize>) {
+    let (oh, ow) = (geom.out_h(), geom.out_w());
+    let batch = input.rows();
+    let out_cols = geom.channels * oh * ow;
+    let mut out = Matrix::zeros(batch, out_cols);
+    let mut argmax = vec![0usize; batch * out_cols];
+    for n in 0..batch {
+        let row = input.row(n);
+        for c in 0..geom.channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for ky in 0..geom.kernel {
+                        let iy = (oy * geom.stride + ky) as isize - geom.pad as isize;
+                        if iy < 0 || iy as usize >= geom.height {
+                            continue;
+                        }
+                        for kx in 0..geom.kernel {
+                            let ix = (ox * geom.stride + kx) as isize - geom.pad as isize;
+                            if ix < 0 || ix as usize >= geom.width {
+                                continue;
+                            }
+                            let idx = (c * geom.height + iy as usize) * geom.width + ix as usize;
+                            if row[idx] > best {
+                                best = row[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    let o = (c * oh + oy) * ow + ox;
+                    *out.at_mut(n, o) = best;
+                    argmax[n * out_cols + o] = best_idx;
+                }
+            }
+        }
+    }
+    (out, argmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_backward() {
+        let mut params = ParamSet::new();
+        let p = params.insert("p", Matrix::from_rows(&[&[1.0, 2.0]]));
+        let mut g = Graph::new();
+        let a = g.param(&params, p);
+        let b = g.constant(Matrix::from_rows(&[&[3.0, 4.0]]));
+        let s = g.add(a, b);
+        let loss = g.sum_all(s);
+        assert_eq!(g.value(loss).at(0, 0), 10.0);
+        let grads = g.backward(loss);
+        assert_eq!(grads.get(p).unwrap(), &Matrix::from_rows(&[&[1.0, 1.0]]));
+    }
+
+    #[test]
+    fn matmul_gradients_are_correct() {
+        // loss = sum(A*B); dA = ones * B^T, dB = A^T * ones.
+        let mut params = ParamSet::new();
+        let pa = params.insert("a", Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let pb = params.insert("b", Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]));
+        let mut g = Graph::new();
+        let a = g.param(&params, pa);
+        let b = g.param(&params, pb);
+        let c = g.matmul(a, b);
+        let loss = g.sum_all(c);
+        let grads = g.backward(loss);
+        assert_eq!(
+            grads.get(pa).unwrap(),
+            &Matrix::from_rows(&[&[11.0, 15.0], &[11.0, 15.0]])
+        );
+        assert_eq!(
+            grads.get(pb).unwrap(),
+            &Matrix::from_rows(&[&[4.0, 4.0], &[6.0, 6.0]])
+        );
+    }
+
+    #[test]
+    fn pick_log_softmax_matches_manual() {
+        let mut g = Graph::new();
+        let logits = g.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let lp = g.pick_log_softmax(logits, &[2]);
+        let manual = {
+            let s = Matrix::from_rows(&[&[1.0, 2.0, 3.0]]).softmax_rows();
+            s.at(0, 2).ln()
+        };
+        assert!((g.value(lp).at(0, 0) - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_direction() {
+        // With target = class 0 and symmetric logits, gradient should push
+        // class 0 logit up (negative gradient) and others down.
+        let mut params = ParamSet::new();
+        let p = params.insert("l", Matrix::from_rows(&[&[0.0, 0.0, 0.0]]));
+        let mut g = Graph::new();
+        let l = g.param(&params, p);
+        let loss = g.softmax_cross_entropy(l, Matrix::from_rows(&[&[1.0, 0.0, 0.0]]));
+        let grads = g.backward(loss);
+        let gl = grads.get(p).unwrap();
+        assert!(gl.at(0, 0) < 0.0);
+        assert!(gl.at(0, 1) > 0.0);
+        assert!(gl.at(0, 2) > 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let mut g = Graph::new();
+        let logits = g.constant(Matrix::zeros(2, 4));
+        let h = g.entropy_rows(logits);
+        assert!((g.value(h).at(0, 0) - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn entropy_gradient_pushes_toward_uniform() {
+        // Maximizing entropy from a peaked distribution should lower the
+        // large logit and raise the small ones.
+        let mut params = ParamSet::new();
+        let p = params.insert("l", Matrix::from_rows(&[&[3.0, 0.0, 0.0]]));
+        let mut g = Graph::new();
+        let l = g.param(&params, p);
+        let h = g.entropy_rows(l);
+        // Minimize -H (i.e. ascend entropy).
+        let loss = g.scale(h, -1.0);
+        let grads = g.backward(loss);
+        let gl = grads.get(p).unwrap();
+        assert!(gl.at(0, 0) > 0.0, "peak logit should be pushed down by -H loss gradient descent");
+        assert!(gl.at(0, 1) < 0.0);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1x1 kernel, stride 1, no pad: im2col is a reshape.
+        let geom = ConvGeom {
+            channels: 2,
+            height: 2,
+            width: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let mut g = Graph::new();
+        let x = g.constant(Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]]));
+        let cols = g.im2col(x, geom);
+        // rows = 4 spatial positions, cols = 2 channels.
+        assert_eq!(g.value(cols).shape(), (4, 2));
+        assert_eq!(g.value(cols).at(0, 0), 1.0);
+        assert_eq!(g.value(cols).at(0, 1), 5.0);
+        assert_eq!(g.value(cols).at(3, 0), 4.0);
+        assert_eq!(g.value(cols).at(3, 1), 8.0);
+    }
+
+    #[test]
+    fn max_pool_forward_and_backward_route_to_argmax() {
+        let geom = ConvGeom {
+            channels: 1,
+            height: 2,
+            width: 2,
+            kernel: 2,
+            stride: 2,
+            pad: 0,
+        };
+        let mut params = ParamSet::new();
+        let p = params.insert("x", Matrix::from_rows(&[&[1.0, 5.0, 3.0, 2.0]]));
+        let mut g = Graph::new();
+        let x = g.param(&params, p);
+        let y = g.max_pool(x, geom);
+        assert_eq!(g.value(y).at(0, 0), 5.0);
+        let loss = g.sum_all(y);
+        let grads = g.backward(loss);
+        assert_eq!(
+            grads.get(p).unwrap(),
+            &Matrix::from_rows(&[&[0.0, 1.0, 0.0, 0.0]])
+        );
+    }
+
+    #[test]
+    fn nhwc_to_nchw_roundtrip_shapes() {
+        let mut g = Graph::new();
+        // batch=1, oh=2, ow=2, channels=3 -> rows 4, cols 3.
+        let x = g.constant(Matrix::from_vec(4, 3, (0..12).map(|v| v as f32).collect()));
+        let y = g.nhwc_to_nchw(x, 1, 2, 2);
+        assert_eq!(g.value(y).shape(), (1, 12));
+        // channel 0 plane should be elements (0,0),(1,0),(2,0),(3,0) = 0,3,6,9
+        assert_eq!(&g.value(y).row(0)[..4], &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn gradient_clipping_reduces_norm() {
+        let mut params = ParamSet::new();
+        let p = params.insert("p", Matrix::from_rows(&[&[100.0]]));
+        let mut g = Graph::new();
+        let a = g.param(&params, p);
+        let sq = g.square(a);
+        let loss = g.sum_all(sq);
+        let mut grads = g.backward(loss);
+        assert!(grads.global_norm() > 1.0);
+        grads.clip_global_norm(1.0);
+        assert!((grads.global_norm() - 1.0).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests of the algebra and autodiff invariants.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::gradcheck::assert_gradients_close;
+use crate::{Graph, Matrix, ParamSet};
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Matrix multiplication distributes over addition.
+    #[test]
+    fn matmul_distributes(
+        a in arb_matrix(3, 3),
+        b in arb_matrix(3, 3),
+        c in arb_matrix(3, 3),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Softmax rows are probability distributions regardless of input.
+    #[test]
+    fn softmax_is_distribution(a in arb_matrix(4, 6)) {
+        let s = a.softmax_rows();
+        for r in 0..4 {
+            let row = s.row(r);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// hcat then slice_cols recovers the parts.
+    #[test]
+    fn hcat_slice_roundtrip(a in arb_matrix(3, 2), b in arb_matrix(3, 5)) {
+        let joined = a.hcat(&b);
+        prop_assert_eq!(joined.slice_cols(0, 2), a);
+        prop_assert_eq!(joined.slice_cols(2, 5), b);
+    }
+
+    /// Analytic gradients of a random two-layer tanh network match finite
+    /// differences.
+    #[test]
+    fn random_mlp_gradcheck(seed in 0u64..200) {
+        let mut params = ParamSet::new();
+        let w1 = params.insert("w1", Matrix::seeded_xavier(3, 5, seed));
+        let w2 = params.insert("w2", Matrix::seeded_xavier(5, 2, seed ^ 1));
+        let x = Matrix::seeded_xavier(4, 3, seed ^ 2);
+        let run = |p: &ParamSet| -> (f32, Option<cadmc_grad::G>) {
+            let mut g = Graph::new();
+            let xv = g.constant(x.clone());
+            let w1v = g.param(p, p.id("w1").expect("registered"));
+            let w2v = g.param(p, p.id("w2").expect("registered"));
+            let h = g.matmul(xv, w1v);
+            let h = g.tanh(h);
+            let out = g.matmul(h, w2v);
+            let sq = g.square(out);
+            let loss = g.mean_all(sq);
+            let v = g.value(loss).at(0, 0);
+            (v, Some(g.backward(loss)))
+        };
+        let (_, grads) = run(&params);
+        assert_gradients_close(
+            &params,
+            &[w1, w2],
+            &grads.expect("gradients computed"),
+            |p| run(p).0,
+            3e-2,
+        );
+    }
+
+    /// Gradient of a sum of params w.r.t. each param is all-ones — and
+    /// merging duplicates accumulates.
+    #[test]
+    fn param_reuse_accumulates(rows in 1usize..4, cols in 1usize..4) {
+        let mut params = ParamSet::new();
+        let p = params.insert("p", Matrix::zeros(rows, cols));
+        let mut g = Graph::new();
+        let a = g.param(&params, p);
+        let b = g.param(&params, p);
+        let s = g.add(a, b);
+        let loss = g.sum_all(s);
+        let grads = g.backward(loss);
+        let gp = grads.get(p).expect("gradient exists");
+        for &v in gp.data() {
+            prop_assert_eq!(v, 2.0);
+        }
+    }
+}
+
+/// Tiny helper module so the closure type above can name the gradient type
+/// without importing it at top level.
+mod cadmc_grad {
+    pub type G = crate::Gradients;
+}

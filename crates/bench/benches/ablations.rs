@@ -1,0 +1,80 @@
+//! Criterion timing ablations: memo pool on/off and controller width —
+//! the cost knobs DESIGN.md calls out. (Quality ablations are printed by
+//! the `ablation_quality` binary.)
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cadmc_core::branch::optimal_branch;
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::EvalEnv;
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+
+fn bench_memo_effect(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let mut group = c.benchmark_group("memo_ablation");
+    group.sample_size(10);
+    for shared in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("branch_30ep", if shared { "shared_memo" } else { "fresh_memo" }),
+            &shared,
+            |b, &shared| {
+                let persistent = MemoPool::new();
+                b.iter(|| {
+                    let cfg = SearchConfig {
+                        episodes: 30,
+                        ..SearchConfig::quick(1)
+                    };
+                    let mut controllers = Controllers::new(&cfg);
+                    let fresh = MemoPool::new();
+                    let memo = if shared { &persistent } else { &fresh };
+                    black_box(optimal_branch(
+                        &mut controllers,
+                        &base,
+                        &env,
+                        Mbps(10.0),
+                        &cfg,
+                        memo,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hidden_width(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let mut group = c.benchmark_group("controller_width");
+    group.sample_size(10);
+    for hidden in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(hidden), &hidden, |b, &hidden| {
+            b.iter(|| {
+                let cfg = SearchConfig {
+                    episodes: 5,
+                    hidden,
+                    ..SearchConfig::quick(1)
+                };
+                let mut controllers = Controllers::new(&cfg);
+                let memo = MemoPool::new();
+                black_box(optimal_branch(
+                    &mut controllers,
+                    &base,
+                    &env,
+                    Mbps(10.0),
+                    &cfg,
+                    &memo,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memo_effect, bench_hidden_width);
+criterion_main!(benches);

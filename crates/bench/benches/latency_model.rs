@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for the latency substrate: whole-model
+//! estimation (Table 1 path) and the min-cut surgery planner.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_core::surgery;
+use cadmc_core::EvalEnv;
+use cadmc_latency::{DeviceProfile, Mbps};
+use cadmc_nn::zoo::{self, ResNetDepth};
+
+fn bench_model_latency(c: &mut Criterion) {
+    let phone = DeviceProfile::phone();
+    let vgg19 = zoo::vgg19_imagenet();
+    let r152 = zoo::resnet_imagenet(ResNetDepth::D152);
+    c.bench_function("latency_estimate_vgg19", |b| {
+        b.iter(|| black_box(phone.model_latency_ms(&vgg19)))
+    });
+    c.bench_function("latency_estimate_resnet152", |b| {
+        b.iter(|| black_box(phone.model_latency_ms(&r152)))
+    });
+}
+
+fn bench_surgery_mincut(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    c.bench_function("surgery_mincut_vgg11", |b| {
+        b.iter(|| black_box(surgery::optimal_partition_mincut(&base, &env, Mbps(10.0))))
+    });
+    c.bench_function("surgery_scan_vgg11", |b| {
+        b.iter(|| black_box(surgery::optimal_partition_scan(&base, &env, Mbps(10.0))))
+    });
+}
+
+criterion_group!(benches, bench_model_latency, bench_surgery_mincut);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the RL searches: episode throughput of
+//! Alg. 1 (branch) and Alg. 3 (tree).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_core::branch::optimal_branch;
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::EvalEnv;
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+
+fn bench_branch_episode(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 1,
+        ..SearchConfig::quick(1)
+    };
+    c.bench_function("branch_search_episode_vgg11", |b| {
+        b.iter(|| {
+            let mut controllers = Controllers::new(&cfg);
+            let memo = MemoPool::new();
+            black_box(optimal_branch(
+                &mut controllers,
+                &base,
+                &env,
+                Mbps(10.0),
+                &cfg,
+                &memo,
+            ))
+        })
+    });
+}
+
+fn bench_tree_episode(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 1,
+        ..SearchConfig::quick(1)
+    };
+    let levels = [2.0, 10.0];
+    c.bench_function("tree_search_episode_vgg11", |b| {
+        b.iter(|| {
+            let mut controllers = Controllers::new(&cfg);
+            let memo = MemoPool::new();
+            black_box(tree_search(
+                &mut controllers,
+                &base,
+                &env,
+                &levels,
+                3,
+                &cfg,
+                &memo,
+                false,
+                None,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_branch_episode, bench_tree_episode
+}
+criterion_main!(benches);

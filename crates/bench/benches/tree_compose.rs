@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks for the online path: Alg. 2 tree walking /
+//! composition and memo-pool lookups — the operations on the inference
+//! critical path.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{Candidate, EvalEnv, Evaluation, RewardSpec};
+use cadmc_nn::zoo;
+
+fn bench_compose(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 10,
+        ..SearchConfig::quick(1)
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let result = tree_search(
+        &mut controllers,
+        &base,
+        &env,
+        &[2.0, 10.0],
+        3,
+        &cfg,
+        &memo,
+        false,
+        None,
+    );
+    let tree = result.tree;
+    c.bench_function("tree_compose_alg2", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let bw = if flip { 2.0 } else { 10.0 };
+            black_box(tree.compose(|_| bw))
+        })
+    });
+}
+
+fn bench_memo(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let cand = Candidate::base_all_edge(&base);
+    let pool = MemoPool::new();
+    let spec = RewardSpec::default();
+    pool.get_or_insert_with(&cand, 10.0, || Evaluation::new(0.92, 50.0, &spec));
+    c.bench_function("memo_pool_hit", |b| {
+        b.iter(|| {
+            black_box(pool.get_or_insert_with(&cand, 10.0, || {
+                Evaluation::new(0.92, 50.0, &spec)
+            }))
+        })
+    });
+}
+
+criterion_group!(benches, bench_compose, bench_memo);
+criterion_main!(benches);

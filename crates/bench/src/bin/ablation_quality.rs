@@ -1,0 +1,82 @@
+//! Quality ablations of the design choices DESIGN.md calls out:
+//! backward-estimation rule (mean vs max), fair-chance exploration
+//! (on/off), and optimal-branch boosting (on/off). Prints the mean branch
+//! reward the tree search reaches under each setting.
+
+use cadmc_core::experiments::{K_LEVELS, N_BLOCKS};
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree::BackwardRule;
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{EvalEnv, NetworkContext};
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn run(cfg: &SearchConfig, boost: bool, seed: u64) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, K_LEVELS, seed);
+    let mut controllers = Controllers::new(cfg);
+    let memo = MemoPool::new();
+    let result = tree_search(
+        &mut controllers,
+        &base,
+        &env,
+        ctx.levels(),
+        N_BLOCKS,
+        cfg,
+        &memo,
+        boost,
+        Some(ctx.trace()),
+    );
+    result.tree.mean_branch_reward()
+}
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seeds: Vec<u64> = vec![7, 17, 27];
+    println!("Quality ablations (VGG11, Phone, WiFi (weak) indoor, {episodes} episodes, {} seeds)\n", seeds.len());
+    println!("{:<34} {:>12}", "Variant", "mean reward");
+    cadmc_bench::rule(48);
+
+    let variants: Vec<(&str, SearchConfig, bool)> = vec![
+        (
+            "paper (mean, fair-chance, boost)",
+            SearchConfig { episodes, ..SearchConfig::default() },
+            true,
+        ),
+        (
+            "backward rule = max",
+            SearchConfig { episodes, backward_rule: BackwardRule::Max, ..SearchConfig::default() },
+            true,
+        ),
+        (
+            "no fair-chance exploration",
+            SearchConfig { episodes, alpha: 0.0, ..SearchConfig::default() },
+            true,
+        ),
+        (
+            "no branch boosting",
+            SearchConfig { episodes, ..SearchConfig::default() },
+            false,
+        ),
+        (
+            "entropy bonus b=0.01",
+            SearchConfig { episodes, entropy_beta: 0.01, ..SearchConfig::default() },
+            true,
+        ),
+        (
+            "no epsilon exploration",
+            SearchConfig { episodes, explore_epsilon: 0.0, ..SearchConfig::default() },
+            true,
+        ),
+    ];
+    for (name, cfg, boost) in variants {
+        let mean: f64 = seeds
+            .iter()
+            .map(|&s| run(&SearchConfig { seed: s, ..cfg }, boost, s))
+            .sum::<f64>()
+            / seeds.len() as f64;
+        println!("{:<34} {:>12.2}", name, mean);
+    }
+}

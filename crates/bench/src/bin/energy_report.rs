@@ -1,0 +1,61 @@
+//! Device-energy report (extension): the paper motivates compression with
+//! energy but evaluates only latency; this binary estimates per-inference
+//! edge energy for the three deployments using the mobile energy model.
+
+use cadmc_core::experiments::{train_scene, Workload};
+use cadmc_core::search::SearchConfig;
+use cadmc_latency::{DeviceProfile, EnergyProfile, Mbps, Platform, Radio, TransferModel};
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    println!("Per-inference device energy (VGG11, Phone; mJ at the context median)\n");
+    println!(
+        "{:<22} {:>10} | {:>9} {:>9} {:>9}",
+        "Environment", "median bw", "Surgery", "Branch", "Tree"
+    );
+    cadmc_bench::rule(66);
+    let device = DeviceProfile::phone();
+    let transfer = TransferModel::default();
+    for scenario in [
+        Scenario::FourGWeakIndoor,
+        Scenario::FourGIndoorStatic,
+        Scenario::WifiWeakIndoor,
+        Scenario::WifiOutdoorSlow,
+    ] {
+        let w = Workload {
+            model: zoo::vgg11_cifar(),
+            device: Platform::Phone,
+            scenario,
+        };
+        let scene = train_scene(&w, &cfg, seed);
+        let radio = if scenario.is_4g() { Radio::Cellular } else { Radio::Wifi };
+        let energy = EnergyProfile::phone(radio);
+        let bw = Mbps(scene.ctx.median_bandwidth());
+        let of = |c: &cadmc_core::Candidate| {
+            energy.deployment_energy_mj(
+                &device,
+                &transfer,
+                &c.model,
+                c.edge_layers,
+                c.transfer_bytes(),
+                bw,
+            )
+        };
+        // The tree's energy at the median: compose for that bandwidth.
+        let (_, tree_cand) = scene.tree.tree.compose(|_| bw.0);
+        println!(
+            "{:<22} {:>7.2} Mb | {:>9.2} {:>9.2} {:>9.2}",
+            scenario.name(),
+            bw.0,
+            of(&scene.surgery.candidate),
+            of(&scene.branch),
+            of(&tree_cand)
+        );
+    }
+    println!("\nCompression cuts compute energy; offloading trades compute joules for");
+    println!("radio joules — on 4G the radio premium is substantial.");
+}

@@ -1,0 +1,38 @@
+//! Fig. 5 — estimation models for computational and transfer latency:
+//! least-squares fits over (simulated) measurements, with R² per panel.
+
+use cadmc_latency::calibrate::{conv_sweep, fc_sweep, fit_linear, transfer_sweep};
+use cadmc_latency::{DeviceProfile, Platform, TransferModel};
+
+fn main() {
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    println!("Fig. 5: latency estimation model fits (slope/intercept/R²)\n");
+    println!("{:<10} {:<14} {:>14} {:>12} {:>8}", "Platform", "Panel", "slope (ms/MACC)", "intercept", "R²");
+    cadmc_bench::rule(64);
+    for platform in [Platform::Phone, Platform::Tx2, Platform::CloudServer] {
+        let profile = DeviceProfile::for_platform(platform);
+        for kernel in [1usize, 3, 5] {
+            let fit = fit_linear(&conv_sweep(&profile, kernel, seed));
+            println!(
+                "{:<10} {:<14} {:>14.3e} {:>12.3} {:>8.3}",
+                platform.name(),
+                format!("conv {kernel}x{kernel}"),
+                fit.slope,
+                fit.intercept,
+                fit.r2
+            );
+        }
+        let fit = fit_linear(&fc_sweep(&profile, seed));
+        println!(
+            "{:<10} {:<14} {:>14.3e} {:>12.3} {:>8.3}",
+            platform.name(), "FC", fit.slope, fit.intercept, fit.r2
+        );
+    }
+    let fit = fit_linear(&transfer_sweep(&TransferModel::default(), seed));
+    println!(
+        "{:<10} {:<14} {:>14.3} {:>12.3} {:>8.3}   (x = transmission ms = S/W)",
+        "-", "transfer", fit.slope, fit.intercept, fit.r2
+    );
+    println!("\nNote: GPU platforms (TX2/cloud) show lower R² — the paper observes the");
+    println!("same: parallel execution obscures the MACC-linearity on GPUs.");
+}

@@ -1,0 +1,51 @@
+//! Fig. 8 — illustration of the searching processes by different
+//! strategies under "4G indoor static" (VGG11 on the phone).
+
+use cadmc_core::experiments::strategy_illustration;
+use cadmc_core::search::SearchConfig;
+use cadmc_latency::Platform;
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    for scenario in [Scenario::FourGIndoorStatic, Scenario::FourGOutdoorQuick] {
+        let ill = strategy_illustration(&zoo::vgg11_cifar(), Platform::Phone, scenario, &cfg, seed);
+        println!("Fig. 8: strategies under '{}'", ill.scenario);
+        println!(
+            "bandwidth levels (poor/good): {:.2} / {:.2} Mbps\n",
+            ill.levels[0], ill.levels[1]
+        );
+        println!(
+            "{:<22} {:<54} {:>9} {:>9}",
+            "Strategy", "Deployment", "planned", "executed"
+        );
+        cadmc_bench::rule(97);
+        println!(
+            "{:<22} {:<54} {:>9.2} {:>9.2}",
+            "Dynamic DNN surgery", ill.surgery.0, ill.surgery.1, ill.surgery.2
+        );
+        println!(
+            "{:<22} {:<54} {:>9.2} {:>9.2}",
+            "Optimal branch", ill.branch.0, ill.branch.1, ill.branch.2
+        );
+        for (i, (summary, reward)) in ill.tree_branches.iter().enumerate() {
+            let exec = if i == 0 {
+                format!("{:>9.2}", ill.tree_executed)
+            } else {
+                format!("{:>9}", "\"")
+            };
+            println!(
+                "{:<22} {:<54} {:>9.2} {exec}",
+                format!("Model tree branch {i}"),
+                summary,
+                reward
+            );
+        }
+        println!(
+            "\n(planned = at the context median; executed = Alg. 2 over a held-out trace)\n"
+        );
+    }
+}

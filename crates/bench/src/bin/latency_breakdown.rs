@@ -1,0 +1,64 @@
+//! Per-layer latency breakdown and cut-point table for VGG11 — the
+//! Neurosurgeon-style diagnostic behind the surgery baseline: for each
+//! candidate cut it shows edge time, transfer time and cloud time, making
+//! the optimal partition visually obvious.
+
+use cadmc_core::{Candidate, EvalEnv, Partition};
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+
+fn main() {
+    let bw: f64 = std::env::var("CADMC_BANDWIDTH").ok().and_then(|v| v.parse().ok()).unwrap_or(10.0);
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    println!("Per-layer breakdown: VGG11 on Phone, transfers at {bw} Mbps\n");
+    println!(
+        "{:>3} {:<20} {:>12} {:>10} {:>12}",
+        "i", "layer", "MACCs", "edge ms", "out bytes"
+    );
+    cadmc_bench::rule(62);
+    for i in 0..base.len() {
+        let layer = &base.layers()[i];
+        println!(
+            "{:>3} {:<20} {:>12} {:>10.2} {:>12}",
+            i,
+            layer.encode(),
+            base.layer_maccs(i),
+            env.edge.layer_latency_ms(layer, base.layer_input(i)),
+            base.cut_bytes_after(i)
+        );
+    }
+
+    println!("\nCut-point table (edge + transfer + cloud = total):");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "cut", "edge ms", "xfer ms", "cloud ms", "total"
+    );
+    cadmc_bench::rule(52);
+    let plan = cadmc_compress::CompressionPlan::identity(base.len());
+    let mut options = vec![Partition::AllCloud];
+    options.extend((0..base.len() - 1).map(Partition::AfterLayer));
+    options.push(Partition::AllEdge);
+    let mut best: Option<(String, f64)> = None;
+    for p in options {
+        let c = Candidate::compose(&base, p, &plan).expect("identity plan");
+        let m = &c.model;
+        let te = env.edge.range_latency_ms(m, 0, c.edge_layers);
+        let tt = env.transfer.latency_ms(c.transfer_bytes(), Mbps(bw));
+        let tc = env.cloud.range_latency_ms(m, c.edge_layers, m.len()).max(0.0);
+        let total = te + tt + tc;
+        println!(
+            "{:<12} {:>9.2} {:>9.2} {:>9.2} {:>9.2}",
+            p.to_string(),
+            te,
+            tt,
+            tc,
+            total
+        );
+        if best.as_ref().is_none_or(|(_, b)| total < *b) {
+            best = Some((p.to_string(), total));
+        }
+    }
+    let (name, total) = best.expect("options non-empty");
+    println!("\noptimal static cut at {bw} Mbps: {name} ({total:.2} ms)");
+}

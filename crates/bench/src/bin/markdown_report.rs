@@ -1,0 +1,28 @@
+//! Renders the offline / emulation / field tables as GitHub-flavored
+//! markdown (the mechanical data sections of EXPERIMENTS.md).
+
+use cadmc_core::executor::Mode;
+use cadmc_core::experiments::{
+    emulation_table, executed_markdown, offline_markdown, offline_table, train_all,
+};
+use cadmc_core::search::SearchConfig;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(120);
+    let requests: usize = std::env::var("CADMC_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    eprintln!("training 14 scenes ({episodes} episodes each)...");
+    let scenes = train_all(&cfg, seed);
+
+    println!("## Table 3 — offline training reward\n");
+    println!("{}", offline_markdown(&offline_table(&scenes)));
+
+    println!("## Table 4 — emulation (held-out traces)\n");
+    let rows = emulation_table(&scenes, Mode::Emulation, requests, seed);
+    println!("{}", executed_markdown(&rows, "emulation"));
+
+    println!("## Table 5 — field test\n");
+    let rows = emulation_table(&scenes, Mode::Field, requests, seed);
+    println!("{}", executed_markdown(&rows, "field"));
+}

@@ -1,0 +1,37 @@
+//! Context-mismatch robustness (extension): reward of trees trained on
+//! one scenario but executed in another.
+
+use cadmc_core::experiments::mismatch_matrix;
+use cadmc_core::search::SearchConfig;
+use cadmc_latency::Platform;
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let scenarios = [
+        Scenario::FourGIndoorStatic,
+        Scenario::FourGOutdoorQuick,
+        Scenario::WifiWeakIndoor,
+        Scenario::WifiOutdoorSlow,
+    ];
+    println!("Context mismatch (VGG11, Phone): executed reward of tree trained on row, run in column\n");
+    let m = mismatch_matrix(&zoo::vgg11_cifar(), Platform::Phone, &scenarios, &cfg, 120, seed);
+    print!("{:<22}", "trained \\ executed");
+    for s in &m.scenarios {
+        print!(" {:>20}", s);
+    }
+    println!();
+    cadmc_bench::rule(22 + 21 * m.scenarios.len());
+    for (i, row) in m.rewards.iter().enumerate() {
+        print!("{:<22}", m.scenarios[i]);
+        for (j, r) in row.iter().enumerate() {
+            let marker = if i == j { "*" } else { " " };
+            print!(" {:>19.2}{marker}", r);
+        }
+        println!();
+    }
+    println!("\n(* = matched context) mean diagonal advantage: {:.2} reward", m.mean_diagonal_advantage());
+}

@@ -1,0 +1,56 @@
+//! Seed-variance check (extension): re-runs the Table 4 emulation
+//! averages across several characterization/search seeds and reports
+//! mean ± spread — the executed tables replay held-out traces, so this
+//! quantifies how much of the headline numbers is draw luck.
+
+use cadmc_core::executor::Mode;
+use cadmc_core::experiments::{averages, emulation_table, train_all};
+use cadmc_core::search::SearchConfig;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let requests: usize = std::env::var("CADMC_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(100);
+    let seeds: Vec<u64> = vec![7, 17, 27];
+    println!(
+        "Seed variance of Table 4 VGG11 averages ({} seeds, {episodes} episodes, {requests} requests)\n",
+        seeds.len()
+    );
+    println!(
+        "{:>6} | {:>8} {:>9} | {:>8} {:>9} | {:>8} {:>9}",
+        "seed", "surg R", "surg ms", "brch R", "brch ms", "tree R", "tree ms"
+    );
+    cadmc_bench::rule(66);
+    let mut per_seed = Vec::new();
+    for &seed in &seeds {
+        let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+        let scenes = train_all(&cfg, seed);
+        let rows = emulation_table(&scenes, Mode::Emulation, requests, seed);
+        let avg = averages(&rows[..10]); // the 10 VGG11 rows
+        println!(
+            "{:>6} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2} | {:>8.2} {:>9.2}",
+            seed, avg[0].0, avg[0].1, avg[1].0, avg[1].1, avg[2].0, avg[2].1
+        );
+        per_seed.push(avg);
+    }
+    cadmc_bench::rule(66);
+    let n = per_seed.len() as f64;
+    type Avg = [(f64, f64, f64); 3];
+    let mean = |f: &dyn Fn(&Avg) -> f64| per_seed.iter().map(f).sum::<f64>() / n;
+    let spread = |f: &dyn Fn(&Avg) -> f64| {
+        let vals: Vec<f64> = per_seed.iter().map(f).collect();
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        hi - lo
+    };
+    for (name, idx) in [("surgery", 0usize), ("branch", 1), ("tree", 2)] {
+        println!(
+            "{:<8} reward {:.2} (spread {:.2}) | latency {:.2} ms (spread {:.2})",
+            name,
+            mean(&|a| a[idx].0),
+            spread(&|a| a[idx].0),
+            mean(&|a| a[idx].1),
+            spread(&|a| a[idx].1),
+        );
+    }
+    println!("\nThe ordering surgery < branch <= tree should hold for every seed.");
+}

@@ -1,0 +1,40 @@
+//! N/K design-space sweep (extension): executed reward vs tree shape and
+//! the edge-storage price of context-awareness.
+
+use cadmc_core::experiments::nk_sweep;
+use cadmc_core::search::SearchConfig;
+use cadmc_latency::Platform;
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(50);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    println!("N/K sweep: VGG11, Phone, WiFi (weak) indoor ({episodes} episodes per cell)\n");
+    println!("{:>3} {:>3} {:>10} {:>12} {:>14} {:>8}", "N", "K", "reward", "latency ms", "storage MB", "nodes");
+    cadmc_bench::rule(56);
+    let points = nk_sweep(
+        &zoo::vgg11_cifar(),
+        Platform::Phone,
+        Scenario::WifiWeakIndoor,
+        &[2, 3, 4],
+        &[2, 3],
+        &cfg,
+        seed,
+    );
+    for p in &points {
+        println!(
+            "{:>3} {:>3} {:>10.2} {:>12.2} {:>14.2} {:>8}",
+            p.n,
+            p.k,
+            p.reward,
+            p.latency_ms,
+            p.storage_bytes as f64 / 1e6,
+            p.nodes
+        );
+    }
+    let base = zoo::vgg11_cifar();
+    println!("\nsingle base model storage: {:.2} MB", base.param_bytes() as f64 / 1e6);
+    println!("paper setting: N = 3, K = 2.");
+}

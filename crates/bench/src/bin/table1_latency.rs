@@ -1,0 +1,31 @@
+//! Table 1 — inference latencies on the Xiaomi MI 6X (input 1×224×224×3).
+//!
+//! Regenerates the paper's Table 1 from the calibrated phone device
+//! profile and the model zoo's MACC accounting.
+
+use cadmc_latency::DeviceProfile;
+use cadmc_nn::zoo::{self, ResNetDepth};
+
+fn main() {
+    let phone = DeviceProfile::phone();
+    let rows = [
+        ("VGG19", zoo::vgg19_imagenet(), 5734.89),
+        ("ResNet50", zoo::resnet_imagenet(ResNetDepth::D50), 1103.20),
+        ("ResNet101", zoo::resnet_imagenet(ResNetDepth::D101), 2238.79),
+        ("ResNet152", zoo::resnet_imagenet(ResNetDepth::D152), 3729.10),
+    ];
+    println!("Table 1: inference latencies on Xiaomi MI 6X (1x224x224x3)");
+    println!("{:<12} {:>12} {:>14} {:>14} {:>8}", "Model", "GMACCs", "paper (ms)", "ours (ms)", "diff");
+    cadmc_bench::rule(64);
+    for (name, model, paper) in rows {
+        let ours = phone.model_latency_ms(&model);
+        println!(
+            "{:<12} {:>12.2} {:>14.2} {:>14.2} {:>7.1}%",
+            name,
+            model.total_maccs() as f64 / 1e9,
+            paper,
+            ours,
+            100.0 * (ours - paper) / paper
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2 — the compression techniques: structural effect of each on
+//! VGG11 (replaced structure, new structure, MACC/parameter reduction).
+
+use cadmc_compress::Technique;
+use cadmc_nn::zoo;
+
+fn main() {
+    let base = zoo::vgg11_cifar();
+    println!("Table 2: compression techniques applied to VGG11 (first applicable layer)");
+    println!(
+        "{:<22} {:<22} {:>10} {:>12} {:>12}",
+        "Technique", "Target layer", "layer idx", "MACCs", "params"
+    );
+    cadmc_bench::rule(84);
+    println!(
+        "{:<22} {:<22} {:>10} {:>11.1}M {:>11.2}M",
+        "(base)", "-", "-",
+        base.total_maccs() as f64 / 1e6,
+        base.total_params() as f64 / 1e6
+    );
+    for t in Technique::ALL {
+        let Some(idx) = (0..base.len()).find(|&i| t.applicable(&base, i)) else {
+            println!("{:<22} {:<22} {:>10}", t.to_string(), "(not applicable)", "-");
+            continue;
+        };
+        let layer = base.layers()[idx].encode();
+        let out = t.apply(&base, idx).expect("applicable");
+        println!(
+            "{:<22} {:<22} {:>10} {:>11.1}M {:>11.2}M",
+            t.to_string(),
+            layer,
+            idx,
+            out.total_maccs() as f64 / 1e6,
+            out.total_params() as f64 / 1e6
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 3 — offline training reward of the three methods across all 14
+//! paper workloads (VGG11 phone/TX2, AlexNet phone).
+
+use cadmc_core::experiments::{offline_table, train_all};
+use cadmc_core::search::SearchConfig;
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
+    let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    eprintln!("training 14 scenes ({episodes} episodes each)...");
+    let scenes = train_all(&cfg, seed);
+    let rows = offline_table(&scenes);
+
+    println!("Table 3: offline training reward");
+    println!("{:<10} {:<8} {:<22} {:>9} {:>9} {:>9}", "Model", "Device", "Environment", "Surgery", "Branch", "Tree");
+    cadmc_bench::rule(72);
+    let mut last_model = String::new();
+    let mut sums: Vec<(String, f64, f64, f64, usize)> = Vec::new();
+    for r in &rows {
+        if r.model != last_model {
+            last_model = r.model.clone();
+            sums.push((r.model.clone(), 0.0, 0.0, 0.0, 0));
+        }
+        let s = sums.last_mut().unwrap();
+        s.1 += r.surgery;
+        s.2 += r.branch;
+        s.3 += r.tree;
+        s.4 += 1;
+        println!(
+            "{:<10} {:<8} {:<22} {:>9.2} {:>9.2} {:>9.2}",
+            r.model, r.device, r.scenario, r.surgery, r.branch, r.tree
+        );
+    }
+    cadmc_bench::rule(72);
+    for (model, s, b, t, n) in sums {
+        let n = n as f64;
+        println!(
+            "{:<10} {:<8} {:<22} {:>9.2} {:>9.2} {:>9.2}",
+            model, "-", "Average", s / n, b / n, t / n
+        );
+    }
+    println!("\npaper averages (VGG11): 352.14 / 355.92 / 359.57; (AlexNet): 347.05 / 357.64 / 359.56");
+}

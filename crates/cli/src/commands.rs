@@ -1,0 +1,309 @@
+//! CLI subcommand implementations.
+
+use std::error::Error;
+
+use cadmc_core::executor::{execute, ExecConfig, Mode, Policy};
+use cadmc_core::experiments::{train_scene, Workload};
+use cadmc_core::memo::MemoPool;
+use cadmc_core::persist;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::{surgery, EvalEnv, NetworkContext};
+use cadmc_latency::{Mbps, Platform};
+use cadmc_netsim::{stats::trace_stats, Scenario};
+use cadmc_nn::{zoo, ModelSpec};
+
+use crate::args::Args;
+
+/// `cadmc help` text.
+pub const HELP: &str = "\
+cadmc — context-aware deep model compression for edge cloud computing
+
+USAGE:
+    cadmc <command> [--flag value ...]
+
+COMMANDS:
+    scenarios       list the evaluation network scenarios with statistics
+    characterize    show a context's K=2 bandwidth levels and trace stats
+                      --scenario <name> [--seed N]  (synthetic)
+                      --trace <file.csv>            (recorded time_ms,mbps)
+    train           run the offline phase and save the model tree as JSON
+                      --model <vgg11|vgg16|alexnet|mobilenet|squeezenet>
+                      --device <phone|tx2> --scenario <name> --out <file>
+                      [--episodes N] [--seed N]
+    show            print a saved model tree's structure
+                      --tree <file>
+    emulate         stream requests against a saved tree (or baselines)
+                      --tree <file> --model <name> --device <d>
+                      --scenario <name> [--requests N] [--field true]
+                      [--out report.csv]
+    plan            one-shot branch search vs surgery at a fixed bandwidth
+                      --model <name> --device <d> --bandwidth <Mbps>
+                      [--episodes N] [--seed N]
+    export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
+                      --scenario <name> --out <file> [--seed N]
+    help            this text
+
+Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
+\"4G indoor slow\", \"4G outdoor quick\", \"WiFi (weak) indoor\",
+\"WiFi (weak) outdoor\", \"WiFi outdoor slow\".
+";
+
+/// Dispatches a parsed invocation.
+///
+/// # Errors
+///
+/// Returns a human-readable error for unknown commands, bad flags or
+/// failing I/O.
+pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+    match args.command.as_str() {
+        "scenarios" => scenarios(args),
+        "characterize" => characterize(args),
+        "train" => train(args),
+        "show" => show(args),
+        "emulate" => emulate(args),
+        "plan" => plan(args),
+        "export-trace" => export_trace(args),
+        other => Err(format!("unknown command {other:?} (try `cadmc help`)").into()),
+    }
+}
+
+fn model_by_name(name: &str) -> Result<ModelSpec, Box<dyn Error>> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "vgg11" => zoo::vgg11_cifar(),
+        "vgg16" => zoo::vgg16_cifar(),
+        "alexnet" => zoo::alexnet_cifar(),
+        "mobilenet" => zoo::mobilenet_cifar(),
+        "squeezenet" => zoo::squeezenet_cifar(),
+        "tiny" => zoo::tiny_cnn(),
+        other => return Err(format!("unknown model {other:?}").into()),
+    })
+}
+
+fn device_by_name(name: &str) -> Result<Platform, Box<dyn Error>> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "phone" => Platform::Phone,
+        "tx2" => Platform::Tx2,
+        other => return Err(format!("unknown device {other:?}").into()),
+    })
+}
+
+fn scenario_by_name(name: &str) -> Result<Scenario, Box<dyn Error>> {
+    Scenario::ALL
+        .into_iter()
+        .find(|s| s.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown scenario {name:?} (see `cadmc scenarios`)").into())
+}
+
+fn scenarios(args: &Args) -> Result<(), Box<dyn Error>> {
+    let seed: u64 = args.get_or("seed", 7)?;
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "Scenario", "mean", "std", "poor", "good", "outage %"
+    );
+    for s in Scenario::ALL {
+        let trace = s.trace(seed);
+        let st = trace_stats(&trace, 1000.0);
+        let (poor, good) = trace.quartile_levels();
+        println!(
+            "{:<22} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>9.1}%",
+            s.name(),
+            st.mean,
+            st.std_dev,
+            poor,
+            good,
+            st.outage_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn characterize(args: &Args) -> Result<(), Box<dyn Error>> {
+    // Either a named synthetic scenario or a recorded CSV trace.
+    if let Some(path) = args.get("trace") {
+        let file = std::fs::File::open(path)?;
+        let trace = cadmc_netsim::io::read_csv(std::io::BufReader::new(file))?;
+        let st = trace_stats(&trace, 1000.0);
+        let (poor, good) = trace.quartile_levels();
+        println!("trace    : {path} ({} samples, {:.0} s)", trace.len(), trace.duration_ms() / 1000.0);
+        println!("levels   : poor {poor:.2} Mbps / good {good:.2} Mbps");
+        println!(
+            "stats    : mean {:.2} | std {:.2} | cv {:.2} | max 1s swing {:.2} | outage {:.1}%",
+            st.mean, st.std_dev, st.cv, st.max_window_swing, st.outage_fraction * 100.0
+        );
+        return Ok(());
+    }
+    let scenario = scenario_by_name(args.require("scenario")?)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let ctx = NetworkContext::from_scenario(scenario, 2, seed);
+    let st = trace_stats(ctx.trace(), 1000.0);
+    println!("scenario : {}", scenario.name());
+    println!("levels   : poor {:.2} Mbps / good {:.2} Mbps", ctx.levels()[0], ctx.levels()[1]);
+    println!("median   : {:.2} Mbps", ctx.median_bandwidth());
+    println!(
+        "stats    : mean {:.2} | std {:.2} | cv {:.2} | max 1s swing {:.2} | outage {:.1}%",
+        st.mean,
+        st.std_dev,
+        st.cv,
+        st.max_window_swing,
+        st.outage_fraction * 100.0
+    );
+    Ok(())
+}
+
+fn train(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = model_by_name(args.require("model")?)?;
+    let device = device_by_name(args.require("device")?)?;
+    let scenario = scenario_by_name(args.require("scenario")?)?;
+    let out = args.require("out")?;
+    let episodes: usize = args.get_or("episodes", 120)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let cfg = SearchConfig {
+        episodes,
+        seed,
+        ..SearchConfig::default()
+    };
+    let w = Workload {
+        model,
+        device,
+        scenario,
+    };
+    eprintln!("training {} ({episodes} episodes)...", w.label());
+    let scene = train_scene(&w, &cfg, seed);
+    persist::save_tree(&scene.tree.tree, out)?;
+    println!(
+        "saved model tree to {out}: {} nodes, {} branches, {:.2} MB edge storage",
+        scene.tree.tree.nodes().len(),
+        scene.tree.tree.branches().len(),
+        scene.tree.tree.edge_storage_bytes() as f64 / 1e6
+    );
+    println!(
+        "offline rewards: surgery {:.2} | branch {:.2} | tree(best branch) {:.2}",
+        scene.surgery.evaluation.reward,
+        scene.branch_reward,
+        scene.tree.best_branch_reward
+    );
+    Ok(())
+}
+
+fn show(args: &Args) -> Result<(), Box<dyn Error>> {
+    let tree = persist::load_tree(args.require("tree")?)?;
+    println!(
+        "model tree over {} — N = {} blocks, K = {} levels ({:?} Mbps)",
+        tree.base().name(),
+        tree.n_blocks(),
+        tree.k(),
+        tree.levels()
+    );
+    for (id, node) in tree.nodes().iter().enumerate() {
+        let placement = match node.partition_abs {
+            Some(0) => "offload everything".to_string(),
+            Some(abs) => format!("cut before layer {abs}"),
+            None => "stays on edge".to_string(),
+        };
+        let acts: Vec<String> = node
+            .actions
+            .iter()
+            .map(|a| format!("{}@{}", a.technique.code(), a.layer_index))
+            .collect();
+        println!(
+            "  node {id}: level {} | {placement} | actions [{}] | children {:?}",
+            node.level,
+            acts.join(","),
+            node.children
+        );
+    }
+    for (i, path) in tree.branches().iter().enumerate() {
+        let c = tree.compose_path(path);
+        println!("  branch {i}: {:?} -> {}", path, c.summary());
+    }
+    Ok(())
+}
+
+fn emulate(args: &Args) -> Result<(), Box<dyn Error>> {
+    let tree = persist::load_tree(args.require("tree")?)?;
+    let model = model_by_name(args.require("model")?)?;
+    let device = device_by_name(args.require("device")?)?;
+    let scenario = scenario_by_name(args.require("scenario")?)?;
+    let requests: usize = args.get_or("requests", 150)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let field: bool = args.get_or("field", false)?;
+    let env = EvalEnv::for_edge(device);
+    let ctx = NetworkContext::from_scenario(scenario, 2, seed);
+    let cfg = ExecConfig {
+        requests,
+        mode: if field { Mode::Field } else { Mode::Emulation },
+        seed,
+        think_time_ms: 400.0,
+    };
+    let report = execute(&env, &model, &Policy::Tree(&tree), ctx.trace(), &cfg);
+    let eval = report.evaluation(&env.reward);
+    println!(
+        "{} x{requests} requests ({}): mean {:.2} ms | p95 {:.2} ms | accuracy {:.2} % | reward {:.2}",
+        scenario.name(),
+        if field { "field" } else { "emulation" },
+        report.mean_latency_ms(),
+        report.p95_latency_ms(),
+        report.mean_accuracy() * 100.0,
+        eval.reward
+    );
+    if let Some(out) = args.get("out") {
+        let file = std::fs::File::create(out)?;
+        report.write_csv(std::io::BufWriter::new(file))?;
+        println!("wrote per-request timeline to {out}");
+    }
+    Ok(())
+}
+
+fn export_trace(args: &Args) -> Result<(), Box<dyn Error>> {
+    let scenario = scenario_by_name(args.require("scenario")?)?;
+    let out = args.require("out")?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let trace = scenario.trace(seed);
+    let file = std::fs::File::create(out)?;
+    cadmc_netsim::io::write_csv(&trace, std::io::BufWriter::new(file))?;
+    println!(
+        "wrote {} samples ({:.0} s at {:.0} ms) to {out}",
+        trace.len(),
+        trace.duration_ms() / 1000.0,
+        trace.dt_ms()
+    );
+    Ok(())
+}
+
+fn plan(args: &Args) -> Result<(), Box<dyn Error>> {
+    let model = model_by_name(args.require("model")?)?;
+    let device = device_by_name(args.require("device")?)?;
+    let bandwidth: f64 = args
+        .require("bandwidth")?
+        .parse()
+        .map_err(|_| "invalid --bandwidth")?;
+    let episodes: usize = args.get_or("episodes", 120)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let env = EvalEnv::for_edge(device);
+    let bw = Mbps(bandwidth);
+
+    let s = surgery::plan(&model, &env, bw);
+    println!(
+        "surgery : {:<44} reward {:.2} ({:.1} ms)",
+        s.candidate.summary(),
+        s.evaluation.reward,
+        s.evaluation.latency_ms
+    );
+
+    let cfg = SearchConfig {
+        episodes,
+        seed,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let outcome =
+        cadmc_core::branch::optimal_branch(&mut controllers, &model, &env, bw, &cfg, &memo);
+    println!(
+        "branch  : {:<44} reward {:.2} ({:.1} ms)",
+        outcome.best.summary(),
+        outcome.best_eval.reward,
+        outcome.best_eval.latency_ms
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! # cadmc-cli
+//!
+//! Library backing the `cadmc` command-line tool: a dependency-free flag
+//! parser ([`args`]) and the subcommand implementations ([`commands`]).
+//! The binary (`src/main.rs`) is a thin wrapper so everything here is
+//! testable in-process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,28 @@
+//! `cadmc` — command-line interface to the context-aware deep model
+//! compression engine. See `cadmc help` for usage.
+
+use std::process::ExitCode;
+
+use cadmc_cli::{args, commands};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "help" || raw[0] == "--help" {
+        print!("{}", commands::HELP);
+        return ExitCode::SUCCESS;
+    }
+    let parsed = match args::Args::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

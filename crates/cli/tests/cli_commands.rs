@@ -1,0 +1,114 @@
+//! In-process end-to-end tests of the CLI subcommands.
+
+use cadmc_cli::args::Args;
+use cadmc_cli::commands;
+
+fn run(tokens: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(tokens.iter().map(|s| s.to_string()))?;
+    commands::run(&args)
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("cadmc-cli-test-{}-{name}", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn scenarios_and_characterize_run() {
+    run(&["scenarios"]).unwrap();
+    run(&["characterize", "--scenario", "4G outdoor quick"]).unwrap();
+}
+
+#[test]
+fn unknown_command_and_bad_inputs_error() {
+    assert!(run(&["frobnicate"]).is_err());
+    assert!(run(&["characterize", "--scenario", "5G lunar"]).is_err());
+    assert!(run(&["train", "--model", "notanet", "--device", "phone", "--scenario", "4G indoor static", "--out", "/tmp/x"]).is_err());
+    assert!(run(&["emulate", "--tree", "/nonexistent.json", "--model", "vgg11", "--device", "phone", "--scenario", "4G indoor static"]).is_err());
+}
+
+#[test]
+fn train_show_emulate_pipeline() {
+    let tree_path = tmp("tree.json");
+    run(&[
+        "train",
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--episodes",
+        "10",
+        "--seed",
+        "1",
+        "--out",
+        &tree_path,
+    ])
+    .unwrap();
+    run(&["show", "--tree", &tree_path]).unwrap();
+    run(&[
+        "emulate",
+        "--tree",
+        &tree_path,
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--requests",
+        "20",
+    ])
+    .unwrap();
+    run(&[
+        "emulate",
+        "--tree",
+        &tree_path,
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--requests",
+        "20",
+        "--field",
+        "true",
+    ])
+    .unwrap();
+    let _ = std::fs::remove_file(tree_path);
+}
+
+#[test]
+fn export_and_reimport_trace() {
+    let csv_path = tmp("trace.csv");
+    run(&[
+        "export-trace",
+        "--scenario",
+        "4G indoor slow",
+        "--out",
+        &csv_path,
+    ])
+    .unwrap();
+    run(&["characterize", "--trace", &csv_path]).unwrap();
+    let _ = std::fs::remove_file(csv_path);
+}
+
+#[test]
+fn plan_runs() {
+    run(&[
+        "plan",
+        "--model",
+        "alexnet",
+        "--device",
+        "phone",
+        "--bandwidth",
+        "10",
+        "--episodes",
+        "10",
+    ])
+    .unwrap();
+}

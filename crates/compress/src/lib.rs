@@ -1,0 +1,36 @@
+//! # cadmc-compress
+//!
+//! The DNN compression substrate for the `cadmc` reproduction of
+//! *Context-Aware Deep Model Compression for Edge Cloud Computing*
+//! (ICDCS 2020): the seven techniques of the paper's Table 2 as structural
+//! model rewrites ([`Technique`]), batched per-layer assignments
+//! ([`CompressionPlan`]), and the numeric machinery behind them
+//! ([`svd`] for F1/F2, [`prune`] for W1).
+//!
+//! ## Example
+//!
+//! ```
+//! use cadmc_compress::Technique;
+//! use cadmc_nn::zoo;
+//!
+//! let base = zoo::vgg11_cifar();
+//! // MobileNet-ify the widest conv layer.
+//! let target = (0..base.len())
+//!     .filter(|&i| Technique::C1MobileNet.applicable(&base, i))
+//!     .max_by_key(|&i| base.layer_maccs(i))
+//!     .unwrap();
+//! let compressed = Technique::C1MobileNet.apply(&base, target).unwrap();
+//! assert!(compressed.total_maccs() < base.total_maccs());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod proptests;
+pub mod prune;
+pub mod svd;
+mod technique;
+
+pub use plan::CompressionPlan;
+pub use technique::{CompressError, Technique, W1_PRUNE_RATIO};

@@ -1,0 +1,201 @@
+//! Per-layer compression plans — the compression controller's action
+//! vector applied as one transaction.
+
+use serde::{Deserialize, Serialize};
+
+use cadmc_nn::ModelSpec;
+
+use crate::technique::{CompressError, Technique};
+
+/// A per-layer assignment of compression techniques for a model (the
+/// compression controller emits one action per layer; `None` means "leave
+/// the layer alone").
+///
+/// # Examples
+///
+/// ```
+/// use cadmc_compress::{CompressionPlan, Technique};
+/// use cadmc_nn::zoo;
+///
+/// let base = zoo::vgg11_cifar();
+/// let mut plan = CompressionPlan::identity(base.len());
+/// plan.set(0, Some(Technique::W1FilterPrune));
+/// let compressed = plan.apply(&base).unwrap();
+/// assert!(compressed.total_maccs() < base.total_maccs());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompressionPlan {
+    actions: Vec<Option<Technique>>,
+}
+
+impl CompressionPlan {
+    /// A plan that changes nothing, for a model with `len` layers.
+    pub fn identity(len: usize) -> Self {
+        Self {
+            actions: vec![None; len],
+        }
+    }
+
+    /// Builds a plan from explicit per-layer actions.
+    pub fn from_actions(actions: Vec<Option<Technique>>) -> Self {
+        Self { actions }
+    }
+
+    /// Number of layers covered.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the plan covers zero layers.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The action for layer `i`.
+    pub fn get(&self, i: usize) -> Option<Technique> {
+        self.actions.get(i).copied().flatten()
+    }
+
+    /// Sets the action for layer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, action: Option<Technique>) {
+        self.actions[i] = action;
+    }
+
+    /// The per-layer actions.
+    pub fn actions(&self) -> &[Option<Technique>] {
+        &self.actions
+    }
+
+    /// Whether any layer is compressed.
+    pub fn is_identity(&self) -> bool {
+        self.actions.iter().all(Option::is_none)
+    }
+
+    /// Applies all actions to `spec`.
+    ///
+    /// Actions are applied right-to-left so that layer indices recorded in
+    /// the plan remain valid as rewrites insert/remove layers. If an F3
+    /// (GAP) rewrite removes a layer that a lower-index action targeted,
+    /// that action still refers to its original (conv-side) layer because
+    /// F3 only rewrites the FC head at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompressError`] if any action is not applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan length differs from the model's layer count.
+    pub fn apply(&self, spec: &ModelSpec) -> Result<ModelSpec, CompressError> {
+        assert_eq!(
+            self.actions.len(),
+            spec.len(),
+            "plan length {} does not match model layers {}",
+            self.actions.len(),
+            spec.len()
+        );
+        let mut out = spec.clone();
+        for idx in (0..self.actions.len()).rev() {
+            if let Some(t) = self.actions[idx] {
+                out = t.apply(&out, idx)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy of the plan with inapplicable actions removed
+    /// (checked against `spec` right-to-left, mirroring [`apply`]).
+    ///
+    /// [`apply`]: CompressionPlan::apply
+    pub fn sanitized(&self, spec: &ModelSpec) -> CompressionPlan {
+        let mut actions = self.actions.clone();
+        let mut probe = spec.clone();
+        for idx in (0..actions.len()).rev() {
+            if let Some(t) = actions[idx] {
+                match t.apply(&probe, idx) {
+                    Ok(next) => probe = next,
+                    Err(_) => actions[idx] = None,
+                }
+            }
+        }
+        CompressionPlan { actions }
+    }
+
+    /// Short human-readable form like `"W1@0,C1@2"` (or `"id"`).
+    pub fn summary(&self) -> String {
+        let parts: Vec<String> = self
+            .actions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|t| format!("{}@{i}", t.code())))
+            .collect();
+        if parts.is_empty() {
+            "id".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn identity_plan_is_noop() {
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        assert!(plan.is_identity());
+        let out = plan.apply(&base).unwrap();
+        assert_eq!(out.layers(), base.layers());
+    }
+
+    #[test]
+    fn multiple_actions_apply_right_to_left() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(0, Some(Technique::W1FilterPrune));
+        plan.set(2, Some(Technique::C1MobileNet));
+        // First FC layer index:
+        let fc_idx = base
+            .layers()
+            .iter()
+            .position(|l| matches!(l, cadmc_nn::LayerSpec::Fc { .. }))
+            .unwrap();
+        plan.set(fc_idx, Some(Technique::F1Svd));
+        let out = plan.apply(&base).unwrap();
+        assert!(out.total_maccs() < base.total_maccs());
+        assert_eq!(out.output_shape(), base.output_shape());
+        assert_eq!(plan.summary(), format!("W1@0,C1@2,F1@{fc_idx}"));
+    }
+
+    #[test]
+    fn inapplicable_action_errors() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(1, Some(Technique::C1MobileNet)); // layer 1 is a pool
+        assert!(plan.apply(&base).is_err());
+    }
+
+    #[test]
+    fn sanitize_drops_bad_actions() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(0, Some(Technique::W1FilterPrune));
+        plan.set(1, Some(Technique::C1MobileNet)); // invalid
+        let clean = plan.sanitized(&base);
+        assert_eq!(clean.get(0), Some(Technique::W1FilterPrune));
+        assert_eq!(clean.get(1), None);
+        assert!(clean.apply(&base).is_ok());
+    }
+
+    #[test]
+    fn summary_of_identity() {
+        assert_eq!(CompressionPlan::identity(4).summary(), "id");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests: technique applicability/apply consistency and
+//! numeric factorization invariants over random inputs.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use cadmc_autodiff::Matrix;
+use cadmc_nn::{zoo, LayerSpec, ModelSpec, Shape};
+
+use crate::prune::{filter_l1_norms, kept_count, prune_filters, select_filters};
+use crate::svd::{low_rank_factors, relative_error, svd};
+use crate::technique::Technique;
+
+fn arb_conv_model() -> impl Strategy<Value = ModelSpec> {
+    // Random small conv stacks over a 16x16 input.
+    let channel = prop_oneof![Just(8usize), Just(16), Just(32), Just(64)];
+    proptest::collection::vec((channel, 1usize..=2), 1..5).prop_map(|convs| {
+        let mut layers = Vec::new();
+        for (c, stride) in convs {
+            layers.push(LayerSpec::conv(3, stride, 1, c));
+        }
+        layers.push(LayerSpec::GlobalAvgPool);
+        layers.push(LayerSpec::Flatten);
+        layers.push(LayerSpec::fc(10));
+        // Strides can shrink the map; 16x16 with <=4 stride-2 convs is safe.
+        ModelSpec::new("rand", Shape::new(3, 16, 16), layers).expect("valid random model")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `applicable` and `apply` agree on every (technique, layer) pair,
+    /// and successful applications preserve the model's output shape.
+    #[test]
+    fn applicable_iff_apply_succeeds(model in arb_conv_model(), t_idx in 0usize..7) {
+        let t = Technique::ALL[t_idx];
+        for i in 0..model.len() {
+            let applicable = t.applicable(&model, i);
+            let result = t.apply(&model, i);
+            prop_assert_eq!(applicable, result.is_ok(), "{} at layer {}", t, i);
+            if let Ok(out) = result {
+                prop_assert_eq!(out.output_shape(), model.output_shape());
+            }
+        }
+    }
+
+    /// Applying a technique never increases parameter count on layers it
+    /// accepts (compression compresses).
+    #[test]
+    fn apply_never_explodes_params(model in arb_conv_model(), t_idx in 0usize..7) {
+        let t = Technique::ALL[t_idx];
+        for i in 0..model.len() {
+            if let Ok(out) = t.apply(&model, i) {
+                prop_assert!(
+                    out.total_params() <= model.total_params() * 2,
+                    "{} at {} ballooned params {} -> {}",
+                    t, i, model.total_params(), out.total_params()
+                );
+            }
+        }
+    }
+
+    /// Rank-k factors reconstruct no worse than rank-(k-1) factors.
+    #[test]
+    fn svd_rank_monotonicity(seed in 0u64..300, m in 3usize..8, n in 3usize..8) {
+        let a = Matrix::seeded_xavier(m, n, seed);
+        let r = m.min(n);
+        let mut prev = f32::INFINITY;
+        for k in 1..=r {
+            let (p, q) = low_rank_factors(&a, k);
+            let err = relative_error(&a, &p.matmul(&q));
+            prop_assert!(err <= prev + 1e-4, "rank {k}: {err} > {prev}");
+            prev = err;
+        }
+        prop_assert!(prev < 1e-3, "full-rank reconstruction error {prev}");
+    }
+
+    /// Singular values are non-negative and descending for any matrix.
+    #[test]
+    fn svd_spectrum_sane(seed in 0u64..300, m in 2usize..9, n in 2usize..9) {
+        let a = Matrix::seeded_xavier(m, n, seed);
+        let dec = svd(&a);
+        prop_assert_eq!(dec.sigma.len(), m.min(n));
+        for pair in dec.sigma.windows(2) {
+            prop_assert!(pair[0] >= pair[1] - 1e-5);
+        }
+        prop_assert!(dec.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    /// Pruning keeps exactly the requested filters, in order, and the kept
+    /// set always has maximal total L1 norm.
+    #[test]
+    fn pruning_selects_maximal_norm_subset(seed in 0u64..300, out in 2usize..12) {
+        let w = Matrix::seeded_xavier(9, out, seed);
+        let norms = filter_l1_norms(&w);
+        let keep = kept_count(out, 0.25);
+        let kept = select_filters(&norms, keep);
+        prop_assert_eq!(kept.len(), keep);
+        // Sorted ascending and unique.
+        for pair in kept.windows(2) {
+            prop_assert!(pair[0] < pair[1]);
+        }
+        let kept_sum: f32 = kept.iter().map(|&i| norms[i]).sum();
+        // Any filter not kept must have norm <= every kept filter's norm
+        // would be too strict with ties; compare against the best possible
+        // subset sum instead.
+        let mut sorted = norms.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let best_sum: f32 = sorted[..keep].iter().sum();
+        prop_assert!((kept_sum - best_sum).abs() < 1e-5);
+        let pruned = prune_filters(&w, &kept);
+        prop_assert_eq!(pruned.shape(), (9, keep));
+    }
+
+    /// Every technique application on VGG11 produces a model whose encode
+    /// string differs (the memo pool relies on structural hashes).
+    #[test]
+    fn rewrites_change_structural_hash(t_idx in 0usize..7) {
+        let base = zoo::vgg11_cifar();
+        let t = Technique::ALL[t_idx];
+        for i in 0..base.len() {
+            if let Ok(out) = t.apply(&base, i) {
+                prop_assert_ne!(out.structural_hash(), base.structural_hash());
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Filter pruning on real weights — technique **W1** of Table 2.
+//!
+//! Structured pruning removes whole convolution filters (output channels)
+//! ranked by L1 norm, keeping the layer-wise structure intact, exactly as
+//! described for W1 ("insignificant filters pruned Conv layer").
+
+use cadmc_autodiff::Matrix;
+
+/// L1 norm of each filter in a conv weight matrix laid out as
+/// `(fan_in, out_channels)` — one column per filter (the layout used by the
+/// `cadmc-nn` runtime).
+pub fn filter_l1_norms(w: &Matrix) -> Vec<f32> {
+    let mut norms = vec![0.0f32; w.cols()];
+    for r in 0..w.rows() {
+        for (c, n) in norms.iter_mut().enumerate() {
+            *n += w.at(r, c).abs();
+        }
+    }
+    norms
+}
+
+/// Indices of the `keep` most significant filters (largest L1 norm),
+/// returned in ascending index order so channel order is preserved.
+///
+/// # Panics
+///
+/// Panics if `keep` is zero or exceeds the filter count.
+pub fn select_filters(norms: &[f32], keep: usize) -> Vec<usize> {
+    assert!(keep > 0, "must keep at least one filter");
+    assert!(keep <= norms.len(), "cannot keep more filters than exist");
+    let mut order: Vec<usize> = (0..norms.len()).collect();
+    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
+    let mut kept: Vec<usize> = order[..keep].to_vec();
+    kept.sort_unstable();
+    kept
+}
+
+/// Copies only the selected filter columns out of a `(fan_in, out)` weight.
+///
+/// # Panics
+///
+/// Panics if any index is out of range.
+pub fn prune_filters(w: &Matrix, kept: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(w.rows(), kept.len());
+    for (new_c, &old_c) in kept.iter().enumerate() {
+        assert!(old_c < w.cols(), "filter index out of range");
+        for r in 0..w.rows() {
+            *out.at_mut(r, new_c) = w.at(r, old_c);
+        }
+    }
+    out
+}
+
+/// Number of filters kept when pruning with `ratio` removed, never below 1.
+pub fn kept_count(out_channels: usize, ratio: f32) -> usize {
+    assert!((0.0..1.0).contains(&ratio), "prune ratio must be in [0,1)");
+    (((out_channels as f32) * (1.0 - ratio)).round() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_match_manual() {
+        let w = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[-1.0, 2.0, 0.5]]);
+        assert_eq!(filter_l1_norms(&w), vec![2.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn selects_largest_and_preserves_order() {
+        let norms = vec![2.0, 4.0, 1.0, 3.0];
+        assert_eq!(select_filters(&norms, 2), vec![1, 3]);
+        assert_eq!(select_filters(&norms, 3), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn prune_copies_columns() {
+        let w = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let pruned = prune_filters(&w, &[0, 2]);
+        assert_eq!(pruned, Matrix::from_rows(&[&[1.0, 3.0], &[4.0, 6.0]]));
+    }
+
+    #[test]
+    fn kept_count_floors_at_one() {
+        assert_eq!(kept_count(64, 0.25), 48);
+        assert_eq!(kept_count(64, 0.5), 32);
+        assert_eq!(kept_count(1, 0.9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune ratio")]
+    fn ratio_must_be_valid() {
+        let _ = kept_count(10, 1.0);
+    }
+}

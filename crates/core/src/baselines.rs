@@ -1,0 +1,251 @@
+//! Non-RL search baselines for Fig. 7: **random search** and **ε-greedy
+//! search** over the same (partition × compression) action space and the
+//! same episode budget as the RL engine. (The paper rules out exhaustive
+//! search: the space grows exponentially in depth.)
+
+use cadmc_compress::{CompressionPlan, Technique};
+use cadmc_latency::Mbps;
+use cadmc_nn::ModelSpec;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::branch::SearchOutcome;
+use crate::candidate::{Candidate, Partition};
+use crate::env::EvalEnv;
+use crate::memo::MemoPool;
+use crate::reward::Evaluation;
+
+/// Samples a uniformly random partition for `base`.
+pub fn random_partition(base: &ModelSpec, rng: &mut StdRng) -> Partition {
+    // Options: all-cloud, interior cuts, all-edge — uniform over L+1.
+    let pick = rng.random_range(0..=base.len());
+    if pick == 0 {
+        Partition::AllCloud
+    } else if pick == base.len() {
+        Partition::AllEdge
+    } else {
+        Partition::AfterLayer(pick - 1)
+    }
+}
+
+/// Samples a uniformly random applicable compression plan for the first
+/// `edge_len` layers of `base` (respecting the F3-conflict rule).
+pub fn random_plan(base: &ModelSpec, edge_len: usize, rng: &mut StdRng) -> CompressionPlan {
+    let mut plan = CompressionPlan::identity(base.len());
+    let mut f3_used = false;
+    let mut f_used = false;
+    for i in 0..edge_len {
+        let mut options: Vec<Option<Technique>> = vec![None];
+        for t in Technique::applicable_at(base, i) {
+            let conflict = match t {
+                Technique::F3Gap => f3_used || f_used,
+                Technique::F1Svd | Technique::F2Ksvd => f3_used,
+                _ => false,
+            };
+            if !conflict {
+                options.push(Some(t));
+            }
+        }
+        let pick = options[rng.random_range(0..options.len())];
+        if let Some(t) = pick {
+            plan.set(i, Some(t));
+            match t {
+                Technique::F3Gap => f3_used = true,
+                Technique::F1Svd | Technique::F2Ksvd => f_used = true,
+                _ => {}
+            }
+        }
+    }
+    plan
+}
+
+fn edge_len_of(base: &ModelSpec, p: Partition) -> usize {
+    match p {
+        Partition::AllEdge => base.len(),
+        Partition::AllCloud => 0,
+        Partition::AfterLayer(i) => i + 1,
+    }
+}
+
+fn random_candidate(base: &ModelSpec, rng: &mut StdRng) -> Candidate {
+    let partition = random_partition(base, rng);
+    let plan = random_plan(base, edge_len_of(base, partition), rng);
+    Candidate::compose(base, partition, &plan).expect("random plans are applicable")
+}
+
+fn run_search(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    episodes: usize,
+    seed: u64,
+    memo: &MemoPool,
+    mut propose: impl FnMut(&mut StdRng, Option<&Candidate>) -> Candidate,
+) -> SearchOutcome {
+    assert!(episodes > 0, "need at least one episode");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut episode_rewards = Vec::with_capacity(episodes);
+    let mut best: Option<(Candidate, Evaluation)> = None;
+    let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
+    for _ in 0..episodes {
+        let candidate = propose(&mut rng, best.as_ref().map(|(c, _)| c));
+        let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+            env.evaluate(base, &candidate, bandwidth)
+        });
+        episode_rewards.push(eval.reward);
+        let replace = match &best {
+            Some((_, be)) => eval.reward > be.reward,
+            None => true,
+        };
+        if replace {
+            improvers.push((candidate.clone(), eval));
+            best = Some((candidate, eval));
+        }
+    }
+    let (best, best_eval) = best.expect("episodes > 0");
+    SearchOutcome {
+        best,
+        best_eval,
+        episode_rewards,
+        improvers,
+    }
+}
+
+/// Pure random search: every episode samples a fresh uniform candidate.
+pub fn random_search(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    episodes: usize,
+    seed: u64,
+    memo: &MemoPool,
+) -> SearchOutcome {
+    run_search(base, env, bandwidth, episodes, seed, memo, |rng, _| {
+        random_candidate(base, rng)
+    })
+}
+
+/// ε-greedy search: with probability ε explore a uniform random candidate,
+/// otherwise locally mutate the best candidate found so far (re-randomize
+/// one layer's compression action, or nudge the partition point).
+pub fn epsilon_greedy_search(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    episodes: usize,
+    epsilon: f64,
+    seed: u64,
+    memo: &MemoPool,
+) -> SearchOutcome {
+    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+    run_search(base, env, bandwidth, episodes, seed, memo, |rng, best| {
+        match best {
+            Some(b) if rng.random_range(0.0..1.0) >= epsilon => mutate(base, b, rng),
+            _ => random_candidate(base, rng),
+        }
+    })
+}
+
+/// One local move in the (partition × compression) space.
+fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> Candidate {
+    let mut partition = current.partition;
+    // Rebuild the plan from the candidate's recorded actions.
+    let mut plan = CompressionPlan::identity(base.len());
+    for a in &current.actions {
+        plan.set(a.layer_index, Some(a.technique));
+    }
+    if rng.random_range(0.0..1.0) < 0.5 {
+        // Nudge the partition point by one layer.
+        let cur = match partition {
+            Partition::AllCloud => 0isize,
+            Partition::AfterLayer(i) => i as isize + 1,
+            Partition::AllEdge => base.len() as isize,
+        };
+        let next = (cur + if rng.random_range(0..2) == 0 { -1 } else { 1 })
+            .clamp(0, base.len() as isize);
+        partition = if next == 0 {
+            Partition::AllCloud
+        } else if next == base.len() as isize {
+            Partition::AllEdge
+        } else {
+            Partition::AfterLayer(next as usize - 1)
+        };
+    } else {
+        // Re-randomize one layer's action within the edge region.
+        let edge_len = edge_len_of(base, partition);
+        if edge_len > 0 {
+            let i = rng.random_range(0..edge_len);
+            let fresh = random_plan(base, edge_len, rng);
+            plan.set(i, fresh.get(i));
+        }
+    }
+    // Clamp the plan to the edge region and sanitize conflicts the
+    // mutation may have introduced (e.g. a second F3).
+    let edge_len = edge_len_of(base, partition);
+    for i in edge_len..base.len() {
+        plan.set(i, None);
+    }
+    let plan = plan.sanitized(base);
+    Candidate::compose(base, partition, &plan).expect("sanitized plan composes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn random_search_finds_valid_candidates() {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let memo = MemoPool::new();
+        let out = random_search(&base, &env, Mbps(10.0), 40, 1, &memo);
+        assert_eq!(out.episode_rewards.len(), 40);
+        assert!(out.best_eval.reward > 0.0);
+    }
+
+    #[test]
+    fn epsilon_greedy_is_at_least_as_good_as_its_explore_phase() {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let memo = MemoPool::new();
+        let out = epsilon_greedy_search(&base, &env, Mbps(10.0), 60, 0.3, 2, &memo);
+        let curve = out.best_so_far();
+        assert!(curve.last().unwrap() >= curve.first().unwrap());
+    }
+
+    #[test]
+    fn random_candidates_cover_the_space() {
+        let base = zoo::vgg11_cifar();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut partitions = std::collections::HashSet::new();
+        let mut any_compressed = false;
+        for _ in 0..60 {
+            let c = random_candidate(&base, &mut rng);
+            partitions.insert(format!("{}", c.partition));
+            any_compressed |= c.is_compressed();
+        }
+        assert!(partitions.len() > 5, "only {} partitions seen", partitions.len());
+        assert!(any_compressed);
+    }
+
+    #[test]
+    fn mutation_produces_valid_candidates() {
+        let base = zoo::vgg11_cifar();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut c = random_candidate(&base, &mut rng);
+        for _ in 0..50 {
+            c = mutate(&base, &c, &mut rng);
+            assert_eq!(c.model.output_shape(), base.output_shape());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let a = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new());
+        let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new());
+        assert_eq!(a.episode_rewards, b.episode_rewards);
+    }
+}

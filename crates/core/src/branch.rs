@@ -1,0 +1,228 @@
+//! **Algorithm 1 — Model Compression and Partition** (optimal *branch*
+//! search): the joint RL search for a partition point and per-layer
+//! compression plan under one constant bandwidth.
+//!
+//! Each episode: the partition controller reads `(B, W)` and cuts the base
+//! model into an edge and a cloud half; the compression controller reads
+//! the edge half and assigns a technique per layer; the composed candidate
+//! is scored by Eq. 7 and both controllers are updated by Monte-Carlo
+//! policy gradient. The best candidate over all episodes is returned.
+
+use cadmc_latency::Mbps;
+use cadmc_nn::ModelSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cadmc_compress::CompressionPlan;
+
+use crate::candidate::{Candidate, Partition};
+use crate::controller::EpisodeTape;
+use crate::env::EvalEnv;
+use crate::memo::MemoPool;
+use crate::reward::Evaluation;
+use crate::search::{to_partition, Controllers, SearchConfig};
+
+/// Outcome of a search run.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best candidate found.
+    pub best: Candidate,
+    /// Its evaluation at the search bandwidth.
+    pub best_eval: Evaluation,
+    /// Reward of each episode's sampled candidate, in order.
+    pub episode_rewards: Vec<f64>,
+    /// Every candidate that set a new best during the search (ending with
+    /// `best`). Callers re-ranking by replayed execution rather than
+    /// point reward pick among these.
+    pub improvers: Vec<(Candidate, Evaluation)>,
+}
+
+impl SearchOutcome {
+    /// Best-so-far reward curve (running maximum of episode rewards).
+    pub fn best_so_far(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.episode_rewards
+            .iter()
+            .map(|&r| {
+                best = best.max(r);
+                best
+            })
+            .collect()
+    }
+}
+
+/// Samples one (partition, compression) episode and composes the candidate.
+///
+/// Returns the tape (for the policy update) alongside the candidate.
+/// With probability `explore_epsilon` the partition is drawn uniformly
+/// (off-policy, no log-probability recorded) instead of from the policy.
+pub fn sample_candidate(
+    controllers: &Controllers,
+    base: &ModelSpec,
+    bandwidth: f64,
+    rng: &mut StdRng,
+    force_no_partition: f64,
+    explore_epsilon: f64,
+) -> (EpisodeTape, Candidate) {
+    use rand::RngExt;
+    let mut tape = EpisodeTape::new();
+    let partition = if explore_epsilon > 0.0 && rng.random_range(0.0..1.0) < explore_epsilon {
+        crate::baselines::random_partition(base, rng)
+    } else {
+        let action = controllers.partition.sample(
+            &mut tape,
+            &controllers.params,
+            base,
+            bandwidth,
+            rng,
+            force_no_partition,
+        );
+        to_partition(action, base)
+    };
+    let mut full_plan = CompressionPlan::identity(base.len());
+    let edge_len = match partition {
+        Partition::AllEdge => base.len(),
+        Partition::AllCloud => 0,
+        Partition::AfterLayer(i) => i + 1,
+    };
+    if edge_len > 0 {
+        let edge_spec = base.slice(0, edge_len).expect("valid prefix slice");
+        let edge_plan = controllers.compression.sample(
+            &mut tape,
+            &controllers.params,
+            &edge_spec,
+            bandwidth,
+            rng,
+        );
+        for (i, a) in edge_plan.actions().iter().enumerate() {
+            full_plan.set(i, *a);
+        }
+    }
+    let candidate = Candidate::compose(base, partition, &full_plan)
+        .expect("sampled plans are applicable by construction");
+    (tape, candidate)
+}
+
+/// Runs Algorithm 1: searches compression + partition for `base` under the
+/// constant bandwidth `bandwidth`, updating `controllers` in place.
+pub fn optimal_branch(
+    controllers: &mut Controllers,
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    cfg: &SearchConfig,
+    memo: &MemoPool,
+) -> SearchOutcome {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6272_616e_6368);
+    let mut episode_rewards = Vec::with_capacity(cfg.episodes);
+    let mut best: Option<(Candidate, Evaluation)> = None;
+    let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
+
+    for _episode in 0..cfg.episodes {
+        let (tape, candidate) =
+            sample_candidate(controllers, base, bandwidth.0, &mut rng, 0.0, cfg.explore_epsilon);
+        let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+            env.evaluate(base, &candidate, bandwidth)
+        });
+        episode_rewards.push(eval.reward);
+        let replace = match &best {
+            Some((_, be)) => eval.reward > be.reward,
+            None => true,
+        };
+        if replace {
+            improvers.push((candidate.clone(), eval));
+            best = Some((candidate, eval));
+        }
+        controllers
+            .trainer
+            .update_batch(&mut controllers.params, vec![(tape, eval.reward)]);
+    }
+
+    let (best, best_eval) = best.expect("at least one episode ran");
+    SearchOutcome {
+        best,
+        best_eval,
+        episode_rewards,
+        improvers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn branch_search_beats_or_matches_surgery() {
+        // The branch search space strictly contains surgery's (identity
+        // compression + any cut), so with enough episodes its best reward
+        // must be at least surgery's.
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let bw = Mbps(8.0);
+        let cfg = SearchConfig {
+            episodes: 80,
+            ..SearchConfig::quick(3)
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let outcome = optimal_branch(&mut controllers, &base, &env, bw, &cfg, &memo);
+        let surgery = crate::surgery::plan(&base, &env, bw);
+        assert!(
+            outcome.best_eval.reward >= surgery.evaluation.reward - 2.0,
+            "branch {:.2} vs surgery {:.2}",
+            outcome.best_eval.reward,
+            surgery.evaluation.reward
+        );
+    }
+
+    #[test]
+    fn rewards_are_sane() {
+        let base = zoo::alexnet_cifar();
+        let env = EvalEnv::phone();
+        let cfg = SearchConfig::quick(1);
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let outcome =
+            optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+        assert_eq!(outcome.episode_rewards.len(), cfg.episodes);
+        for &r in &outcome.episode_rewards {
+            assert!((0.0..=400.0).contains(&r));
+        }
+        let curve = outcome.best_so_far();
+        for pair in curve.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+    }
+
+    #[test]
+    fn memo_pool_gets_hits_during_search() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let cfg = SearchConfig {
+            episodes: 60,
+            ..SearchConfig::quick(2)
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let _ = optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+        assert!(
+            memo.hits() > 0,
+            "60 episodes on a 7-layer model must revisit candidates"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let cfg = SearchConfig::quick(9);
+        let run = || {
+            let mut controllers = Controllers::new(&cfg);
+            let memo = MemoPool::new();
+            optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+                .episode_rewards
+        };
+        assert_eq!(run(), run());
+    }
+}

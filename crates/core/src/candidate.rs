@@ -1,0 +1,239 @@
+//! Deployment candidates: a base DNN transformed by a partition choice and
+//! a compression plan, composed into a single deployable model.
+
+use serde::{Deserialize, Serialize};
+
+use cadmc_accuracy::AppliedAction;
+use cadmc_compress::{CompressError, CompressionPlan};
+use cadmc_nn::ModelSpec;
+
+/// Where the edge→cloud handoff happens, in *base-model* layer indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Partition {
+    /// Run the entire model on the edge device (no transfer).
+    AllEdge,
+    /// Offload everything: transfer the raw input to the cloud.
+    AllCloud,
+    /// Run base layers `[0..=i]` on the edge, the rest on the cloud,
+    /// transferring layer `i`'s output features.
+    AfterLayer(usize),
+}
+
+impl std::fmt::Display for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Partition::AllEdge => write!(f, "all-edge"),
+            Partition::AllCloud => write!(f, "all-cloud"),
+            Partition::AfterLayer(i) => write!(f, "cut@{i}"),
+        }
+    }
+}
+
+/// A fully-specified deployment: composed model, handoff point (in
+/// *composed* coordinates) and the compression actions taken (in *base*
+/// coordinates, for the accuracy oracle).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Candidate {
+    /// The composed model: compressed edge part followed by the untouched
+    /// cloud part.
+    pub model: ModelSpec,
+    /// Number of leading layers of `model` that run on the edge
+    /// (0 = all-cloud; `model.len()` = all-edge).
+    pub edge_layers: usize,
+    /// The partition choice in base coordinates.
+    pub partition: Partition,
+    /// The compression actions, in base coordinates.
+    pub actions: Vec<AppliedAction>,
+}
+
+impl Candidate {
+    /// Composes a candidate from `base`, a partition and a compression
+    /// plan (covering all of `base`'s layers; actions beyond the cut are
+    /// ignored — the paper never compresses the cloud part).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompressError`] if an action within the edge region is
+    /// not applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan length does not match `base.len()` or the cut
+    /// index is out of range.
+    pub fn compose(
+        base: &ModelSpec,
+        partition: Partition,
+        plan: &CompressionPlan,
+    ) -> Result<Candidate, CompressError> {
+        assert_eq!(plan.len(), base.len(), "plan must cover the base model");
+        let edge_len = match partition {
+            Partition::AllEdge => base.len(),
+            Partition::AllCloud => 0,
+            Partition::AfterLayer(i) => {
+                assert!(i < base.len(), "cut index out of range");
+                i + 1
+            }
+        };
+        if edge_len == 0 {
+            // Everything on the cloud: no compression happens at all.
+            return Ok(Candidate {
+                model: base.clone(),
+                edge_layers: 0,
+                partition,
+                actions: Vec::new(),
+            });
+        }
+        let edge_spec = base.slice(0, edge_len).map_err(CompressError::Shape)?;
+        // Truncating at the cut can orphan actions that were only valid in
+        // the context of (now-dropped) tail actions — e.g. a prune aimed at
+        // the 1×1 conv an F3 rewrite would have introduced. Sanitize the
+        // truncated plan so composition is total over truncations.
+        let edge_plan = CompressionPlan::from_actions(plan.actions()[..edge_len].to_vec())
+            .sanitized(&edge_spec);
+        let compressed_edge = edge_plan.apply(&edge_spec)?;
+        let actions: Vec<AppliedAction> = edge_plan.actions()
+            .iter()
+            .enumerate()
+            .filter_map(|(layer_index, t)| {
+                t.map(|technique| AppliedAction {
+                    layer_index,
+                    technique,
+                })
+            })
+            .collect();
+        let model = if edge_len == base.len() {
+            compressed_edge.clone()
+        } else {
+            let cloud = base.slice(edge_len, base.len()).map_err(CompressError::Shape)?;
+            compressed_edge.concat(&cloud).map_err(CompressError::Shape)?
+        };
+        Ok(Candidate {
+            model,
+            edge_layers: compressed_edge.len(),
+            partition,
+            actions,
+        })
+    }
+
+    /// The unmodified base model deployed fully on the edge — the paper's
+    /// reference configuration.
+    pub fn base_all_edge(base: &ModelSpec) -> Candidate {
+        Candidate {
+            model: base.clone(),
+            edge_layers: base.len(),
+            partition: Partition::AllEdge,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Bytes transferred at the handoff (0 when everything runs on the
+    /// edge; the raw input size when everything runs on the cloud).
+    pub fn transfer_bytes(&self) -> u64 {
+        if self.edge_layers == self.model.len() {
+            0
+        } else if self.edge_layers == 0 {
+            self.model.input_bytes()
+        } else {
+            self.model.cut_bytes_after(self.edge_layers - 1)
+        }
+    }
+
+    /// Whether any compression action was taken.
+    pub fn is_compressed(&self) -> bool {
+        !self.actions.is_empty()
+    }
+
+    /// Short description like `"cut@4 | C1@2,W1@0"`.
+    pub fn summary(&self) -> String {
+        let acts = if self.actions.is_empty() {
+            "id".to_string()
+        } else {
+            self.actions
+                .iter()
+                .map(|a| format!("{}@{}", a.technique.code(), a.layer_index))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        format!("{} | {acts}", self.partition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_compress::Technique;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn all_edge_identity_candidate() {
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let c = Candidate::compose(&base, Partition::AllEdge, &plan).unwrap();
+        assert_eq!(c.model.layers(), base.layers());
+        assert_eq!(c.edge_layers, base.len());
+        assert_eq!(c.transfer_bytes(), 0);
+        assert!(!c.is_compressed());
+    }
+
+    #[test]
+    fn all_cloud_transfers_input() {
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let c = Candidate::compose(&base, Partition::AllCloud, &plan).unwrap();
+        assert_eq!(c.edge_layers, 0);
+        assert_eq!(c.transfer_bytes(), base.input_bytes());
+    }
+
+    #[test]
+    fn cut_after_layer_transfers_features() {
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let c = Candidate::compose(&base, Partition::AfterLayer(1), &plan).unwrap();
+        assert_eq!(c.edge_layers, 2);
+        // After the first pool: 64 x 16 x 16 f32 features.
+        assert_eq!(c.transfer_bytes(), 64 * 16 * 16 * 4);
+    }
+
+    #[test]
+    fn compression_applies_only_to_edge_part() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(0, Some(Technique::W1FilterPrune));
+        plan.set(4, Some(Technique::C1MobileNet)); // beyond the cut
+        let c = Candidate::compose(&base, Partition::AfterLayer(2), &plan).unwrap();
+        // Only the W1 action (layer 0 < cut) is recorded.
+        assert_eq!(c.actions.len(), 1);
+        assert_eq!(c.actions[0].technique, Technique::W1FilterPrune);
+        // Cloud tail is untouched: output shape preserved.
+        assert_eq!(c.model.output_shape(), base.output_shape());
+    }
+
+    #[test]
+    fn compressed_edge_shifts_cut_index() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(2, Some(Technique::C1MobileNet)); // 1 layer -> 2 layers
+        let c = Candidate::compose(&base, Partition::AfterLayer(3), &plan).unwrap();
+        assert_eq!(c.edge_layers, 5, "edge grew by one layer");
+        assert_eq!(c.model.len(), base.len() + 1);
+    }
+
+    #[test]
+    fn all_cloud_ignores_compression() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(0, Some(Technique::W1FilterPrune));
+        let c = Candidate::compose(&base, Partition::AllCloud, &plan).unwrap();
+        assert!(c.actions.is_empty());
+        assert_eq!(c.model.layers(), base.layers());
+    }
+
+    #[test]
+    fn summary_mentions_cut_and_actions() {
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        plan.set(0, Some(Technique::W1FilterPrune));
+        let c = Candidate::compose(&base, Partition::AfterLayer(4), &plan).unwrap();
+        assert_eq!(c.summary(), "cut@4 | W1@0");
+    }
+}

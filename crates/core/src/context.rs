@@ -1,0 +1,180 @@
+//! Network contexts: a scenario, its reference trace, and the discretized
+//! bandwidth levels the model tree forks on.
+
+use cadmc_netsim::{BandwidthTrace, Scenario};
+
+use serde::{Deserialize, Serialize};
+
+/// A characterized network context.
+///
+/// The paper discretizes each real-life scene into `K` bandwidth types; for
+/// `K = 2` it uses the trace's lower and upper quartiles as the "poor" and
+/// "good" levels (§VII Setup). Levels are stored ascending.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkContext {
+    scenario: Scenario,
+    trace: BandwidthTrace,
+    levels: Vec<f64>,
+}
+
+impl NetworkContext {
+    /// Characterizes `scenario` with `k` bandwidth levels from a trace
+    /// synthesized with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn from_scenario(scenario: Scenario, k: usize, seed: u64) -> Self {
+        assert!(k > 0, "need at least one bandwidth level");
+        // Characterize over a 3-minute window: short traces can miss the
+        // outage tail entirely and make fragile all-cloud plans look safe.
+        let salt = Scenario::ALL
+            .iter()
+            .position(|&x| x == scenario)
+            .expect("scenario is in ALL") as u64;
+        let trace = cadmc_netsim::BandwidthTrace::synthesize(
+            scenario.process_config(),
+            180_000.0,
+            100.0,
+            seed ^ salt.wrapping_mul(0x9e37_79b9),
+        );
+        // k quantiles spread between the quartiles: for k = 2 exactly the
+        // paper's lower/upper quartile pair.
+        let levels = (0..k)
+            .map(|i| {
+                let q = if k == 1 {
+                    0.5
+                } else {
+                    0.25 + 0.5 * i as f64 / (k - 1) as f64
+                };
+                trace.quantile(q)
+            })
+            .collect();
+        Self {
+            scenario,
+            trace,
+            levels,
+        }
+    }
+
+    /// The scenario this context characterizes.
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The reference trace.
+    pub fn trace(&self) -> &BandwidthTrace {
+        &self.trace
+    }
+
+    /// The `K` discretized bandwidth levels, ascending (Mbps).
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// Number of bandwidth types `K`.
+    pub fn k(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The representative (median) bandwidth — what a static method like
+    /// dynamic DNN surgery conditions on.
+    pub fn median_bandwidth(&self) -> f64 {
+        self.trace.quantile(0.5)
+    }
+
+    /// Splits the context into a characterization half and a held-out
+    /// execution trace: levels/median come from the first half of the
+    /// reference trace, while the second half replays unseen conditions —
+    /// the honest evaluation protocol (no selection leakage).
+    pub fn train_test_split(&self) -> (NetworkContext, BandwidthTrace) {
+        let (train, test) = self.trace.split_at_ms(self.trace.duration_ms() / 2.0);
+        let k = self.levels.len();
+        let levels = (0..k)
+            .map(|i| {
+                let q = if k == 1 {
+                    0.5
+                } else {
+                    0.25 + 0.5 * i as f64 / (k - 1) as f64
+                };
+                train.quantile(q)
+            })
+            .collect();
+        (
+            NetworkContext {
+                scenario: self.scenario,
+                trace: train,
+                levels,
+            },
+            test,
+        )
+    }
+
+    /// Index of the level closest to a measured bandwidth — Alg. 2's
+    /// "match it to the k-th branch".
+    pub fn match_level(&self, bandwidth: f64) -> usize {
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, &l) in self.levels.iter().enumerate() {
+            let d = (bandwidth - l).abs();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k2_levels_are_quartiles() {
+        let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 1);
+        let (p, g) = ctx.trace().quartile_levels();
+        assert_eq!(ctx.levels(), &[p, g]);
+    }
+
+    #[test]
+    fn match_level_picks_nearest() {
+        let ctx = NetworkContext::from_scenario(Scenario::FourGOutdoorQuick, 2, 1);
+        let levels = ctx.levels().to_vec();
+        assert_eq!(ctx.match_level(levels[0] - 1.0), 0);
+        assert_eq!(ctx.match_level(levels[1] + 1.0), 1);
+        let mid = 0.5 * (levels[0] + levels[1]);
+        let m = ctx.match_level(mid + 0.01);
+        assert!(m == 0 || m == 1);
+    }
+
+    #[test]
+    fn levels_ascend_for_k3() {
+        let ctx = NetworkContext::from_scenario(Scenario::WifiOutdoorSlow, 3, 2);
+        assert_eq!(ctx.k(), 3);
+        for pair in ctx.levels().windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint_and_consistent() {
+        let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 4);
+        let (train_ctx, test_trace) = ctx.train_test_split();
+        assert_eq!(
+            train_ctx.trace().len() + test_trace.len(),
+            ctx.trace().len()
+        );
+        // Levels derive from the training half only.
+        let (p, g) = train_ctx.trace().quartile_levels();
+        assert_eq!(train_ctx.levels(), &[p, g]);
+        assert!(test_trace.duration_ms() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = NetworkContext::from_scenario(Scenario::FourGWeakIndoor, 2, 9);
+        let b = NetworkContext::from_scenario(Scenario::FourGWeakIndoor, 2, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Layer embeddings for the controllers.
+//!
+//! The controllers read each DNN layer as its Eq. 1 hyper-parameter tuple
+//! `(l, k, s, p, n)` (Fig. 6 shows strings like `Conv_layer,3,1,1,64`
+//! feeding the LSTMs). We embed the tuple as a one-hot layer kind plus
+//! normalized numeric features, and append the bandwidth context the
+//! controller is conditioning on.
+
+use cadmc_autodiff::Matrix;
+use cadmc_nn::{LayerSpec, ModelSpec};
+
+/// Width of a layer embedding vector.
+pub const EMBED_DIM: usize = LayerSpec::NUM_KINDS + 6;
+
+/// Embeds layer `idx` of `spec` for a controller conditioned on
+/// `bandwidth_mbps`.
+///
+/// # Panics
+///
+/// Panics if `idx` is out of range.
+pub fn embed_layer(spec: &ModelSpec, idx: usize, bandwidth_mbps: f64) -> Matrix {
+    assert!(idx < spec.len(), "layer index out of range");
+    let layer = &spec.layers()[idx];
+    let (_, k, s, p, n) = layer.hyperparams();
+    let mut v = vec![0.0f32; EMBED_DIM];
+    v[layer.kind_id()] = 1.0;
+    let base = LayerSpec::NUM_KINDS;
+    v[base] = k as f32 / 11.0;
+    v[base + 1] = s as f32 / 4.0;
+    v[base + 2] = p as f32 / 3.0;
+    v[base + 3] = ((n as f32) + 1.0).ln() / (4096.0f32).ln();
+    let maccs = spec.layer_maccs(idx) as f32;
+    v[base + 4] = (maccs + 1.0).ln() / (1e9f32).ln();
+    v[base + 5] = ((bandwidth_mbps as f32) + 1.0).ln() / (1000.0f32).ln();
+    Matrix::from_vec(1, EMBED_DIM, v)
+}
+
+/// Embeds every layer of `spec` in order.
+pub fn embed_model(spec: &ModelSpec, bandwidth_mbps: f64) -> Vec<Matrix> {
+    (0..spec.len())
+        .map(|i| embed_layer(spec, i, bandwidth_mbps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn embedding_has_fixed_width() {
+        let base = zoo::vgg11_cifar();
+        for i in 0..base.len() {
+            assert_eq!(embed_layer(&base, i, 10.0).shape(), (1, EMBED_DIM));
+        }
+    }
+
+    #[test]
+    fn kind_onehot_is_exclusive() {
+        let base = zoo::vgg11_cifar();
+        let e = embed_layer(&base, 0, 10.0);
+        let ones: usize = e.data()[..LayerSpec::NUM_KINDS]
+            .iter()
+            .filter(|&&v| v == 1.0)
+            .count();
+        assert_eq!(ones, 1);
+    }
+
+    #[test]
+    fn bandwidth_changes_embedding() {
+        let base = zoo::vgg11_cifar();
+        let a = embed_layer(&base, 0, 1.0);
+        let b = embed_layer(&base, 0, 100.0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn features_are_bounded() {
+        let base = zoo::vgg19_imagenet();
+        for i in 0..base.len() {
+            let e = embed_layer(&base, i, 500.0);
+            for &v in e.data() {
+                assert!((0.0..=1.5).contains(&v), "feature {v} out of band");
+            }
+        }
+    }
+}

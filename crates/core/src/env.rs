@@ -1,0 +1,167 @@
+//! The evaluation environment: devices, transfer model, accuracy oracle
+//! and reward — everything needed to score a [`Candidate`] at a bandwidth.
+
+use cadmc_accuracy::AccuracyOracle;
+use cadmc_latency::{DeviceProfile, Mbps, Platform, TransferModel};
+use cadmc_nn::ModelSpec;
+
+use crate::candidate::Candidate;
+use crate::reward::{Evaluation, RewardSpec};
+
+/// A complete scoring environment (Eq. 3 latency + Eq. 2 accuracy →
+/// Eq. 7 reward).
+#[derive(Debug, Clone)]
+pub struct EvalEnv {
+    /// The edge device profile.
+    pub edge: DeviceProfile,
+    /// The cloud server profile.
+    pub cloud: DeviceProfile,
+    /// The Eq. 6 transfer model.
+    pub transfer: TransferModel,
+    /// The accuracy oracle.
+    pub oracle: AccuracyOracle,
+    /// Reward normalization.
+    pub reward: RewardSpec,
+}
+
+impl EvalEnv {
+    /// Environment with the smartphone as the edge device.
+    pub fn phone() -> Self {
+        Self::for_edge(Platform::Phone)
+    }
+
+    /// Environment with the Jetson TX2 as the edge device.
+    pub fn tx2() -> Self {
+        Self::for_edge(Platform::Tx2)
+    }
+
+    /// Environment for an arbitrary edge platform.
+    pub fn for_edge(platform: Platform) -> Self {
+        Self {
+            edge: DeviceProfile::for_platform(platform),
+            cloud: DeviceProfile::cloud(),
+            transfer: TransferModel::default(),
+            oracle: AccuracyOracle::standard(),
+            reward: RewardSpec::default(),
+        }
+    }
+
+    /// End-to-end latency `T = Te + Tt + Tc` (Eq. 3) of a candidate at a
+    /// given bandwidth.
+    pub fn latency_ms(&self, candidate: &Candidate, bandwidth: Mbps) -> f64 {
+        let m = &candidate.model;
+        let cut = candidate.edge_layers;
+        let te = self.edge.range_latency_ms(m, 0, cut);
+        let tt = self
+            .transfer
+            .latency_ms(candidate.transfer_bytes(), bandwidth);
+        let tc = self.cloud.range_latency_ms(m, cut, m.len());
+        te + tt + tc
+    }
+
+    /// Full evaluation of a candidate (accuracy from the oracle over the
+    /// candidate's recorded actions on `base`).
+    pub fn evaluate(&self, base: &ModelSpec, candidate: &Candidate, bandwidth: Mbps) -> Evaluation {
+        let accuracy = self.oracle.evaluate(base, &candidate.actions);
+        let latency = self.latency_ms(candidate, bandwidth);
+        Evaluation::new(accuracy, latency, &self.reward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidate::Partition;
+    use cadmc_compress::{CompressionPlan, Technique};
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn all_edge_latency_has_no_transfer_or_cloud_term() {
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let lat = env.latency_ms(&c, Mbps(10.0));
+        let expected = env.edge.model_latency_ms(&base);
+        assert!((lat - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn good_bandwidth_makes_offloading_attractive() {
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let edge_only = env.latency_ms(&Candidate::base_all_edge(&base), Mbps(50.0));
+        // Late cut: tiny features, most compute still on edge.
+        let best_offload = (0..base.len() - 1)
+            .map(|i| {
+                let c = Candidate::compose(&base, Partition::AfterLayer(i), &plan).unwrap();
+                env.latency_ms(&c, Mbps(50.0))
+            })
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            best_offload < edge_only,
+            "at 50 Mbps some cut should beat edge-only: {best_offload:.1} vs {edge_only:.1}"
+        );
+    }
+
+    #[test]
+    fn poor_bandwidth_punishes_early_cuts() {
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let early = Candidate::compose(&base, Partition::AfterLayer(0), &plan).unwrap();
+        let edge_only = Candidate::base_all_edge(&base);
+        let bw = Mbps(1.0);
+        assert!(
+            env.latency_ms(&early, bw) > env.latency_ms(&edge_only, bw),
+            "shipping 256 KB of features over 1 Mbps must be worse than local compute"
+        );
+    }
+
+    #[test]
+    fn compression_reduces_latency_and_accuracy() {
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        for i in 0..base.len() {
+            if Technique::C1MobileNet.applicable(&base, i) {
+                plan.set(i, Some(Technique::C1MobileNet));
+            }
+        }
+        let compressed = Candidate::compose(&base, Partition::AllEdge, &plan).unwrap();
+        let plain = Candidate::base_all_edge(&base);
+        let bw = Mbps(10.0);
+        let e_comp = env.evaluate(&base, &compressed, bw);
+        let e_plain = env.evaluate(&base, &plain, bw);
+        assert!(e_comp.latency_ms < e_plain.latency_ms);
+        assert!(e_comp.accuracy < e_plain.accuracy);
+        assert!(e_plain.accuracy == 0.9201);
+    }
+
+    #[test]
+    fn reward_tradeoff_is_nontrivial() {
+        // The reward's 300/100 weighting means moderate compression should
+        // often *raise* reward despite the accuracy loss — otherwise the
+        // search problem would be degenerate.
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let mut plan = CompressionPlan::identity(base.len());
+        // Compress the two widest convs.
+        let mut by_cost: Vec<usize> = (0..base.len())
+            .filter(|&i| Technique::C1MobileNet.applicable(&base, i))
+            .collect();
+        by_cost.sort_by_key(|&i| std::cmp::Reverse(base.layer_maccs(i)));
+        for &i in by_cost.iter().take(2) {
+            plan.set(i, Some(Technique::C1MobileNet));
+        }
+        let compressed = Candidate::compose(&base, Partition::AllEdge, &plan).unwrap();
+        let plain = Candidate::base_all_edge(&base);
+        let bw = Mbps(3.0);
+        let r_comp = env.evaluate(&base, &compressed, bw).reward;
+        let r_plain = env.evaluate(&base, &plain, bw).reward;
+        assert!(
+            r_comp > r_plain,
+            "moderate compression should pay off: {r_comp:.2} vs {r_plain:.2}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Context-mismatch robustness — an extension experiment.
+//!
+//! The paper trains and evaluates within the same scenario. A natural
+//! deployment question it leaves open: what happens when the context
+//! characterization is *wrong* — the device trained for scene A but finds
+//! itself in scene B? This experiment trains a tree per source scenario
+//! and executes it against every target scenario, producing a reward
+//! matrix whose diagonal is the matched case.
+
+use cadmc_latency::Platform;
+use cadmc_netsim::Scenario;
+use cadmc_nn::ModelSpec;
+
+use crate::executor::{execute, ExecConfig, Mode, Policy};
+use crate::search::SearchConfig;
+
+use super::{train_scene, TrainedScene, Workload};
+
+/// The reward matrix of a mismatch study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MismatchMatrix {
+    /// Scenario labels, in order (rows = trained-on, columns = executed-on).
+    pub scenarios: Vec<&'static str>,
+    /// `rewards[i][j]` = executed reward of the tree trained on scenario
+    /// `i` when run in scenario `j`.
+    pub rewards: Vec<Vec<f64>>,
+}
+
+impl MismatchMatrix {
+    /// Mean advantage of the matched (diagonal) deployment over mismatched
+    /// deployments executed in the same target column.
+    pub fn mean_diagonal_advantage(&self) -> f64 {
+        let n = self.scenarios.len();
+        let mut total = 0.0;
+        let mut count = 0;
+        for j in 0..n {
+            for i in 0..n {
+                if i != j {
+                    total += self.rewards[j][j] - self.rewards[i][j];
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+}
+
+/// Trains a tree per scenario in `scenarios` and cross-executes, streaming
+/// `requests` per cell on each target's held-out trace.
+pub fn mismatch_matrix(
+    base: &ModelSpec,
+    device: Platform,
+    scenarios: &[Scenario],
+    cfg: &SearchConfig,
+    requests: usize,
+    seed: u64,
+) -> MismatchMatrix {
+    let scenes: Vec<TrainedScene> = scenarios
+        .iter()
+        .map(|&scenario| {
+            train_scene(
+                &Workload {
+                    model: base.clone(),
+                    device,
+                    scenario,
+                },
+                cfg,
+                seed,
+            )
+        })
+        .collect();
+    let exec = ExecConfig {
+        requests,
+        mode: Mode::Emulation,
+        seed,
+        think_time_ms: 400.0,
+    };
+    let rewards = scenes
+        .iter()
+        .map(|trained| {
+            scenes
+                .iter()
+                .map(|target| {
+                    let report = execute(
+                        &trained.env,
+                        base,
+                        &Policy::Tree(&trained.tree.tree),
+                        &target.test_trace,
+                        &exec,
+                    );
+                    report.evaluation(&trained.env.reward).reward
+                })
+                .collect()
+        })
+        .collect();
+    MismatchMatrix {
+        scenarios: scenarios.iter().map(|s| s.name()).collect(),
+        rewards,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn matrix_is_square_and_bounded() {
+        let cfg = SearchConfig {
+            episodes: 20,
+            ..SearchConfig::quick(1)
+        };
+        let m = mismatch_matrix(
+            &zoo::alexnet_cifar(),
+            Platform::Phone,
+            &[Scenario::FourGIndoorStatic, Scenario::WifiWeakIndoor],
+            &cfg,
+            40,
+            1,
+        );
+        assert_eq!(m.scenarios.len(), 2);
+        assert_eq!(m.rewards.len(), 2);
+        for row in &m.rewards {
+            assert_eq!(row.len(), 2);
+            for &r in row {
+                assert!((0.0..=400.0).contains(&r));
+            }
+        }
+        // The diagonal advantage is finite (sign depends on scenes).
+        assert!(m.mean_diagonal_advantage().is_finite());
+    }
+}

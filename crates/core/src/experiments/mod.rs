@@ -1,0 +1,280 @@
+//! Experiment harnesses reproducing the paper's evaluation (§VII):
+//! Table 3 (offline training reward), Table 4 (emulation), Table 5 (field
+//! test), Fig. 7 (search-method comparison) and Fig. 8 (strategy
+//! illustration). The `cadmc-bench` binaries print these results in the
+//! paper's table layouts.
+
+mod emulation;
+mod fig7;
+mod fig8;
+mod mismatch;
+mod offline;
+mod report;
+mod sweep;
+
+pub use emulation::{averages, emulation_table, ExecutedRow};
+pub use fig7::{search_comparison, SearchComparison};
+pub use fig8::{strategy_illustration, StrategyIllustration};
+pub use mismatch::{mismatch_matrix, MismatchMatrix};
+pub use offline::{offline_table, OfflineRow};
+pub use report::{executed_markdown, mismatch_markdown, offline_markdown, sweep_markdown};
+pub use sweep::{nk_sweep, SweepPoint};
+
+use cadmc_latency::{Mbps, Platform};
+use cadmc_netsim::Scenario;
+use cadmc_nn::{zoo, ModelSpec};
+
+use crate::branch::{optimal_branch, SearchOutcome};
+use crate::candidate::Candidate;
+use crate::context::NetworkContext;
+use crate::env::EvalEnv;
+use crate::executor::Mode;
+use crate::memo::MemoPool;
+use crate::search::{Controllers, SearchConfig};
+use crate::surgery;
+use crate::tree_search::{tree_search, TreeSearchResult};
+
+/// The paper's number of blocks `N`.
+pub const N_BLOCKS: usize = 3;
+
+/// The paper's number of bandwidth types `K`.
+pub const K_LEVELS: usize = 2;
+
+/// One evaluation row: a base model on a device in a network scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The base DNN.
+    pub model: ModelSpec,
+    /// The edge device.
+    pub device: Platform,
+    /// The network context.
+    pub scenario: Scenario,
+}
+
+impl Workload {
+    /// Display label like `"VGG11 / Phone / 4G (weak) indoor"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{} / {} / {}",
+            self.model.name(),
+            self.device.name(),
+            self.scenario.name()
+        )
+    }
+}
+
+/// The 14 workload rows of the paper's Tables 3–5: VGG11 on the phone in
+/// 7 scenes, VGG11 on the TX2 in 3 scenes, AlexNet on the phone in 4
+/// scenes.
+pub fn paper_workloads() -> Vec<Workload> {
+    let mut rows = Vec::new();
+    for s in Scenario::ALL {
+        rows.push(Workload {
+            model: zoo::vgg11_cifar(),
+            device: Platform::Phone,
+            scenario: s,
+        });
+    }
+    for s in [
+        Scenario::FourGWeakIndoor,
+        Scenario::FourGIndoorStatic,
+        Scenario::WifiWeakIndoor,
+    ] {
+        rows.push(Workload {
+            model: zoo::vgg11_cifar(),
+            device: Platform::Tx2,
+            scenario: s,
+        });
+    }
+    for s in [
+        Scenario::FourGIndoorStatic,
+        Scenario::WifiWeakIndoor,
+        Scenario::WifiWeakOutdoor,
+        Scenario::WifiOutdoorSlow,
+    ] {
+        rows.push(Workload {
+            model: zoo::alexnet_cifar(),
+            device: Platform::Phone,
+            scenario: s,
+        });
+    }
+    rows
+}
+
+/// A fully trained scene: everything the offline phase produces for one
+/// workload, ready for emulation / field execution.
+#[derive(Debug)]
+pub struct TrainedScene {
+    /// The workload this scene was trained for.
+    pub workload: Workload,
+    /// The characterized network context (trace + K levels).
+    pub ctx: NetworkContext,
+    /// The evaluation environment.
+    pub env: EvalEnv,
+    /// The dynamic-DNN-surgery deployment (min-cut at the median
+    /// bandwidth, no compression).
+    pub surgery: surgery::SurgeryResult,
+    /// The Alg. 1 optimal-branch deployment (searched at the median
+    /// bandwidth; never worse than surgery since surgery's configuration
+    /// lies inside the branch search space and seeds the tracker).
+    pub branch: Candidate,
+    /// Reward of the branch deployment at the median bandwidth.
+    pub branch_reward: f64,
+    /// The Alg. 1 search trace.
+    pub branch_outcome: SearchOutcome,
+    /// The Alg. 3 context-aware model tree (boosted).
+    pub tree: TreeSearchResult,
+    /// A held-out trace of the same scenario (fresh realization, distinct
+    /// seed) used by the emulation/field tables — the offline phase never
+    /// sees it, so executed results measure generalization to unseen
+    /// conditions rather than selection fit.
+    pub test_trace: cadmc_netsim::BandwidthTrace,
+}
+
+/// Runs the full offline phase for one workload: characterize the context,
+/// plan surgery, run Alg. 1 at the median bandwidth, then Alg. 3 with
+/// boosting across the K levels.
+pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> TrainedScene {
+    let env = EvalEnv::for_edge(workload.device);
+    let ctx = NetworkContext::from_scenario(workload.scenario, K_LEVELS, seed);
+    let memo = MemoPool::new();
+    let median = Mbps(ctx.median_bandwidth());
+
+    let surgery = surgery::plan(&workload.model, &env, median);
+
+    let mut controllers = Controllers::new(cfg);
+    let branch_outcome = optimal_branch(
+        &mut controllers,
+        &workload.model,
+        &env,
+        median,
+        cfg,
+        &memo,
+    );
+    // The branch method is static but trained offline with the scene trace
+    // available; pick between the RL result and the surgery point (which
+    // lies inside the branch space) by *executed* reward on that trace —
+    // point rewards at the median systematically overvalue plans whose
+    // transfers collapse during fluctuation.
+    let exec_cfg = crate::executor::ExecConfig::emulation(300, cfg.seed);
+    let executed = |c: &Candidate| {
+        crate::executor::execute(
+            &env,
+            &workload.model,
+            &crate::executor::Policy::Static(c),
+            ctx.trace(),
+            &exec_cfg,
+        )
+        .evaluation(&env.reward)
+        .reward
+    };
+    let all_edge = Candidate::base_all_edge(&workload.model);
+    let mut pool: Vec<&Candidate> = vec![&surgery.candidate, &all_edge];
+    // Consider the last few improvers (the strongest by point reward).
+    let tail = branch_outcome.improvers.len().saturating_sub(5);
+    pool.extend(branch_outcome.improvers[tail..].iter().map(|(c, _)| c));
+    let branch = pool
+        .into_iter()
+        .max_by(|a, b| {
+            executed(a)
+                .partial_cmp(&executed(b))
+                .expect("rewards are finite")
+        })
+        .expect("pool contains surgery")
+        .clone();
+    // Table 3 reports the best *planned* reward the offline search
+    // attained (the surgery point is inside the branch space).
+    let branch_reward = branch_outcome
+        .best_eval
+        .reward
+        .max(surgery.evaluation.reward);
+
+    let mut tree = tree_search(
+        &mut controllers,
+        &workload.model,
+        &env,
+        ctx.levels(),
+        N_BLOCKS,
+        cfg,
+        &memo,
+        true,
+        Some(ctx.trace()),
+    );
+
+    // A rigid tree deploying the median-bandwidth branch is always a
+    // valid model tree; keep it if it executes better than the searched
+    // one (the searched tree should normally win through adaptation).
+    let rigid = crate::tree_search::rigid_tree(
+        &workload.model,
+        &env,
+        ctx.levels(),
+        N_BLOCKS,
+        &branch,
+        &memo,
+    );
+    let exec_cfg = crate::executor::ExecConfig::emulation(300, cfg.seed);
+    let run = |t: &crate::tree::ModelTree| {
+        crate::executor::execute(
+            &env,
+            &workload.model,
+            &crate::executor::Policy::Tree(t),
+            ctx.trace(),
+            &exec_cfg,
+        )
+        .evaluation(&env.reward)
+        .reward
+    };
+    if run(&rigid) > run(&tree.tree) {
+        tree.tree = rigid;
+    }
+
+    let test_trace = workload.scenario.trace(seed ^ 0x5eed_cafe);
+    TrainedScene {
+        workload: workload.clone(),
+        ctx,
+        env,
+        surgery,
+        branch,
+        branch_reward,
+        branch_outcome,
+        tree,
+        test_trace,
+    }
+}
+
+/// Trains every paper workload with a shared configuration.
+pub fn train_all(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
+    train_all_parallel(cfg, seed)
+}
+
+/// Trains the paper workloads concurrently (scenes are independent; each
+/// gets its own controllers and memo pool). Results come back in workload
+/// order and are bit-identical to sequential training.
+pub fn train_all_parallel(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
+    let workloads = paper_workloads();
+    let mut out: Vec<Option<TrainedScene>> = Vec::new();
+    out.resize_with(workloads.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in &workloads {
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || train_scene(w, &cfg, seed)));
+        }
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("training thread panicked"));
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("all slots filled"))
+        .collect()
+}
+
+/// Execution fidelity for [`emulation_table`].
+pub fn table4_mode() -> Mode {
+    Mode::Emulation
+}
+
+/// Execution fidelity for the field-test table.
+pub fn table5_mode() -> Mode {
+    Mode::Field
+}

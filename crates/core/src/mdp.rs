@@ -1,0 +1,240 @@
+//! The Markov Decision Process formalization of model transformation
+//! (§V-A).
+//!
+//! The paper models the search as an MDP `M = (S, A, P, r, γ)`:
+//!
+//! * **State** — the DNN with its current partition/compression
+//!   configuration, encoded as the sequence of Eq. 1 layer strings;
+//! * **Action** — either a *partition* (split the model between edge and
+//!   cloud) or a *compression* (rewrite one layer with a Table 2
+//!   technique);
+//! * **Transition** — deterministic: every action maps one state to
+//!   exactly one next state;
+//! * **Reward** — only terminal states are rewarded (Eq. 7), and
+//!   `γ = 1` so every step of an episode shares the terminal reward.
+//!
+//! The search code in [`crate::branch`] / [`crate::tree_search`] operates
+//! directly on controllers for efficiency; this module provides the
+//! faithful explicit formulation, used by tests and by anyone wanting to
+//! plug in a different search strategy.
+
+use cadmc_compress::{CompressError, Technique};
+use cadmc_nn::ModelSpec;
+
+use crate::candidate::Partition;
+
+/// An MDP state: the (possibly already transformed) model plus its
+/// placement configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct State {
+    /// The current model structure.
+    pub model: ModelSpec,
+    /// The partition decision, once taken.
+    pub partition: Option<Partition>,
+}
+
+impl State {
+    /// The initial state: an unpartitioned, uncompressed base model.
+    pub fn initial(base: ModelSpec) -> Self {
+        Self {
+            model: base,
+            partition: None,
+        }
+    }
+
+    /// The paper's string encoding of the state (Eq. 1 per layer).
+    pub fn encode(&self) -> String {
+        let placement = match self.partition {
+            None => "unplaced".to_string(),
+            Some(p) => p.to_string(),
+        };
+        format!("{} [{placement}]", self.model.encode())
+    }
+
+    /// Whether both decision stages are complete (partition taken).
+    pub fn is_terminal(&self) -> bool {
+        self.partition.is_some()
+    }
+}
+
+/// An MDP action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Fix the edge/cloud split.
+    Partition(Partition),
+    /// Rewrite layer `layer` with `technique`.
+    Compress {
+        /// Target layer index in the current state's model.
+        layer: usize,
+        /// The Table 2 technique to apply.
+        technique: Technique,
+    },
+}
+
+/// Errors from applying an action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransitionError {
+    /// The compression rewrite failed.
+    Compress(CompressError),
+    /// A second partition was attempted.
+    AlreadyPartitioned,
+    /// Compression was attempted at or beyond the cut (the paper never
+    /// compresses the cloud part).
+    BeyondCut {
+        /// The offending layer.
+        layer: usize,
+    },
+}
+
+impl std::fmt::Display for TransitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransitionError::Compress(e) => write!(f, "compression failed: {e}"),
+            TransitionError::AlreadyPartitioned => write!(f, "state is already partitioned"),
+            TransitionError::BeyondCut { layer } => {
+                write!(f, "layer {layer} lies in the cloud part and cannot be compressed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransitionError {}
+
+impl From<CompressError> for TransitionError {
+    fn from(e: CompressError) -> Self {
+        TransitionError::Compress(e)
+    }
+}
+
+/// The deterministic transition function `P(s, a) → s'`.
+///
+/// # Errors
+///
+/// Returns a [`TransitionError`] when the action is invalid in `state`;
+/// valid actions always succeed (the transition probability is 1, per
+/// §V-A "all the probabilities are deterministic").
+pub fn transition(state: &State, action: Action) -> Result<State, TransitionError> {
+    match action {
+        Action::Partition(p) => {
+            if state.partition.is_some() {
+                return Err(TransitionError::AlreadyPartitioned);
+            }
+            Ok(State {
+                model: state.model.clone(),
+                partition: Some(p),
+            })
+        }
+        Action::Compress { layer, technique } => {
+            if let Some(p) = state.partition {
+                let edge_len = match p {
+                    Partition::AllEdge => state.model.len(),
+                    Partition::AllCloud => 0,
+                    Partition::AfterLayer(i) => i + 1,
+                };
+                if layer >= edge_len {
+                    return Err(TransitionError::BeyondCut { layer });
+                }
+            }
+            let model = technique.apply(&state.model, layer)?;
+            Ok(State {
+                model,
+                partition: state.partition,
+            })
+        }
+    }
+}
+
+/// Enumerates the valid actions in `state` — the (large) action space the
+/// controllers sample from.
+pub fn valid_actions(state: &State) -> Vec<Action> {
+    let mut out = Vec::new();
+    if state.partition.is_none() {
+        out.push(Action::Partition(Partition::AllCloud));
+        out.extend((0..state.model.len() - 1).map(|i| Action::Partition(Partition::AfterLayer(i))));
+        out.push(Action::Partition(Partition::AllEdge));
+    }
+    let edge_len = match state.partition {
+        None | Some(Partition::AllEdge) => state.model.len(),
+        Some(Partition::AllCloud) => 0,
+        Some(Partition::AfterLayer(i)) => i + 1,
+    };
+    for layer in 0..edge_len {
+        for technique in Technique::applicable_at(&state.model, layer) {
+            out.push(Action::Compress { layer, technique });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn transitions_are_deterministic() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let a = Action::Compress {
+            layer: 2,
+            technique: Technique::C1MobileNet,
+        };
+        assert_eq!(transition(&s, a).unwrap(), transition(&s, a).unwrap());
+    }
+
+    #[test]
+    fn double_partition_rejected() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let s2 = transition(&s, Action::Partition(Partition::AllEdge)).unwrap();
+        assert!(s2.is_terminal());
+        assert_eq!(
+            transition(&s2, Action::Partition(Partition::AllCloud)),
+            Err(TransitionError::AlreadyPartitioned)
+        );
+    }
+
+    #[test]
+    fn compression_beyond_cut_rejected() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let s2 = transition(&s, Action::Partition(Partition::AfterLayer(1))).unwrap();
+        let err = transition(
+            &s2,
+            Action::Compress {
+                layer: 5,
+                technique: Technique::C1MobileNet,
+            },
+        );
+        assert_eq!(err, Err(TransitionError::BeyondCut { layer: 5 }));
+    }
+
+    #[test]
+    fn valid_actions_shrink_after_partition() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let before = valid_actions(&s).len();
+        let s2 = transition(&s, Action::Partition(Partition::AfterLayer(2))).unwrap();
+        let after = valid_actions(&s2).len();
+        assert!(after < before);
+        // All remaining actions are edge-side compressions.
+        for a in valid_actions(&s2) {
+            match a {
+                Action::Compress { layer, .. } => assert!(layer <= 2),
+                Action::Partition(_) => panic!("partition already taken"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_includes_placement() {
+        let s = State::initial(zoo::tiny_cnn());
+        assert!(s.encode().contains("unplaced"));
+        let s2 = transition(&s, Action::Partition(Partition::AllCloud)).unwrap();
+        assert!(s2.encode().contains("all-cloud"));
+    }
+
+    #[test]
+    fn every_valid_action_transitions_successfully() {
+        let s = State::initial(zoo::tiny_cnn());
+        for a in valid_actions(&s) {
+            transition(&s, a).unwrap_or_else(|e| panic!("action {a:?} failed: {e}"));
+        }
+    }
+}

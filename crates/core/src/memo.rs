@@ -1,0 +1,156 @@
+//! Candidate-evaluation memoization — the paper's "memory pool storing the
+//! hash code of searched models to avoid redundant computations" (§VII-A,
+//! Training time).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use parking_lot::Mutex;
+
+use crate::candidate::Candidate;
+use crate::reward::Evaluation;
+
+/// Thread-safe evaluation cache keyed by (model structure, cut, quantized
+/// bandwidth).
+#[derive(Debug, Default)]
+pub struct MemoPool {
+    map: Mutex<HashMap<u64, Evaluation>>,
+    hits: std::sync::atomic::AtomicUsize,
+    misses: std::sync::atomic::AtomicUsize,
+}
+
+impl MemoPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache key for a candidate at a bandwidth (bandwidth quantized to
+    /// 0.01 Mbps so replayed levels hit the same entry).
+    pub fn key(candidate: &Candidate, bandwidth_mbps: f64) -> u64 {
+        let mut h = DefaultHasher::new();
+        candidate.model.structural_hash().hash(&mut h);
+        candidate.edge_layers.hash(&mut h);
+        ((bandwidth_mbps * 100.0).round() as i64).hash(&mut h);
+        h.finish()
+    }
+
+    /// Returns the cached evaluation or computes and stores it.
+    pub fn get_or_insert_with(
+        &self,
+        candidate: &Candidate,
+        bandwidth_mbps: f64,
+        compute: impl FnOnce() -> Evaluation,
+    ) -> Evaluation {
+        let key = Self::key(candidate, bandwidth_mbps);
+        {
+            let map = self.map.lock();
+            if let Some(&e) = map.get(&key) {
+                self.hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return e;
+            }
+        }
+        let e = compute();
+        self.misses
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.map.lock().insert(key, e);
+        e
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::RewardSpec;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn second_lookup_hits() {
+        let pool = MemoPool::new();
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        let mut computed = 0;
+        for _ in 0..3 {
+            let e = pool.get_or_insert_with(&c, 10.0, || {
+                computed += 1;
+                Evaluation::new(0.9, 50.0, &spec)
+            });
+            assert_eq!(e.accuracy, 0.9);
+        }
+        assert_eq!(computed, 1);
+        assert_eq!(pool.hits(), 2);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        // The pool is shared across search workers (`parking_lot::Mutex`):
+        // hammer it from several threads and check every thread saw the
+        // same evaluation and the entry was computed at most a few times
+        // (the get/compute/insert window allows benign duplicate compute).
+        let pool = std::sync::Arc::new(MemoPool::new());
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        let computed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            let c = c.clone();
+            let computed = computed.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rewards = Vec::new();
+                for _ in 0..200 {
+                    let e = pool.get_or_insert_with(&c, 10.0, || {
+                        computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        Evaluation::new(0.9, 50.0, &RewardSpec::default())
+                    });
+                    rewards.push(e.reward);
+                }
+                rewards
+            }));
+        }
+        let expected = spec.reward(0.9, 50.0);
+        for h in handles {
+            for r in h.join().expect("thread ok") {
+                assert_eq!(r, expected);
+            }
+        }
+        assert!(
+            computed.load(std::sync::atomic::Ordering::Relaxed) <= 8,
+            "entry recomputed more than once per thread"
+        );
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn different_bandwidths_are_different_keys() {
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        assert_ne!(MemoPool::key(&c, 1.0), MemoPool::key(&c, 2.0));
+        assert_eq!(MemoPool::key(&c, 1.0), MemoPool::key(&c, 1.001));
+    }
+}

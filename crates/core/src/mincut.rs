@@ -1,0 +1,214 @@
+//! Max-flow / min-cut (Dinic's algorithm) over small graphs.
+//!
+//! The dynamic-DNN-surgery baseline (Hu et al., INFOCOM'19 — the paper's
+//! primary comparison) finds the optimal partition of a DNN DAG by turning
+//! placement into a minimum s-t cut problem. This module provides the
+//! max-flow machinery; [`crate::surgery`] builds the placement graph.
+
+/// A directed flow network with `f64` capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    n: usize,
+    // Edge list: forward edges at even indices, residuals at odd.
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    adj: Vec<Vec<usize>>,
+}
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds a directed edge `u → v` with capacity `cap` (and a zero-capacity
+    /// residual).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range nodes or negative capacity.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
+        assert!(u < self.n && v < self.n, "edge endpoint out of range");
+        assert!(cap >= 0.0, "capacity must be non-negative");
+        self.adj[u].push(self.to.len());
+        self.to.push(v);
+        self.cap.push(cap);
+        self.adj[v].push(self.to.len());
+        self.to.push(u);
+        self.cap.push(0.0);
+    }
+
+    fn bfs_levels(&self, s: usize, t: usize) -> Option<Vec<i32>> {
+        let mut level = vec![-1i32; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        level[s] = 0;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > 1e-12 && level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if level[t] >= 0 {
+            Some(level)
+        } else {
+            None
+        }
+    }
+
+    fn dfs_push(
+        &mut self,
+        u: usize,
+        t: usize,
+        pushed: f64,
+        level: &[i32],
+        iter: &mut [usize],
+    ) -> f64 {
+        if u == t {
+            return pushed;
+        }
+        while iter[u] < self.adj[u].len() {
+            let e = self.adj[u][iter[u]];
+            let v = self.to[e];
+            if self.cap[e] > 1e-12 && level[v] == level[u] + 1 {
+                let d = self.dfs_push(v, t, pushed.min(self.cap[e]), level, iter);
+                if d > 1e-12 {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+
+    /// Computes the maximum flow from `s` to `t` (equal to the minimum cut
+    /// value by max-flow/min-cut duality). Consumes capacities in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either node is out of range.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        assert!(s < self.n && t < self.n && s != t, "bad source/sink");
+        let mut flow = 0.0;
+        while let Some(level) = self.bfs_levels(s, t) {
+            let mut iter = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs_push(s, t, f64::INFINITY, &level, &mut iter);
+                if pushed <= 1e-12 {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+        flow
+    }
+
+    /// After [`max_flow`], returns which nodes lie on the source side of
+    /// the minimum cut (reachable in the residual network).
+    ///
+    /// [`max_flow`]: FlowNetwork::max_flow
+    pub fn source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[s] = true;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > 1e-12 && !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_edge_flow() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 5.0);
+        assert_eq!(g.max_flow(0, 1), 5.0);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths of capacities min(3,2)=2 and min(2,3)=2.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(1, 3, 2.0);
+        g.add_edge(0, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        assert_eq!(g.max_flow(0, 3), 4.0);
+    }
+
+    #[test]
+    fn bottleneck_respected() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 1.5);
+        g.add_edge(2, 3, 10.0);
+        assert!((g.max_flow(0, 3) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_side_is_consistent() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 10.0);
+        let _ = g.max_flow(0, 3);
+        let side = g.source_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn disconnected_sink_has_zero_flow() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 4.0);
+        assert_eq!(g.max_flow(0, 2), 0.0);
+        let side = g.source_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    fn flow_with_crossing_paths() {
+        // The classic example needing a residual push-back.
+        let mut g = FlowNetwork::new(6);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(0, 2, 10.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(1, 3, 4.0);
+        g.add_edge(2, 4, 9.0);
+        g.add_edge(3, 5, 10.0);
+        g.add_edge(4, 3, 6.0);
+        g.add_edge(4, 5, 10.0);
+        // Flow into the sink is f(1→3) + f(2→4) ≤ 4 + 9.
+        assert_eq!(g.max_flow(0, 5), 13.0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Persistence of offline-phase artifacts.
+//!
+//! The paper's workflow trains model trees offline and ships them to the
+//! device for the online phase (Fig. 2); this module provides the
+//! serialization boundary: JSON save/load for [`ModelTree`]s and
+//! [`Candidate`]s, so a deployment can be produced on a workstation and
+//! loaded by an edge runtime.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::candidate::Candidate;
+use crate::tree::ModelTree;
+
+/// Errors from saving/loading artifacts.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialization failure.
+    Serde(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Serde(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Serde(e)
+    }
+}
+
+/// Saves a model tree as pretty-printed JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_tree(tree: &ModelTree, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(tree)?;
+    let mut f = fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Loads a model tree saved by [`save_tree`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or deserialization failure.
+pub fn load_tree(path: impl AsRef<Path>) -> Result<ModelTree, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+/// Saves a candidate deployment as JSON.
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_candidate(candidate: &Candidate, path: impl AsRef<Path>) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(candidate)?;
+    let mut f = fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Loads a candidate saved by [`save_candidate`].
+///
+/// # Errors
+///
+/// Returns [`PersistError`] on filesystem or deserialization failure.
+pub fn load_candidate(path: impl AsRef<Path>) -> Result<Candidate, PersistError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memo::MemoPool;
+    use crate::search::{Controllers, SearchConfig};
+    use crate::tree_search::tree_search;
+    use crate::EvalEnv;
+    use cadmc_nn::zoo;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("cadmc-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn tree_roundtrips_through_disk() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let cfg = SearchConfig {
+            episodes: 10,
+            ..SearchConfig::quick(1)
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let result = tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            &[2.0, 10.0],
+            3,
+            &cfg,
+            &memo,
+            false,
+            None,
+        );
+        let path = tmp("tree.json");
+        save_tree(&result.tree, &path).unwrap();
+        let loaded = load_tree(&path).unwrap();
+        assert_eq!(loaded, result.tree);
+        // The loaded tree composes exactly like the original.
+        let (p1, c1) = result.tree.compose(|_| 5.0);
+        let (p2, c2) = loaded.compose(|_| 5.0);
+        assert_eq!(p1, p2);
+        assert_eq!(c1, c2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn candidate_roundtrips_through_disk() {
+        let base = zoo::vgg11_cifar();
+        let c = crate::Candidate::base_all_edge(&base);
+        let path = tmp("candidate.json");
+        save_candidate(&c, &path).unwrap();
+        let loaded = load_candidate(&path).unwrap();
+        assert_eq!(loaded, c);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_tree("/nonexistent/cadmc/tree.json").unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_serde_error() {
+        let path = tmp("garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        let err = load_tree(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Serde(_)));
+        let _ = std::fs::remove_file(path);
+    }
+}

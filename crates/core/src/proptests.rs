@@ -1,0 +1,173 @@
+//! Property-based tests of the deployment algebra: random trees compose
+//! into valid deployments, rewards stay bounded, and the surgery min-cut
+//! is never beaten by any chain cut.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+
+use crate::baselines::{random_partition, random_plan};
+use crate::candidate::{Candidate, Partition};
+use crate::env::EvalEnv;
+use crate::surgery;
+use crate::tree::{ModelTree, TreeNode};
+
+/// Builds a random (but structurally valid) model tree via seeded RNG.
+fn random_tree(seed: u64, n_blocks: usize, k: usize) -> ModelTree {
+    let base = zoo::vgg11_cifar();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = ModelTree::new(base.clone(), n_blocks, (0..k).map(|i| 2.0 + 4.0 * i as f64).collect());
+    let mut frontier: Vec<Option<usize>> = vec![None];
+    while let Some(parent) = frontier.pop() {
+        let level = parent.map_or(0, |p| tree.nodes()[p].level + 1);
+        let range = tree.block_range(level);
+        use rand::RngExt;
+        let pick = rng.random_range(0..=range.len());
+        let (partition_abs, compress_len) = if pick == range.len() {
+            (None, range.len())
+        } else {
+            (Some(range.start + pick), pick)
+        };
+        let mut actions = Vec::new();
+        if compress_len > 0 {
+            let block = base
+                .slice(range.start, range.start + compress_len)
+                .expect("valid block");
+            let plan = random_plan(&block, compress_len, &mut rng);
+            for (local, a) in plan.actions().iter().enumerate() {
+                if let Some(t) = a {
+                    actions.push(cadmc_accuracy::AppliedAction {
+                        layer_index: range.start + local,
+                        technique: *t,
+                    });
+                }
+            }
+        }
+        let id = tree.push_node(
+            parent,
+            TreeNode {
+                level,
+                partition_abs,
+                actions,
+                children: Vec::new(),
+                reward: 0.0,
+            },
+        );
+        if partition_abs.is_none() && level + 1 < n_blocks {
+            for _ in 0..k {
+                frontier.push(Some(id));
+            }
+        }
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every branch of every random tree composes into a deployment with
+    /// the base model's output shape and a consistent cut index, and
+    /// `compose` with any bandwidth lands on one of those branches.
+    #[test]
+    fn random_trees_compose_validly(seed in 0u64..300, n in 2usize..4, k in 2usize..4) {
+        let tree = random_tree(seed, n, k);
+        let base_out = tree.base().output_shape();
+        let branches = tree.branches();
+        prop_assert!(!branches.is_empty());
+        for path in &branches {
+            let c = tree.compose_path(path);
+            prop_assert_eq!(c.model.output_shape(), base_out);
+            prop_assert!(c.edge_layers <= c.model.len());
+        }
+        for bw in [0.5, 5.0, 50.0] {
+            let (path, c) = tree.compose(|_| bw);
+            prop_assert!(branches.contains(&path));
+            prop_assert_eq!(c.model.output_shape(), base_out);
+        }
+        // Storage accounting never exceeds the naive per-branch copies.
+        let naive = branches.len() as u64 * tree.base().param_bytes();
+        prop_assert!(tree.edge_storage_bytes() <= naive);
+    }
+
+    /// Backward estimation preserves leaf rewards and bounds parents by
+    /// their children's extremes (for the mean rule).
+    #[test]
+    fn backward_estimation_bounds(seed in 0u64..300) {
+        let mut tree = random_tree(seed, 3, 2);
+        // Assign arbitrary leaf rewards.
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let leaf_ids: Vec<usize> = tree
+            .branches()
+            .iter()
+            .map(|p| *p.last().expect("non-empty"))
+            .collect();
+        for &id in &leaf_ids {
+            tree.node_mut(id).reward = rng.random_range(300.0..380.0);
+        }
+        let before: Vec<f64> = leaf_ids.iter().map(|&i| tree.nodes()[i].reward).collect();
+        tree.backward_estimate();
+        // Leaves unchanged.
+        for (&id, &b) in leaf_ids.iter().zip(&before) {
+            prop_assert_eq!(tree.nodes()[id].reward, b);
+        }
+        // Every interior node's reward is within [min, max] of leaf rewards
+        // (mean-of-children recursion cannot escape the hull).
+        let lo = before.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = before.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for node in tree.nodes() {
+            if !node.children.is_empty() {
+                prop_assert!(node.reward >= lo - 1e-9 && node.reward <= hi + 1e-9);
+            }
+        }
+    }
+
+    /// The min-cut surgery partition is optimal: no chain cut beats it.
+    #[test]
+    fn mincut_dominates_every_chain_cut(bw in 0.2f64..200.0) {
+        let base = zoo::alexnet_cifar();
+        let env = EvalEnv::phone();
+        let plan = cadmc_compress::CompressionPlan::identity(base.len());
+        let chosen = surgery::optimal_partition_mincut(&base, &env, Mbps(bw));
+        let chosen_lat = env.latency_ms(
+            &Candidate::compose(&base, chosen, &plan).expect("identity composes"),
+            Mbps(bw),
+        );
+        for p in surgery::partition_options(&base) {
+            let lat = env.latency_ms(
+                &Candidate::compose(&base, p, &plan).expect("identity composes"),
+                Mbps(bw),
+            );
+            prop_assert!(
+                chosen_lat <= lat + 1e-6,
+                "cut {p} ({lat:.3} ms) beats min-cut {chosen} ({chosen_lat:.3} ms) at {bw} Mbps"
+            );
+        }
+    }
+
+    /// Random candidates always evaluate to bounded rewards and positive
+    /// latencies, at any bandwidth.
+    #[test]
+    fn evaluations_are_bounded(seed in 0u64..500, bw in 0.05f64..500.0) {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition = random_partition(&base, &mut rng);
+        let edge_len = match partition {
+            Partition::AllEdge => base.len(),
+            Partition::AllCloud => 0,
+            Partition::AfterLayer(i) => i + 1,
+        };
+        let plan = random_plan(&base, edge_len, &mut rng);
+        let c = Candidate::compose(&base, partition, &plan).expect("random plan composes");
+        let e = env.evaluate(&base, &c, Mbps(bw));
+        prop_assert!((0.0..=400.0).contains(&e.reward));
+        prop_assert!(e.latency_ms > 0.0 && e.latency_ms.is_finite());
+        prop_assert!((0.5..=1.0).contains(&e.accuracy));
+    }
+}

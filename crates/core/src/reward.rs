@@ -1,0 +1,135 @@
+//! The paper's reward function (Eq. 7):
+//! `R = N1(A) + N2(T)` with min-max normalization of accuracy and latency.
+//!
+//! §VII Setup fixes the normalization bounds and weights: accuracy spans
+//! [50 %, 100 %], latency spans [0 ms, 500 ms], and "the total reward is
+//! designed to be 400, where latency and accuracy respectively take up
+//! 300 and 100". The formula below reproduces the paper's own table
+//! entries exactly: e.g. Table 4 row 1 (A = 92.01 %, T = 81.83 ms) gives
+//! `100·(0.9201−0.5)/0.5 + 300·(500−81.83)/500 = 334.92` ✓.
+
+use serde::{Deserialize, Serialize};
+
+/// Reward normalization bounds and weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardSpec {
+    /// Minimum accuracy for normalization (fraction).
+    pub acc_min: f64,
+    /// Maximum accuracy for normalization (fraction).
+    pub acc_max: f64,
+    /// Minimum latency (ms).
+    pub lat_min_ms: f64,
+    /// Maximum latency (ms).
+    pub lat_max_ms: f64,
+    /// Weight of the accuracy term.
+    pub acc_weight: f64,
+    /// Weight of the latency term.
+    pub lat_weight: f64,
+}
+
+impl Default for RewardSpec {
+    /// The paper's setup: accuracy ∈ [50 %, 100 %] worth 100; latency ∈
+    /// [0, 500] ms worth 300.
+    fn default() -> Self {
+        Self {
+            acc_min: 0.5,
+            acc_max: 1.0,
+            lat_min_ms: 0.0,
+            lat_max_ms: 500.0,
+            acc_weight: 100.0,
+            lat_weight: 300.0,
+        }
+    }
+}
+
+impl RewardSpec {
+    /// Maximum attainable reward (`acc_weight + lat_weight`; 400 in the
+    /// paper).
+    pub fn max_reward(&self) -> f64 {
+        self.acc_weight + self.lat_weight
+    }
+
+    /// Eq. 7 reward for an (accuracy, latency) pair. Inputs are clamped to
+    /// the normalization ranges.
+    pub fn reward(&self, accuracy: f64, latency_ms: f64) -> f64 {
+        let a = accuracy.clamp(self.acc_min, self.acc_max);
+        let t = latency_ms.clamp(self.lat_min_ms, self.lat_max_ms);
+        let n1 = (a - self.acc_min) / (self.acc_max - self.acc_min);
+        let n2 = (self.lat_max_ms - t) / (self.lat_max_ms - self.lat_min_ms);
+        self.acc_weight * n1 + self.lat_weight * n2
+    }
+}
+
+/// A scored candidate: its measured/estimated accuracy and latency, and
+/// the resulting reward.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Top-1 accuracy (fraction).
+    pub accuracy: f64,
+    /// End-to-end latency `T = Te + Tt + Tc` (ms).
+    pub latency_ms: f64,
+    /// Eq. 7 reward.
+    pub reward: f64,
+}
+
+impl Evaluation {
+    /// Scores an (accuracy, latency) pair under `spec`.
+    pub fn new(accuracy: f64, latency_ms: f64, spec: &RewardSpec) -> Self {
+        Self {
+            accuracy,
+            latency_ms,
+            reward: spec.reward(accuracy, latency_ms),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table4_row1() {
+        let spec = RewardSpec::default();
+        let r = spec.reward(0.9201, 81.83);
+        assert!((r - 334.92).abs() < 0.05, "got {r}");
+    }
+
+    #[test]
+    fn reproduces_table4_vgg11_tree_static() {
+        // Table 4: VGG11 Phone "4G indoor static", Tree: 50.21 ms @ 91.2 %
+        // => 352.27.
+        let spec = RewardSpec::default();
+        let r = spec.reward(0.912, 50.21);
+        assert!((r - 352.27).abs() < 0.05, "got {r}");
+    }
+
+    #[test]
+    fn reproduces_table5_field_row() {
+        // Table 5: VGG11 TX2 "WiFi (weak) indoor", Surgery: 223.47 ms @
+        // 92.01 % => 249.94.
+        let spec = RewardSpec::default();
+        let r = spec.reward(0.9201, 223.47);
+        assert!((r - 249.94).abs() < 0.05, "got {r}");
+    }
+
+    #[test]
+    fn max_reward_is_400() {
+        let spec = RewardSpec::default();
+        assert_eq!(spec.max_reward(), 400.0);
+        assert_eq!(spec.reward(1.0, 0.0), 400.0);
+    }
+
+    #[test]
+    fn clamps_out_of_range_inputs() {
+        let spec = RewardSpec::default();
+        assert_eq!(spec.reward(0.2, 1e9), spec.reward(0.5, 500.0));
+        assert_eq!(spec.reward(1.5, -10.0), 400.0);
+    }
+
+    #[test]
+    fn reward_monotone_in_both_arguments() {
+        let spec = RewardSpec::default();
+        assert!(spec.reward(0.9, 100.0) > spec.reward(0.8, 100.0));
+        assert!(spec.reward(0.9, 100.0) > spec.reward(0.9, 200.0));
+    }
+}

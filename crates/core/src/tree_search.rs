@@ -1,0 +1,624 @@
+//! **Algorithm 3 — Model Tree Search**: the two-stage RL procedure
+//! (forward generation + backward estimation) that produces a
+//! context-aware model tree.
+//!
+//! Forward generation walks the tree skeleton in BFS order; at each node
+//! the partition and compression controllers — conditioned on that fork's
+//! bandwidth type — transform the corresponding base block. Branch rewards
+//! are computed for complete branches (leaves or partitioned nodes) and
+//! propagated to shared ancestors by averaging (backward estimation), and
+//! every node's actions are reinforced with its estimated reward.
+//!
+//! Implementation countermeasures from §VII-A are included: fair-chance
+//! exploration (forced no-partition with decaying probability
+//! `α·(N−n)/N`), optimal-branch boosting (Alg. 1 pre-training per
+//! bandwidth level plus an explicitly grafted boost tree), and the
+//! candidate memo pool.
+
+use cadmc_accuracy::AppliedAction;
+use cadmc_latency::Mbps;
+use cadmc_netsim::BandwidthTrace;
+use cadmc_nn::ModelSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::branch::optimal_branch;
+use crate::executor::{execute, ExecConfig, Policy};
+use crate::candidate::Partition;
+use crate::controller::{EpisodeTape, HeadState, PartitionAction};
+use crate::env::EvalEnv;
+use crate::memo::MemoPool;
+use crate::search::{Controllers, SearchConfig};
+use crate::tree::{ModelTree, TreeNode};
+
+/// Result of a tree search.
+#[derive(Debug, Clone)]
+pub struct TreeSearchResult {
+    /// The best tree found (highest mean branch reward).
+    pub tree: ModelTree,
+    /// Mean branch reward of each episode's generated tree.
+    pub episode_scores: Vec<f64>,
+    /// Best branch reward within the returned tree.
+    pub best_branch_reward: f64,
+}
+
+/// Runs Algorithm 3 for `base` under the discretized bandwidth `levels`,
+/// updating `controllers` in place. When `boost` is set, controllers are
+/// first warmed with Algorithm 1 under each bandwidth level and an
+/// explicit boost tree seeds the best-so-far (§VII-A "optimal branch
+/// boosting"). When `selection_trace` is given, the finalists (the trees
+/// that successively improved the internal score) are re-ranked by a
+/// short emulation against that trace — the offline phase has the scene
+/// traces available, and per-level point evaluation systematically
+/// overvalues offloading branches relative to replayed execution.
+#[allow(clippy::too_many_arguments)]
+pub fn tree_search(
+    controllers: &mut Controllers,
+    base: &ModelSpec,
+    env: &EvalEnv,
+    levels: &[f64],
+    n_blocks: usize,
+    cfg: &SearchConfig,
+    memo: &MemoPool,
+    boost: bool,
+    selection_trace: Option<&BandwidthTrace>,
+) -> TreeSearchResult {
+    assert!(!levels.is_empty(), "need at least one bandwidth level");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7472_6565);
+    let mut best: Option<(ModelTree, f64)> = None;
+    let mut finalists: Vec<ModelTree> = Vec::new();
+
+    if boost {
+        let branch_cfg = SearchConfig {
+            episodes: (cfg.episodes / 2).max(10),
+            ..*cfg
+        };
+        let mut branch_candidates = Vec::new();
+        for &bw in levels {
+            let outcome =
+                optimal_branch(controllers, base, env, Mbps(bw), &branch_cfg, memo);
+            // The surgery deployment (min-cut partition, no compression)
+            // is a point inside the branch space; floor each level's
+            // candidate with it so the boost tree never starts below the
+            // static baseline.
+            let surgery = crate::surgery::plan(base, env, Mbps(bw));
+            if surgery.evaluation.reward > outcome.best_eval.reward {
+                branch_candidates.push(surgery.candidate);
+            } else {
+                branch_candidates.push(outcome.best);
+            }
+        }
+        // Rigid trees (every fork takes the same branch solution) are
+        // also valid deployments; include them in the selection pool so
+        // the returned tree never executes worse than the best constant-
+        // bandwidth branch.
+        for cand in &branch_candidates {
+            finalists.push(rigid_tree(base, env, levels, n_blocks, cand, memo));
+        }
+        let boosted = boost_tree(base, env, levels, n_blocks, &branch_candidates, memo);
+        let score = boosted.mean_branch_reward();
+        finalists.push(boosted.clone());
+        best = Some((boosted, score));
+    }
+
+    let mut episode_scores = Vec::with_capacity(cfg.episodes);
+    for episode in 0..cfg.episodes {
+        let (mut tree, tapes) =
+            generate_tree(controllers, base, env, levels, n_blocks, cfg, episode, &mut rng, memo);
+        tree.backward_estimate_with(cfg.backward_rule);
+        let episodes: Vec<(EpisodeTape, f64)> = tapes
+            .into_iter()
+            .enumerate()
+            .map(|(id, tape)| (tape, tree.nodes()[id].reward))
+            .collect();
+        controllers
+            .trainer
+            .update_batch(&mut controllers.params, episodes);
+        let score = tree.mean_branch_reward();
+        episode_scores.push(score);
+        let replace = match &best {
+            Some((_, s)) => score > *s,
+            None => true,
+        };
+        if replace {
+            finalists.push(tree.clone());
+            best = Some((tree, score));
+        }
+    }
+
+    let (mut tree, _) = best.expect("at least one tree generated");
+    if let Some(trace) = selection_trace {
+        // Re-rank the finalists by replayed execution; keep the seeded
+        // rigid/boost trees plus the last few RL improvers to bound cost.
+        let keep = if finalists.len() > 10 {
+            finalists.drain(3..finalists.len() - 6);
+            0
+        } else {
+            0
+        };
+        let exec_cfg = ExecConfig::emulation(300, cfg.seed);
+        let mut best_exec = f64::NEG_INFINITY;
+        for cand in &finalists[keep..] {
+            let report = execute(env, base, &Policy::Tree(cand), trace, &exec_cfg);
+            let r = report.evaluation(&env.reward).reward;
+            if r > best_exec {
+                best_exec = r;
+                tree = cand.clone();
+            }
+        }
+    }
+    let best_branch_reward = tree
+        .best_branch()
+        .map(|(path, _)| tree.nodes()[*path.last().expect("non-empty")].reward)
+        .unwrap_or(0.0);
+    TreeSearchResult {
+        tree,
+        episode_scores,
+        best_branch_reward,
+    }
+}
+
+/// Forward generation of one episode's tree. Returns the tree (leaf
+/// rewards filled in, interior rewards zero) and one tape per node,
+/// indexed by node id.
+#[allow(clippy::too_many_arguments)]
+fn generate_tree(
+    controllers: &Controllers,
+    base: &ModelSpec,
+    env: &EvalEnv,
+    levels: &[f64],
+    n_blocks: usize,
+    cfg: &SearchConfig,
+    episode: usize,
+    rng: &mut StdRng,
+    memo: &MemoPool,
+) -> (ModelTree, Vec<EpisodeTape>) {
+    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    let mut tapes: Vec<EpisodeTape> = Vec::new();
+    let mut parents: Vec<Option<usize>> = Vec::new();
+    let mut head_states: Vec<HeadState> = Vec::new();
+    // The root is shared by all forks: condition it on the levels' mean
+    // (`levels[len/2]` would bias toward the *upper* level for K = 2).
+    let median_bw = levels.iter().sum::<f64>() / levels.len() as f64;
+
+    // BFS frontier: (parent id, fork index). The root conditions on the
+    // median level; child forks condition on their level's bandwidth.
+    let mut frontier: Vec<(Option<usize>, usize)> = vec![(None, 0)];
+    while let Some((parent, fork)) = frontier.pop() {
+        let level = parent.map_or(0, |p| tree.nodes()[p].level + 1);
+        let bw = if parent.is_none() {
+            median_bw
+        } else {
+            levels[fork]
+        };
+        let range = tree.block_range(level);
+        let block = base.slice(range.start, range.end).expect("valid block slice");
+        let mut tape = EpisodeTape::new();
+        let force = cfg.force_no_partition(episode, level + 1, n_blocks);
+        let action = controllers.partition.sample(
+            &mut tape,
+            &controllers.params,
+            &block,
+            bw,
+            rng,
+            force,
+        );
+        let (partition_abs, compress_len) = match action {
+            PartitionAction::NoPartition => (None, block.len()),
+            PartitionAction::CutBefore(c) => (Some(range.start + c), c),
+        };
+        let mut head_state = parent.map_or_else(HeadState::default, |p| head_states[p]);
+        let mut actions: Vec<AppliedAction> = Vec::new();
+        if compress_len > 0 {
+            let edge_block = base
+                .slice(range.start, range.start + compress_len)
+                .expect("valid sub-block slice");
+            let plan = controllers.compression.sample_with_state(
+                &mut tape,
+                &controllers.params,
+                &edge_block,
+                bw,
+                rng,
+                &mut head_state,
+            );
+            for (local, a) in plan.actions().iter().enumerate() {
+                if let Some(t) = a {
+                    actions.push(AppliedAction {
+                        layer_index: range.start + local,
+                        technique: *t,
+                    });
+                }
+            }
+        }
+        let node = TreeNode {
+            level,
+            partition_abs,
+            actions,
+            children: Vec::new(),
+            reward: 0.0,
+        };
+        let id = tree.push_node(parent, node);
+        tapes.push(tape);
+        parents.push(parent);
+        head_states.push(head_state);
+
+        let is_leaf = partition_abs.is_some() || level + 1 == n_blocks;
+        if is_leaf {
+            // Reconstruct the path and score the composed branch at this
+            // node's conditioning bandwidth.
+            let mut path = vec![id];
+            let mut cur = parent;
+            while let Some(p) = cur {
+                path.push(p);
+                cur = parents[p];
+            }
+            path.reverse();
+            let candidate = tree.compose_path(&path);
+            // A root-level leaf (the whole tree is one branch) must be
+            // judged across all levels, not at a single bandwidth.
+            let reward = if parent.is_none() {
+                levels
+                    .iter()
+                    .map(|&l| {
+                        memo.get_or_insert_with(&candidate, l, || {
+                            env.evaluate(base, &candidate, Mbps(l))
+                        })
+                        .reward
+                    })
+                    .sum::<f64>()
+                    / levels.len() as f64
+            } else {
+                memo.get_or_insert_with(&candidate, bw, || {
+                    env.evaluate(base, &candidate, Mbps(bw))
+                })
+                .reward
+            };
+            tree.node_mut(id).reward = reward;
+        } else {
+            for k in (0..levels.len()).rev() {
+                frontier.push((Some(id), k));
+            }
+        }
+    }
+    (tree, tapes)
+}
+
+/// Builds a *rigid* tree that always deploys `cand` regardless of
+/// measured bandwidth: every node follows the candidate's decisions for
+/// its block, with a cut inside an earlier block carried at the first
+/// opportunity. Executing it is equivalent to the static candidate.
+pub fn rigid_tree(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    levels: &[f64],
+    n_blocks: usize,
+    cand: &crate::candidate::Candidate,
+    memo: &MemoPool,
+) -> ModelTree {
+    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    let cut_abs = match cand.partition {
+        Partition::AllEdge => None,
+        Partition::AllCloud => Some(0),
+        Partition::AfterLayer(i) => Some(i + 1),
+    };
+    let node_for_level = |level: usize| -> TreeNode {
+        let range = tree_range(base, n_blocks, level);
+        let node_cut = match cut_abs {
+            Some(c) if c <= range.start => Some(range.start),
+            Some(c) if range.contains(&c) => Some(c),
+            _ => None,
+        };
+        let compress_to = node_cut.unwrap_or(range.end);
+        let actions: Vec<AppliedAction> = cand
+            .actions
+            .iter()
+            .filter(|a| a.layer_index >= range.start && a.layer_index < compress_to)
+            .copied()
+            .collect();
+        TreeNode {
+            level,
+            partition_abs: node_cut,
+            actions,
+            children: Vec::new(),
+            reward: 0.0,
+        }
+    };
+    // Root may carry a block-0 cut directly.
+    let r0 = tree.block_range(0);
+    let root_cut = cut_abs.filter(|&c| c < r0.end);
+    let root_node = TreeNode {
+        partition_abs: root_cut,
+        ..node_for_level(0)
+    };
+    let root = tree.push_node(None, root_node);
+    if root_cut.is_none() {
+        // BFS-fill a complete K-ary tree of identical levels.
+        let mut frontier = vec![root];
+        while let Some(parent) = frontier.pop() {
+            let level = tree.nodes()[parent].level + 1;
+            if level >= n_blocks {
+                continue;
+            }
+            for _ in 0..levels.len() {
+                let node = node_for_level(level);
+                let stop = node.partition_abs.is_some();
+                let id = tree.push_node(Some(parent), node);
+                if !stop {
+                    frontier.push(id);
+                }
+            }
+        }
+    }
+    complete_tree(&mut tree, env, memo);
+    tree
+}
+
+/// Block range helper usable before the tree is fully built.
+fn tree_range(base: &ModelSpec, n_blocks: usize, level: usize) -> std::ops::Range<usize> {
+    base.block_ranges(n_blocks)[level].clone()
+}
+
+/// Builds the explicit boost tree: the root takes the best constant-
+/// bandwidth branch solution's block-0 decisions — including its
+/// partition, if that branch cuts inside block 0 (e.g. an all-cloud
+/// deployment), in which case the whole tree *is* that branch. Otherwise
+/// each fork `k` follows branch `k`'s decisions for the remaining blocks
+/// (a partition that branch `k` placed inside block 0 is deferred to the
+/// start of block 1, since a shared non-partitioned root cannot partition
+/// per-fork).
+fn boost_tree(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    levels: &[f64],
+    n_blocks: usize,
+    branch_candidates: &[crate::candidate::Candidate],
+    memo: &MemoPool,
+) -> ModelTree {
+    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    // Root from the branch with the highest reward at its own level.
+    let root_src = branch_candidates
+        .iter()
+        .zip(levels)
+        .max_by(|(a, &bwa), (b, &bwb)| {
+            let ra = env.evaluate(base, a, Mbps(bwa)).reward;
+            let rb = env.evaluate(base, b, Mbps(bwb)).reward;
+            ra.partial_cmp(&rb).expect("rewards are finite")
+        })
+        .map(|(c, _)| c)
+        .expect("one branch candidate per level");
+    let r0 = tree.block_range(0);
+    let root_cut = match root_src.partition {
+        Partition::AllEdge => None,
+        Partition::AllCloud => Some(0),
+        Partition::AfterLayer(i) => Some(i + 1),
+    }
+    .filter(|&c| c < r0.end);
+    let root_actions: Vec<AppliedAction> = root_src
+        .actions
+        .iter()
+        .filter(|a| r0.contains(&a.layer_index) && root_cut.is_none_or(|c| a.layer_index < c))
+        .copied()
+        .collect();
+    let root = tree.push_node(
+        None,
+        TreeNode {
+            level: 0,
+            partition_abs: root_cut,
+            actions: root_actions,
+            children: Vec::new(),
+            reward: 0.0,
+        },
+    );
+    if root_cut.is_some() {
+        // The best branch offloads within block 0: the tree degenerates to
+        // that single branch (the paper concedes stable contexts gain
+        // little from adaptation).
+        complete_tree(&mut tree, env, memo);
+        return tree;
+    }
+
+    // Fork k: follow branch k for blocks 1..N.
+    for (k, cand) in branch_candidates.iter().enumerate() {
+        let bw = levels[k];
+        let cut_abs = match cand.partition {
+            Partition::AllEdge => None,
+            Partition::AllCloud => Some(0),
+            Partition::AfterLayer(i) => Some(i + 1),
+        };
+        let mut parent = root;
+        for level in 1..n_blocks {
+            let range = tree.block_range(level);
+            // Defer any cut from block 0 to the start of this block.
+            let node_cut = match cut_abs {
+                Some(c) if c <= range.start => Some(range.start),
+                Some(c) if range.contains(&c) => Some(c),
+                _ => None,
+            };
+            let compress_to = node_cut.unwrap_or(range.end);
+            let actions: Vec<AppliedAction> = cand
+                .actions
+                .iter()
+                .filter(|a| a.layer_index >= range.start && a.layer_index < compress_to)
+                .copied()
+                .collect();
+            let id = tree.push_node(
+                Some(parent),
+                TreeNode {
+                    level,
+                    partition_abs: node_cut,
+                    actions,
+                    children: Vec::new(),
+                    reward: 0.0,
+                },
+            );
+            if node_cut.is_some() {
+                break;
+            }
+            parent = id;
+            // Other forks at deeper levels replicate the same branch; the
+            // outer loop only fills fork k's spine, so fill the sibling
+            // forks lazily below.
+        }
+        let _ = bw;
+    }
+    complete_tree(&mut tree, env, memo);
+    tree
+}
+
+/// Fills missing children (with identity blocks) so every interior node
+/// has exactly `K` children, then scores all branch leaves.
+fn complete_tree(tree: &mut ModelTree, env: &EvalEnv, memo: &MemoPool) {
+    let k = tree.k();
+    let n = tree.n_blocks();
+    // Fill: iterate until no node needs children (node count grows).
+    let mut i = 0;
+    while i < tree.nodes().len() {
+        let node = &tree.nodes()[i];
+        let needs = node.partition_abs.is_none()
+            && node.level + 1 < n
+            && node.children.len() < k;
+        if needs {
+            let level = node.level + 1;
+            while tree.nodes()[i].children.len() < k {
+                tree.push_node(
+                    Some(i),
+                    TreeNode {
+                        level,
+                        partition_abs: None,
+                        actions: Vec::new(),
+                        children: Vec::new(),
+                        reward: 0.0,
+                    },
+                );
+            }
+        }
+        i += 1;
+    }
+    // Score every leaf at the bandwidth of the fork that reaches it; a
+    // root-only path (the tree degenerated to one branch) is scored as the
+    // mean over all K levels so rigid trees are not judged at a single
+    // optimistic bandwidth.
+    let branches = tree.branches();
+    for path in branches {
+        let leaf = *path.last().expect("non-empty branch");
+        let candidate = tree.compose_path(&path);
+        let reward = if path.len() >= 2 {
+            let parent = path[path.len() - 2];
+            let fork = tree.nodes()[parent]
+                .children
+                .iter()
+                .position(|&c| c == leaf)
+                .expect("leaf is its parent's child");
+            let bw = tree.levels()[fork];
+            memo.get_or_insert_with(&candidate, bw, || {
+                env.evaluate(tree.base(), &candidate, Mbps(bw))
+            })
+            .reward
+        } else {
+            let levels = tree.levels().to_vec();
+            levels
+                .iter()
+                .map(|&bw| {
+                    memo.get_or_insert_with(&candidate, bw, || {
+                        env.evaluate(tree.base(), &candidate, Mbps(bw))
+                    })
+                    .reward
+                })
+                .sum::<f64>()
+                / levels.len() as f64
+        };
+        tree.node_mut(leaf).reward = reward;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    fn quick_search(seed: u64, boost: bool) -> (TreeSearchResult, Controllers) {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let cfg = SearchConfig {
+            episodes: 25,
+            ..SearchConfig::quick(seed)
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let ctx = crate::context::NetworkContext::from_scenario(
+            cadmc_netsim::Scenario::WifiWeakIndoor,
+            2,
+            seed,
+        );
+        let result = tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            ctx.levels(),
+            3,
+            &cfg,
+            &memo,
+            boost,
+            Some(ctx.trace()),
+        );
+        (result, controllers)
+    }
+
+    #[test]
+    fn produces_structurally_valid_trees() {
+        let (result, _) = quick_search(1, false);
+        let tree = &result.tree;
+        assert!(tree.root().is_some());
+        for node in tree.nodes() {
+            assert!(
+                node.children.is_empty() || node.children.len() == tree.k(),
+                "interior nodes must have exactly K children"
+            );
+            if node.partition_abs.is_some() {
+                assert!(node.children.is_empty(), "partitioned nodes are leaves");
+            }
+        }
+        // Every branch composes into a valid candidate.
+        for path in tree.branches() {
+            let c = tree.compose_path(&path);
+            assert_eq!(c.model.output_shape(), tree.base().output_shape());
+        }
+    }
+
+    #[test]
+    fn episode_scores_are_rewards() {
+        let (result, _) = quick_search(2, false);
+        assert_eq!(result.episode_scores.len(), 25);
+        for &s in &result.episode_scores {
+            assert!((0.0..=400.0).contains(&s));
+        }
+        assert!(result.best_branch_reward > 0.0);
+    }
+
+    #[test]
+    fn boosted_search_is_at_least_unboosted_seed_tree() {
+        let (boosted, _) = quick_search(3, true);
+        // The boosted tree's mean reward can only improve over episodes;
+        // sanity: it returns something reasonable.
+        assert!(boosted.tree.mean_branch_reward() > 250.0);
+    }
+
+    #[test]
+    fn compose_from_searched_tree_adapts_to_bandwidth() {
+        let (result, _) = quick_search(4, true);
+        let tree = &result.tree;
+        let (_, poor) = tree.compose(|_| tree.levels()[0] * 0.5);
+        let (_, good) = tree.compose(|_| tree.levels()[1] * 2.0);
+        // Both compose valid candidates (they may coincide if the tree
+        // found a bandwidth-insensitive optimum).
+        assert_eq!(poor.model.output_shape(), tree.base().output_shape());
+        assert_eq!(good.model.output_shape(), tree.base().output_shape());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = quick_search(5, false);
+        let (b, _) = quick_search(5, false);
+        assert_eq!(a.episode_scores, b.episode_scores);
+    }
+}

@@ -1,0 +1,43 @@
+//! # cadmc-latency
+//!
+//! Latency estimation substrate for the `cadmc` reproduction of
+//! *Context-Aware Deep Model Compression for Edge Cloud Computing*
+//! (ICDCS 2020): the paper's end-to-end inference latency is
+//! `T = Te + Tt + Tc` (Eq. 3) — edge compute, transfer, cloud compute.
+//!
+//! * [`DeviceProfile`] — MACC-linear computational latency per platform
+//!   (phone / TX2 / cloud server), calibrated against the paper's Table 1.
+//! * [`TransferModel`] — Eq. 6 transfer latency `Tt = f(S|W) + S/W`.
+//! * [`calibrate`] — simulated measurement sweeps and least-squares fits
+//!   reproducing Fig. 5.
+//!
+//! ## Example
+//!
+//! ```
+//! use cadmc_latency::{DeviceProfile, Mbps, TransferModel};
+//! use cadmc_nn::zoo;
+//!
+//! let vgg = zoo::vgg11_cifar();
+//! let phone = DeviceProfile::phone();
+//! let cloud = DeviceProfile::cloud();
+//! let transfer = TransferModel::default();
+//!
+//! // Cut after layer 4: edge runs [0,5), cloud runs [5, end).
+//! let te = phone.range_latency_ms(&vgg, 0, 5);
+//! let tt = transfer.latency_ms(vgg.cut_bytes_after(4), Mbps(20.0));
+//! let tc = cloud.range_latency_ms(&vgg, 5, vgg.len());
+//! let total = te + tt + tc;
+//! assert!(total > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod device;
+mod energy;
+mod transfer;
+
+pub use device::{DeviceProfile, Platform};
+pub use energy::{EnergyProfile, Radio};
+pub use transfer::{Mbps, TransferModel};

@@ -1,0 +1,130 @@
+//! Online bandwidth estimation.
+//!
+//! In the paper's emulation the decision engine reads the replayed trace
+//! directly; in the field test it only has "a coarse estimation of network
+//! conditions" — which the paper names as one of the two sources of the
+//! emulation→field gap (§VII-B3). [`BandwidthEstimator`] models that
+//! coarseness: an exponentially-smoothed, periodically-refreshed view of
+//! the true bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// A smoothed, stale view of true bandwidth, as a probing-based estimator
+/// on a real device would provide.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandwidthEstimator {
+    /// EMA smoothing factor in `(0, 1]`; 1.0 means no smoothing.
+    alpha: f64,
+    /// Minimum interval between probe refreshes (ms).
+    probe_interval_ms: f64,
+    estimate: Option<f64>,
+    last_probe_ms: f64,
+}
+
+impl BandwidthEstimator {
+    /// An estimator with EMA factor `alpha` probing at most every
+    /// `probe_interval_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]` or the interval is negative.
+    pub fn new(alpha: f64, probe_interval_ms: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        assert!(probe_interval_ms >= 0.0, "probe interval must be non-negative");
+        Self {
+            alpha,
+            probe_interval_ms,
+            estimate: None,
+            last_probe_ms: f64::NEG_INFINITY,
+        }
+    }
+
+    /// An ideal estimator that always returns the true bandwidth
+    /// (emulation mode).
+    pub fn ideal() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// The paper-motivated field-mode estimator: heavy smoothing, 500 ms
+    /// probe cadence.
+    pub fn field() -> Self {
+        Self::new(0.35, 500.0)
+    }
+
+    /// Observes the true bandwidth at time `now_ms` and returns the
+    /// current estimate. Between probe refreshes the previous estimate is
+    /// returned unchanged (staleness).
+    pub fn observe(&mut self, now_ms: f64, true_bandwidth: f64) -> f64 {
+        match self.estimate {
+            None => {
+                self.estimate = Some(true_bandwidth);
+                self.last_probe_ms = now_ms;
+                true_bandwidth
+            }
+            Some(prev) => {
+                if now_ms - self.last_probe_ms >= self.probe_interval_ms {
+                    let next = self.alpha * true_bandwidth + (1.0 - self.alpha) * prev;
+                    self.estimate = Some(next);
+                    self.last_probe_ms = now_ms;
+                    next
+                } else {
+                    prev
+                }
+            }
+        }
+    }
+
+    /// The current estimate, if any observation happened yet.
+    pub fn current(&self) -> Option<f64> {
+        self.estimate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_estimator_tracks_exactly() {
+        let mut e = BandwidthEstimator::ideal();
+        assert_eq!(e.observe(0.0, 5.0), 5.0);
+        assert_eq!(e.observe(1.0, 9.0), 9.0);
+        assert_eq!(e.observe(2.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn field_estimator_lags_a_step_change() {
+        let mut e = BandwidthEstimator::field();
+        e.observe(0.0, 10.0);
+        // True bandwidth collapses to 1; the estimate should lag above it.
+        let est = e.observe(600.0, 1.0);
+        assert!(est > 1.0, "estimate {est} should lag the collapse");
+        assert!(est < 10.0);
+    }
+
+    #[test]
+    fn staleness_between_probes() {
+        let mut e = BandwidthEstimator::new(1.0, 500.0);
+        assert_eq!(e.observe(0.0, 4.0), 4.0);
+        // 100 ms later the probe hasn't refreshed: still 4.
+        assert_eq!(e.observe(100.0, 40.0), 4.0);
+        // After the interval it updates.
+        assert_eq!(e.observe(600.0, 40.0), 40.0);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = BandwidthEstimator::field();
+        let mut est = 0.0;
+        for i in 0..50 {
+            est = e.observe(i as f64 * 600.0, 7.0);
+        }
+        assert!((est - 7.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_bad_alpha() {
+        let _ = BandwidthEstimator::new(0.0, 100.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Trace import/export.
+//!
+//! Real deployments characterize contexts from *measured* traces (the
+//! paper's Fig. 1 traces were recorded on a Xiaomi MI 6X). This module
+//! reads and writes the simple two-column CSV format such measurement
+//! apps produce — `time_ms,mbps` — so users can drive the whole engine
+//! with their own recordings instead of the synthesizer.
+
+use std::io::{BufRead, Write};
+
+use crate::trace::BandwidthTrace;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Filesystem / stream failure.
+    Io(std::io::Error),
+    /// A malformed CSV line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The file contained no samples.
+    Empty,
+    /// Timestamps are not uniformly spaced (within 1 % tolerance).
+    IrregularSampling {
+        /// 1-based line number where the irregularity was detected.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::Parse { line, content } => {
+                write!(f, "line {line}: cannot parse {content:?} as `time_ms,mbps`")
+            }
+            TraceIoError::Empty => write!(f, "trace file contains no samples"),
+            TraceIoError::IrregularSampling { line } => {
+                write!(f, "line {line}: sampling period is not uniform")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes a trace as `time_ms,mbps` CSV (with a header line).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+pub fn write_csv<W: Write>(trace: &BandwidthTrace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "time_ms,mbps")?;
+    for (i, v) in trace.samples().iter().enumerate() {
+        writeln!(w, "{:.1},{v}", i as f64 * trace.dt_ms())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from `time_ms,mbps` CSV. A `time_ms,mbps` header line is
+/// optional; blank lines are skipped. Timestamps must be uniformly spaced
+/// (the replay machinery assumes a fixed sampling period).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] for malformed lines, irregular sampling or an
+/// empty file.
+pub fn read_csv<R: BufRead>(r: R) -> Result<BandwidthTrace, TraceIoError> {
+    let mut times: Vec<f64> = Vec::new();
+    let mut samples: Vec<f64> = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || (idx == 0 && trimmed.eq_ignore_ascii_case("time_ms,mbps")) {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse = |s: Option<&str>| -> Option<f64> { s?.trim().parse().ok() };
+        let (t, v) = match (parse(parts.next()), parse(parts.next())) {
+            (Some(t), Some(v)) if parts.next().is_none() => (t, v),
+            _ => {
+                return Err(TraceIoError::Parse {
+                    line: idx + 1,
+                    content: trimmed.to_string(),
+                })
+            }
+        };
+        times.push(t);
+        samples.push(v);
+    }
+    if samples.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    let dt = if times.len() >= 2 {
+        times[1] - times[0]
+    } else {
+        100.0
+    };
+    if dt <= 0.0 {
+        return Err(TraceIoError::IrregularSampling { line: 2 });
+    }
+    for (i, w) in times.windows(2).enumerate() {
+        let step = w[1] - w[0];
+        if (step - dt).abs() > dt * 0.01 {
+            return Err(TraceIoError::IrregularSampling { line: i + 2 });
+        }
+    }
+    Ok(BandwidthTrace::new(dt, samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = Scenario::WifiWeakIndoor.trace(3);
+        let mut buf = Vec::new();
+        write_csv(&trace, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), trace.len());
+        assert_eq!(back.dt_ms(), trace.dt_ms());
+        for (a, b) in back.samples().iter().zip(trace.samples()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn header_is_optional() {
+        let csv = "0.0,5.0\n100.0,6.0\n200.0,7.0\n";
+        let t = read_csv(csv.as_bytes()).unwrap();
+        assert_eq!(t.samples(), &[5.0, 6.0, 7.0]);
+        assert_eq!(t.dt_ms(), 100.0);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let csv = "time_ms,mbps\n0.0,5.0\nnot-a-line\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn irregular_sampling_rejected() {
+        let csv = "0.0,5.0\n100.0,6.0\n350.0,7.0\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::IrregularSampling { .. }));
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let err = read_csv("time_ms,mbps\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Empty));
+    }
+
+    #[test]
+    fn extra_columns_rejected() {
+        let csv = "0.0,5.0,9.9\n";
+        let err = read_csv(csv.as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse { line: 1, .. }));
+    }
+}

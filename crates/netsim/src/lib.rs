@@ -1,0 +1,39 @@
+//! # cadmc-netsim
+//!
+//! Network-context simulation for the `cadmc` reproduction of
+//! *Context-Aware Deep Model Compression for Edge Cloud Computing*
+//! (ICDCS 2020).
+//!
+//! The paper's whole premise is that real bandwidth "changes drastically
+//! even within a small time window like 1 s" (Fig. 1). This crate
+//! synthesizes such traces ([`BandwidthTrace`], [`BandwidthProcess`]),
+//! names the evaluation contexts of Tables 3–5 ([`Scenario`]), and models
+//! the coarse online bandwidth estimation that separates field tests from
+//! emulation ([`BandwidthEstimator`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use cadmc_netsim::Scenario;
+//!
+//! let trace = Scenario::FourGOutdoorQuick.trace(42);
+//! let (poor, good) = trace.quartile_levels(); // the paper's K = 2 levels
+//! assert!(poor < good);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimator;
+pub mod gilbert;
+pub mod io;
+mod process;
+mod proptests;
+mod scenario;
+pub mod stats;
+mod trace;
+
+pub use estimator::BandwidthEstimator;
+pub use process::{BandwidthProcess, ProcessConfig};
+pub use scenario::Scenario;
+pub use trace::{BandwidthTrace, TraceCursor};

@@ -1,0 +1,422 @@
+//! Whole-model specifications, block slicing and cut-point accounting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::layer::{LayerSpec, Shape, ShapeError};
+
+/// A sequential DNN specification: the substrate every search strategy in
+/// the paper manipulates.
+///
+/// The paper's decision engine treats the DNN as a chain of layers grouped
+/// into `N` blocks; partition happens at layer granularity, compression at
+/// layer granularity within the edge part.
+///
+/// # Examples
+///
+/// ```
+/// use cadmc_nn::{LayerSpec, ModelSpec, Shape};
+///
+/// let spec = ModelSpec::new(
+///     "toy",
+///     Shape::new(3, 32, 32),
+///     vec![
+///         LayerSpec::conv(3, 1, 1, 16),
+///         LayerSpec::max_pool(2, 2),
+///         LayerSpec::Flatten,
+///         LayerSpec::fc(10),
+///     ],
+/// ).unwrap();
+/// assert_eq!(spec.output_shape(), Shape::features(10));
+/// assert!(spec.total_maccs() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    name: String,
+    input: Shape,
+    layers: Vec<LayerSpec>,
+    /// Output shape after each layer (same length as `layers`).
+    shapes: Vec<Shape>,
+}
+
+impl ModelSpec {
+    /// Builds and shape-checks a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeError`] encountered while propagating the
+    /// input shape through `layers`.
+    pub fn new(
+        name: impl Into<String>,
+        input: Shape,
+        layers: Vec<LayerSpec>,
+    ) -> Result<Self, ShapeError> {
+        let mut shapes = Vec::with_capacity(layers.len());
+        let mut s = input;
+        for layer in &layers {
+            s = layer.output_shape(s)?;
+            shapes.push(s);
+        }
+        Ok(Self {
+            name: name.into(),
+            input,
+            layers,
+            shapes,
+        })
+    }
+
+    /// Model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the model (used by compression rewrites).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input
+    }
+
+    /// Final output shape.
+    pub fn output_shape(&self) -> Shape {
+        self.shapes.last().copied().unwrap_or(self.input)
+    }
+
+    /// The layer sequence.
+    pub fn layers(&self) -> &[LayerSpec] {
+        &self.layers
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Input shape of layer `i`.
+    pub fn layer_input(&self, i: usize) -> Shape {
+        if i == 0 {
+            self.input
+        } else {
+            self.shapes[i - 1]
+        }
+    }
+
+    /// Output shape of layer `i`.
+    pub fn layer_output(&self, i: usize) -> Shape {
+        self.shapes[i]
+    }
+
+    /// MACCs of layer `i` given its in-network input shape.
+    pub fn layer_maccs(&self, i: usize) -> u64 {
+        self.layers[i].maccs(self.layer_input(i))
+    }
+
+    /// Total MACCs of the model (Eqs. 4–5 summed over layers).
+    pub fn total_maccs(&self) -> u64 {
+        (0..self.layers.len()).map(|i| self.layer_maccs(i)).sum()
+    }
+
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> u64 {
+        (0..self.layers.len())
+            .map(|i| self.layers[i].param_count(self.layer_input(i)))
+            .sum()
+    }
+
+    /// Storage footprint of the weights as 4-byte floats.
+    pub fn param_bytes(&self) -> u64 {
+        self.total_params() * 4
+    }
+
+    /// Bytes transferred if the network is cut *after* layer `i`
+    /// (`i == len()` means "run everything on the edge", cutting after the
+    /// final layer; `i == 0`..`len()-1` sends the output features of layer
+    /// `i`). Cutting "before layer 0" (send raw input) is `input_bytes`.
+    pub fn cut_bytes_after(&self, i: usize) -> u64 {
+        assert!(i < self.layers.len(), "cut index out of range");
+        self.shapes[i].transfer_bytes()
+    }
+
+    /// Bytes of the raw input (cut before any layer: full cloud execution).
+    pub fn input_bytes(&self) -> u64 {
+        self.input.transfer_bytes()
+    }
+
+    /// The Eq. 1 state string for the whole model: one encoded layer per
+    /// line, prefixed by the input shape.
+    pub fn encode(&self) -> String {
+        let mut s = format!("{}@{}", self.name, self.input);
+        for l in &self.layers {
+            s.push(';');
+            s.push_str(&l.encode());
+        }
+        s
+    }
+
+    /// A stable 64-bit hash of the structural encoding — the key used by
+    /// the search memo pool.
+    pub fn structural_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.encode().hash(&mut h);
+        h.finish()
+    }
+
+    /// Replaces layer `i` with a sequence of layers, revalidating shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the replacement breaks shape inference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn replace_layer(
+        &self,
+        i: usize,
+        replacement: Vec<LayerSpec>,
+    ) -> Result<ModelSpec, ShapeError> {
+        assert!(i < self.layers.len(), "layer index out of range");
+        let mut layers = Vec::with_capacity(self.layers.len() + replacement.len());
+        layers.extend_from_slice(&self.layers[..i]);
+        layers.extend(replacement);
+        layers.extend_from_slice(&self.layers[i + 1..]);
+        ModelSpec::new(self.name.clone(), self.input, layers)
+    }
+
+    /// Extracts layers `[start, end)` as a standalone sub-model whose input
+    /// shape is the in-network input of `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if the slice is not shape-consistent (it
+    /// always is for untouched slices of a valid model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or empty.
+    pub fn slice(&self, start: usize, end: usize) -> Result<ModelSpec, ShapeError> {
+        assert!(start < end && end <= self.layers.len(), "bad slice range");
+        ModelSpec::new(
+            format!("{}[{start}..{end}]", self.name),
+            self.layer_input(start),
+            self.layers[start..end].to_vec(),
+        )
+    }
+
+    /// Concatenates another model after this one.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] if `other`'s layers cannot consume this
+    /// model's output shape.
+    pub fn concat(&self, other: &ModelSpec) -> Result<ModelSpec, ShapeError> {
+        let mut layers = self.layers.clone();
+        layers.extend(other.layers.iter().cloned());
+        ModelSpec::new(self.name.clone(), self.input, layers)
+    }
+
+    /// Splits the model into `n` blocks of roughly equal MACC cost,
+    /// returning the block boundaries as layer-index ranges.
+    ///
+    /// Boundaries never split a layer, every block is non-empty (when
+    /// `n <= len()`), and the concatenation of all blocks is the original
+    /// layer sequence. This mirrors the paper's "slice the base DNN into
+    /// blocks" step (Alg. 3 line 2) with N blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > len()`.
+    pub fn block_ranges(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        assert!(n > 0, "block count must be positive");
+        assert!(n <= self.layers.len(), "more blocks than layers");
+        let total = self.total_maccs().max(1);
+        let target = total / n as u64;
+        let mut ranges = Vec::with_capacity(n);
+        let mut start = 0usize;
+        let mut acc = 0u64;
+        for i in 0..self.layers.len() {
+            acc += self.layer_maccs(i);
+            let blocks_left = n - ranges.len();
+            let layers_left = self.layers.len() - (i + 1);
+            // Close the block when we pass the per-block budget, but always
+            // leave at least one layer per remaining block.
+            if ranges.len() + 1 < n && (acc >= target || layers_left < blocks_left) {
+                ranges.push(start..i + 1);
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        ranges.push(start..self.layers.len());
+        ranges
+    }
+
+    /// Splits into `n` block sub-models (see [`ModelSpec::block_ranges`]).
+    pub fn blocks(&self, n: usize) -> Vec<ModelSpec> {
+        self.block_ranges(n)
+            .into_iter()
+            .map(|r| {
+                self.slice(r.start, r.end)
+                    .expect("block slice of a valid model is valid")
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for ModelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} (input {}, {} layers, {:.1} MMACCs, {:.2} M params)",
+            self.name,
+            self.input,
+            self.layers.len(),
+            self.total_maccs() as f64 / 1e6,
+            self.total_params() as f64 / 1e6,
+        )?;
+        for (i, l) in self.layers.iter().enumerate() {
+            writeln!(
+                f,
+                "  {i:2}: {:<20} -> {:<12} {:>12} MACCs",
+                l.encode(),
+                self.layer_output(i).to_string(),
+                self.layer_maccs(i)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> ModelSpec {
+        ModelSpec::new(
+            "toy",
+            Shape::new(3, 32, 32),
+            vec![
+                LayerSpec::conv(3, 1, 1, 16),
+                LayerSpec::max_pool(2, 2),
+                LayerSpec::conv(3, 1, 1, 32),
+                LayerSpec::max_pool(2, 2),
+                LayerSpec::Flatten,
+                LayerSpec::fc(64),
+                LayerSpec::fc(10),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let m = toy();
+        assert_eq!(m.layer_output(0), Shape::new(16, 32, 32));
+        assert_eq!(m.layer_output(1), Shape::new(16, 16, 16));
+        assert_eq!(m.layer_output(3), Shape::new(32, 8, 8));
+        assert_eq!(m.layer_output(4), Shape::features(32 * 8 * 8));
+        assert_eq!(m.output_shape(), Shape::features(10));
+    }
+
+    #[test]
+    fn total_maccs_is_sum_of_layers() {
+        let m = toy();
+        let sum: u64 = (0..m.len()).map(|i| m.layer_maccs(i)).sum();
+        assert_eq!(m.total_maccs(), sum);
+    }
+
+    #[test]
+    fn slice_concat_roundtrip() {
+        let m = toy();
+        let a = m.slice(0, 3).unwrap();
+        let b = m.slice(3, m.len()).unwrap();
+        let joined = a.concat(&b).unwrap();
+        assert_eq!(joined.layers(), m.layers());
+        assert_eq!(joined.total_maccs(), m.total_maccs());
+    }
+
+    #[test]
+    fn replace_layer_revalidates() {
+        let m = toy();
+        // Replace conv(3,1,1,32) with depthwise+pointwise (MobileNet-style).
+        let replaced = m
+            .replace_layer(
+                2,
+                vec![
+                    LayerSpec::DepthwiseConv2d {
+                        kernel: 3,
+                        stride: 1,
+                        pad: 1,
+                    },
+                    LayerSpec::conv(1, 1, 0, 32),
+                ],
+            )
+            .unwrap();
+        assert_eq!(replaced.len(), m.len() + 1);
+        assert_eq!(replaced.output_shape(), m.output_shape());
+        assert!(replaced.total_maccs() < m.total_maccs());
+    }
+
+    #[test]
+    fn replace_layer_rejects_bad_shapes() {
+        let m = toy();
+        // FC directly on a spatial feature map should fail.
+        assert!(m.replace_layer(2, vec![LayerSpec::fc(10)]).is_err());
+    }
+
+    #[test]
+    fn block_ranges_partition_all_layers() {
+        let m = toy();
+        for n in 1..=3 {
+            let ranges = m.block_ranges(n);
+            assert_eq!(ranges.len(), n);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges.last().unwrap().end, m.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+                assert!(!pair[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn blocks_concat_to_original() {
+        let m = toy();
+        let blocks = m.blocks(3);
+        let mut joined = blocks[0].clone();
+        for b in &blocks[1..] {
+            joined = joined.concat(b).unwrap();
+        }
+        assert_eq!(joined.layers(), m.layers());
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_models() {
+        let m = toy();
+        let other = m.replace_layer(0, vec![LayerSpec::conv(3, 1, 1, 8)]).unwrap();
+        assert_ne!(m.structural_hash(), other.structural_hash());
+        assert_eq!(m.structural_hash(), toy().structural_hash());
+    }
+
+    #[test]
+    fn cut_bytes_match_shapes() {
+        let m = toy();
+        assert_eq!(m.cut_bytes_after(1), 16 * 16 * 16 * 4);
+        assert_eq!(m.input_bytes(), 3 * 32 * 32 * 4);
+    }
+
+    #[test]
+    fn display_contains_layers() {
+        let text = toy().to_string();
+        assert!(text.contains("Conv,3,1,1,16"));
+        assert!(text.contains("FC,0,0,0,10"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the spec algebra: shape propagation, block
+//! slicing, MACC accounting and DAG expansion over randomized models.
+
+#![cfg(test)]
+
+use proptest::prelude::*;
+
+use crate::graph::ModelDag;
+use crate::layer::{LayerSpec, Shape};
+use crate::model::ModelSpec;
+
+/// Random valid chain specs: conv stacks with occasional pools, a flatten
+/// and an FC head, over a 16×16 input.
+fn arb_spec() -> impl Strategy<Value = ModelSpec> {
+    let block = prop_oneof![
+        3 => (prop_oneof![Just(8usize), Just(16), Just(32)], 1usize..=2)
+            .prop_map(|(c, s)| vec![LayerSpec::conv(3, s, 1, c)]),
+        1 => Just(vec![LayerSpec::max_pool(2, 2)]),
+        1 => (4usize..=16).prop_map(|sq| vec![LayerSpec::Fire {
+            squeeze: sq,
+            expand1: sq * 2,
+            expand3: sq * 2,
+        }]),
+    ];
+    proptest::collection::vec(block, 1..4).prop_filter_map("shape-valid spec", |blocks| {
+        let mut layers: Vec<LayerSpec> = blocks.into_iter().flatten().collect();
+        layers.push(LayerSpec::GlobalAvgPool);
+        layers.push(LayerSpec::Flatten);
+        layers.push(LayerSpec::fc(10));
+        ModelSpec::new("rand", Shape::new(3, 16, 16), layers).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Slicing at any point and re-concatenating reproduces the model.
+    #[test]
+    fn slice_concat_identity(spec in arb_spec(), cut in 1usize..8) {
+        let cut = cut.min(spec.len() - 1);
+        let a = spec.slice(0, cut).expect("prefix slice");
+        let b = spec.slice(cut, spec.len()).expect("suffix slice");
+        let joined = a.concat(&b).expect("slices re-concatenate");
+        prop_assert_eq!(joined.layers(), spec.layers());
+        prop_assert_eq!(joined.total_maccs(), spec.total_maccs());
+        prop_assert_eq!(joined.output_shape(), spec.output_shape());
+    }
+
+    /// Block ranges tile the layer sequence exactly for every feasible N.
+    #[test]
+    fn blocks_tile_the_model(spec in arb_spec()) {
+        for n in 1..=spec.len().min(4) {
+            let ranges = spec.block_ranges(n);
+            prop_assert_eq!(ranges.len(), n);
+            let mut expected_start = 0;
+            for r in &ranges {
+                prop_assert_eq!(r.start, expected_start);
+                prop_assert!(!r.is_empty());
+                expected_start = r.end;
+            }
+            prop_assert_eq!(expected_start, spec.len());
+        }
+    }
+
+    /// Per-layer MACCs sum to the total, and the DAG expansion preserves
+    /// the total exactly.
+    #[test]
+    fn macc_accounting_consistent(spec in arb_spec()) {
+        let per_layer: u64 = (0..spec.len()).map(|i| spec.layer_maccs(i)).sum();
+        prop_assert_eq!(per_layer, spec.total_maccs());
+        let dag = ModelDag::from_spec(&spec);
+        prop_assert_eq!(dag.total_maccs(), spec.total_maccs());
+    }
+
+    /// Shape propagation is consistent: each layer's recorded input equals
+    /// the previous layer's output.
+    #[test]
+    fn shapes_chain(spec in arb_spec()) {
+        for i in 1..spec.len() {
+            prop_assert_eq!(spec.layer_input(i), spec.layer_output(i - 1));
+        }
+        prop_assert_eq!(spec.layer_input(0), spec.input_shape());
+    }
+
+    /// The Eq. 1 encoding uniquely keys structure: equal encodes imply
+    /// equal layer lists (over this generator's space).
+    #[test]
+    fn encode_is_injective_enough(a in arb_spec(), b in arb_spec()) {
+        if a.encode() == b.encode() {
+            prop_assert_eq!(a.layers(), b.layers());
+        }
+    }
+
+    /// transfer_bytes is 4 bytes per element everywhere.
+    #[test]
+    fn transfer_bytes_are_4x_len(spec in arb_spec()) {
+        for i in 0..spec.len() {
+            let shape = spec.layer_output(i);
+            prop_assert_eq!(shape.transfer_bytes(), shape.len() as u64 * 4);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Bring-your-own context: define a custom bandwidth process (or load a
+//! recorded CSV trace), characterize it, and train a deployment for it —
+//! the workflow for scenarios outside the paper's presets.
+//!
+//! ```sh
+//! cargo run --release --example custom_scenario
+//! ```
+
+use cadmc::core::executor::{execute, ExecConfig, Policy};
+use cadmc::core::memo::MemoPool;
+use cadmc::core::search::{Controllers, SearchConfig};
+use cadmc::core::tree_search::tree_search;
+use cadmc::core::EvalEnv;
+use cadmc::netsim::gilbert::GilbertElliott;
+use cadmc::netsim::stats::trace_stats;
+use cadmc::nn::zoo;
+
+fn main() {
+    // A bursty link modeled as a Gilbert-Elliott chain: long good spells
+    // at ~15 Mbps, outages at ~0.8 Mbps.
+    let channel = GilbertElliott {
+        good_mbps: 15.0,
+        bad_mbps: 0.8,
+        p_good_to_bad: 0.015,
+        p_bad_to_good: 0.08,
+        jitter: 0.2,
+    };
+    let train_trace = channel.trace(1800, 100.0, 1); // 3 minutes
+    let test_trace = channel.trace(600, 100.0, 2); // held-out minute
+
+    let st = trace_stats(&train_trace, 1000.0);
+    let (poor, good) = train_trace.quartile_levels();
+    println!(
+        "custom channel: mean {:.2} Mbps | cv {:.2} | outage {:.1}% | levels {poor:.2}/{good:.2}",
+        st.mean,
+        st.cv,
+        st.outage_fraction * 100.0
+    );
+
+    // Train a model tree against the custom context's levels.
+    let base = zoo::alexnet_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 80,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let result = tree_search(
+        &mut controllers,
+        &base,
+        &env,
+        &[poor, good],
+        3,
+        &cfg,
+        &memo,
+        true,
+        Some(&train_trace),
+    );
+
+    // Execute on the held-out trace.
+    let report = execute(
+        &env,
+        &base,
+        &Policy::Tree(&result.tree),
+        &test_trace,
+        &ExecConfig::emulation(120, 3),
+    );
+    let eval = report.evaluation(&env.reward);
+    println!(
+        "held-out execution: mean {:.2} ms | p95 {:.2} ms | accuracy {:.2} % | reward {:.2}",
+        report.mean_latency_ms(),
+        report.p95_latency_ms(),
+        report.mean_accuracy() * 100.0,
+        eval.reward
+    );
+    for path in result.tree.branches() {
+        println!("  branch {:?}: {}", path, result.tree.compose_path(&path).summary());
+    }
+}

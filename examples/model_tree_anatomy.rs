@@ -1,0 +1,74 @@
+//! Anatomy of a context-aware model tree: train one, then print its
+//! structure — every node's block, transformation and placement — and
+//! every branch's composed model, the way the paper's Fig. 3 / Fig. 8
+//! illustrate it.
+//!
+//! ```sh
+//! cargo run --release --example model_tree_anatomy
+//! ```
+
+use cadmc::core::engine::DecisionEngine;
+use cadmc::core::search::SearchConfig;
+use cadmc::core::EvalEnv;
+use cadmc::latency::Mbps;
+use cadmc::netsim::Scenario;
+use cadmc::nn::zoo;
+
+fn main() {
+    let cfg = SearchConfig {
+        episodes: 120,
+        ..SearchConfig::default()
+    };
+    let engine = DecisionEngine::train(
+        zoo::vgg11_cifar(),
+        EvalEnv::phone(),
+        Scenario::FourGOutdoorQuick,
+        &cfg,
+        7,
+    );
+    let tree = engine.tree();
+    println!(
+        "model tree for VGG11 / Phone / 4G outdoor quick — N = {} blocks, K = {} levels\n",
+        tree.n_blocks(),
+        tree.k()
+    );
+
+    println!("nodes:");
+    for (id, node) in tree.nodes().iter().enumerate() {
+        let range = tree.block_range(node.level);
+        let placement = match node.partition_abs {
+            Some(0) => "offload everything".to_string(),
+            Some(abs) => format!("cut before base layer {abs}"),
+            None => "stays on edge".to_string(),
+        };
+        let acts = if node.actions.is_empty() {
+            "identity".to_string()
+        } else {
+            node.actions
+                .iter()
+                .map(|a| format!("{}@{}", a.technique.code(), a.layer_index))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "  node {id}: level {} (base layers {}..{}), {placement}, actions [{acts}], children {:?}",
+            node.level, range.start, range.end, node.children
+        );
+    }
+
+    println!("\nbranches (root -> leaf), evaluated at each context level:");
+    for path in tree.branches() {
+        let candidate = tree.compose_path(&path);
+        print!("  {:?} => {:<44}", path, candidate.summary());
+        for &bw in tree.levels() {
+            let e = engine.evaluate(&candidate, Mbps(bw));
+            print!(
+                "  @{bw:>5.1} Mbps: {:>6.1} ms / {:.2} % / R {:.1}",
+                e.latency_ms,
+                e.accuracy * 100.0,
+                e.reward
+            );
+        }
+        println!();
+    }
+}

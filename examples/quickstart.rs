@@ -1,0 +1,54 @@
+//! Quickstart: search a joint partition + compression strategy for VGG11
+//! on a smartphone at a fixed bandwidth, and compare it with the dynamic
+//! DNN surgery baseline.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cadmc::core::branch::optimal_branch;
+use cadmc::core::memo::MemoPool;
+use cadmc::core::search::{Controllers, SearchConfig};
+use cadmc::core::{surgery, EvalEnv};
+use cadmc::latency::Mbps;
+use cadmc::nn::zoo;
+
+fn main() {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let bandwidth = Mbps(10.0);
+
+    println!("Base model:\n{base}");
+
+    // Baseline: dynamic DNN surgery — optimal partition of the fixed model.
+    let surgery = surgery::plan(&base, &env, bandwidth);
+    println!(
+        "surgery : {:<40} reward {:.2} ({:.1} ms, {:.2} %)",
+        surgery.candidate.summary(),
+        surgery.evaluation.reward,
+        surgery.evaluation.latency_ms,
+        surgery.evaluation.accuracy * 100.0
+    );
+
+    // Ours: Algorithm 1 — joint partition + compression RL search.
+    let cfg = SearchConfig {
+        episodes: 120,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let outcome = optimal_branch(&mut controllers, &base, &env, bandwidth, &cfg, &memo);
+    println!(
+        "branch  : {:<40} reward {:.2} ({:.1} ms, {:.2} %)",
+        outcome.best.summary(),
+        outcome.best_eval.reward,
+        outcome.best_eval.latency_ms,
+        outcome.best_eval.accuracy * 100.0
+    );
+    println!(
+        "\nsearch visited {} episodes; memo pool: {} hits / {} misses",
+        outcome.episode_rewards.len(),
+        memo.hits(),
+        memo.misses()
+    );
+}

@@ -1,0 +1,64 @@
+//! Train-then-ship workflow: the offline phase produces a model tree on a
+//! workstation, serializes it, and an "edge runtime" loads it back and
+//! serves requests — the deployment story behind the paper's Fig. 2.
+//!
+//! ```sh
+//! cargo run --release --example train_and_ship
+//! ```
+
+use cadmc::core::engine::DecisionEngine;
+use cadmc::core::persist;
+use cadmc::core::search::SearchConfig;
+use cadmc::core::EvalEnv;
+use cadmc::netsim::{BandwidthEstimator, Scenario, TraceCursor};
+use cadmc::nn::zoo;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- workstation: offline phase -------------------------------------
+    let cfg = SearchConfig {
+        episodes: 80,
+        ..SearchConfig::default()
+    };
+    let engine = DecisionEngine::train(
+        zoo::alexnet_cifar(),
+        EvalEnv::phone(),
+        Scenario::WifiWeakIndoor,
+        &cfg,
+        21,
+    );
+    let path = std::env::temp_dir().join("cadmc-shipped-tree.json");
+    persist::save_tree(engine.tree(), &path)?;
+    println!(
+        "offline: trained and shipped tree ({} nodes, {:.2} MB of edge blocks) -> {}",
+        engine.tree().nodes().len(),
+        engine.tree().edge_storage_bytes() as f64 / 1e6,
+        path.display()
+    );
+
+    // ---- edge device: online phase --------------------------------------
+    let tree = persist::load_tree(&path)?;
+    let trace = Scenario::WifiWeakIndoor.trace(99); // unseen conditions
+    let mut cursor = TraceCursor::new(&trace);
+    let mut estimator = BandwidthEstimator::field();
+    println!("\nonline: serving 8 requests against an unseen trace");
+    for req in 0..8 {
+        let (path_ids, candidate) = tree.compose(|_level| {
+            estimator.observe(cursor.time_ms(), cursor.bandwidth())
+        });
+        // Pretend the request took the deployment's estimated latency.
+        let latency = EvalEnv::phone().latency_ms(
+            &candidate,
+            cadmc::latency::Mbps(cursor.bandwidth()),
+        );
+        cursor.advance(latency + 400.0);
+        println!(
+            "  request {req}: bw ~{:>5.2} Mbps -> path {:?} -> {} ({:.1} ms est.)",
+            cursor.bandwidth(),
+            path_ids,
+            candidate.summary(),
+            latency
+        );
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! # cadmc — Context-Aware Deep Model Compression for Edge Cloud Computing
+//!
+//! A from-scratch Rust reproduction of Wang et al., *Context-Aware Deep
+//! Model Compression for Edge Cloud Computing* (ICDCS 2020): a
+//! reinforcement-learning decision engine that jointly searches DNN
+//! partition and compression strategies and materializes them as a
+//! context-aware **model tree**, so inference adapts to bandwidth
+//! fluctuation block by block.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`autodiff`] — tape-based reverse-mode AD (LSTM controllers, CNN ops);
+//! * [`nn`] — layer/model specs, MACC accounting, model zoo, trainable
+//!   small-CNN runtime with knowledge distillation;
+//! * [`compress`] — the seven Table 2 compression techniques;
+//! * [`latency`] — device profiles and the Eq. 3/6 latency models;
+//! * [`netsim`] — bandwidth traces, scenario presets, online estimation;
+//! * [`accuracy`] — the calibrated accuracy oracle + trained evaluator;
+//! * [`core`] — the decision engine: controllers, Alg. 1–3, baselines,
+//!   emulation/field harnesses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cadmc::core::search::{Controllers, SearchConfig};
+//! use cadmc::core::{memo::MemoPool, EvalEnv};
+//! use cadmc::latency::Mbps;
+//! use cadmc::nn::zoo;
+//!
+//! // Search a partition+compression strategy for VGG11 at 10 Mbps.
+//! let base = zoo::vgg11_cifar();
+//! let env = EvalEnv::phone();
+//! let cfg = SearchConfig { episodes: 20, ..SearchConfig::quick(0) };
+//! let mut controllers = Controllers::new(&cfg);
+//! let memo = MemoPool::new();
+//! let outcome = cadmc::core::branch::optimal_branch(
+//!     &mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+//! assert!(outcome.best_eval.reward > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cadmc_accuracy as accuracy;
+pub use cadmc_autodiff as autodiff;
+pub use cadmc_compress as compress;
+pub use cadmc_core as core;
+pub use cadmc_latency as latency;
+pub use cadmc_netsim as netsim;
+pub use cadmc_nn as nn;

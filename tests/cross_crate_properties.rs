@@ -1,0 +1,135 @@
+//! Property-based integration tests spanning crates: random compression
+//! plans, partitions, traces and reward inputs must uphold the system's
+//! invariants end to end.
+
+use proptest::prelude::*;
+
+use cadmc::compress::{CompressionPlan, Technique};
+use cadmc::core::{Candidate, EvalEnv, Partition, RewardSpec};
+use cadmc::latency::{DeviceProfile, Mbps, TransferModel};
+use cadmc::netsim::{BandwidthTrace, ProcessConfig};
+use cadmc::nn::zoo;
+
+fn arb_technique() -> impl Strategy<Value = Option<Technique>> {
+    prop_oneof![
+        3 => Just(None),
+        1 => (0usize..7).prop_map(|i| Some(Technique::ALL[i])),
+    ]
+}
+
+fn arb_plan(len: usize) -> impl Strategy<Value = CompressionPlan> {
+    proptest::collection::vec(arb_technique(), len).prop_map(CompressionPlan::from_actions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sanitized plan composes with any partition, preserves the
+    /// output shape, and never increases MACCs.
+    #[test]
+    fn sanitized_plans_always_compose(
+        plan in arb_plan(zoo::vgg11_cifar().len()),
+        cut in 0usize..20,
+    ) {
+        let base = zoo::vgg11_cifar();
+        let plan = plan.sanitized(&base);
+        let partition = if cut == 0 {
+            Partition::AllCloud
+        } else if cut >= base.len() {
+            Partition::AllEdge
+        } else {
+            Partition::AfterLayer(cut - 1)
+        };
+        let c = Candidate::compose(&base, partition, &plan).expect("sanitized plan");
+        prop_assert_eq!(c.model.output_shape(), base.output_shape());
+        prop_assert!(c.model.total_maccs() <= base.total_maccs());
+    }
+
+    /// Latency is monotone: more bandwidth never hurts, and compressing
+    /// the edge part never increases the edge compute term.
+    #[test]
+    fn latency_monotone_in_bandwidth(
+        plan in arb_plan(zoo::vgg11_cifar().len()),
+        bw_lo in 0.2f64..20.0,
+        extra in 0.1f64..100.0,
+    ) {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let plan = plan.sanitized(&base);
+        let c = Candidate::compose(&base, Partition::AfterLayer(4), &plan).expect("sanitized");
+        let lo = env.latency_ms(&c, Mbps(bw_lo));
+        let hi = env.latency_ms(&c, Mbps(bw_lo + extra));
+        prop_assert!(hi <= lo + 1e-9);
+    }
+
+    /// The reward is bounded and monotone in accuracy and latency.
+    #[test]
+    fn reward_bounded_and_monotone(
+        acc in 0.0f64..1.0,
+        lat in 0.0f64..1000.0,
+        d_acc in 0.001f64..0.2,
+        d_lat in 0.1f64..200.0,
+    ) {
+        let spec = RewardSpec::default();
+        let r = spec.reward(acc, lat);
+        prop_assert!((0.0..=400.0).contains(&r));
+        prop_assert!(spec.reward(acc + d_acc, lat) >= r - 1e-9);
+        prop_assert!(spec.reward(acc, lat + d_lat) <= r + 1e-9);
+    }
+
+    /// Transfer latency obeys Eq. 6 structure: linear in size given
+    /// bandwidth, decreasing in bandwidth, zero only for zero bytes.
+    #[test]
+    fn transfer_model_structure(
+        bytes in 1u64..5_000_000,
+        bw in 0.1f64..500.0,
+    ) {
+        let m = TransferModel::default();
+        let t = m.latency_ms(bytes, Mbps(bw));
+        prop_assert!(t > 0.0 && t.is_finite());
+        prop_assert!(m.latency_ms(bytes * 2, Mbps(bw)) > t);
+        prop_assert!(m.latency_ms(bytes, Mbps(bw * 2.0)) <= t);
+        prop_assert_eq!(m.latency_ms(0, Mbps(bw)), 0.0);
+    }
+
+    /// Synthesized traces are positive, have ordered quartiles, and the
+    /// cut-point byte accounting matches the shape algebra.
+    #[test]
+    fn trace_and_cut_invariants(seed in 0u64..500, mean_low in 0.5f64..5.0) {
+        let cfg = ProcessConfig {
+            mean_low,
+            mean_high: mean_low * 4.0,
+            reversion: 1.0,
+            sigma: 1.5,
+            switch_rate: 0.1,
+            dropout_rate: 0.02,
+            dropout_secs: 1.0,
+            floor: 0.05,
+        };
+        let trace = BandwidthTrace::synthesize(cfg, 10_000.0, 100.0, seed);
+        prop_assert!(trace.samples().iter().all(|&v| v > 0.0));
+        let (poor, good) = trace.quartile_levels();
+        prop_assert!(poor <= good);
+
+        let base = zoo::alexnet_cifar();
+        for i in 0..base.len() {
+            prop_assert_eq!(
+                base.cut_bytes_after(i),
+                base.layer_output(i).transfer_bytes()
+            );
+        }
+    }
+
+    /// Device latency estimation is additive over any split point.
+    #[test]
+    fn device_latency_additive(split in 1usize..18) {
+        let base = zoo::vgg11_cifar();
+        let split = split.min(base.len() - 1);
+        for profile in [DeviceProfile::phone(), DeviceProfile::tx2(), DeviceProfile::cloud()] {
+            let total = profile.model_latency_ms(&base);
+            let parts = profile.range_latency_ms(&base, 0, split)
+                + profile.range_latency_ms(&base, split, base.len());
+            prop_assert!((total - parts).abs() < 1e-9);
+        }
+    }
+}

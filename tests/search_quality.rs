@@ -1,0 +1,129 @@
+//! Search-quality integration tests: the RL engine's learning behaviour
+//! on real (simulated-environment) objectives, at reduced budgets.
+
+use cadmc::core::branch::optimal_branch;
+use cadmc::core::experiments::search_comparison;
+use cadmc::core::memo::MemoPool;
+use cadmc::core::search::{Controllers, SearchConfig};
+use cadmc::core::{EvalEnv, NetworkContext};
+use cadmc::latency::{Mbps, Platform};
+use cadmc::netsim::Scenario;
+use cadmc::nn::zoo;
+
+#[test]
+fn branch_search_improves_over_episodes() {
+    // The mean episode reward of the last third should exceed the first
+    // third: the policy is actually learning, not just sampling.
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 5);
+    // ε-exploration injects uniform-random partitions into the episode
+    // stream, masking the policy's own improvement; disable it here to
+    // isolate the learning signal.
+    let cfg = SearchConfig {
+        episodes: 90,
+        seed: 5,
+        explore_epsilon: 0.0,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let outcome = optimal_branch(
+        &mut controllers,
+        &base,
+        &env,
+        Mbps(ctx.median_bandwidth()),
+        &cfg,
+        &memo,
+    );
+    let r = &outcome.episode_rewards;
+    let third = r.len() / 3;
+    let first: f64 = r[..third].iter().sum::<f64>() / third as f64;
+    let last: f64 = r[r.len() - third..].iter().sum::<f64>() / third as f64;
+    assert!(
+        last > first + 1.0,
+        "no learning signal: first-third mean {first:.2}, last-third mean {last:.2}"
+    );
+}
+
+#[test]
+fn rl_tree_search_matches_or_beats_baselines_in_hard_context() {
+    // The Fig. 7 claim at integration scale: on the weak-WiFi context the
+    // RL search should end at least as high as random / ε-greedy.
+    let cmp = search_comparison(
+        &zoo::vgg11_cifar(),
+        Platform::Phone,
+        Scenario::WifiWeakIndoor,
+        120,
+        7,
+    );
+    let (rl, random, eg) = cmp.finals();
+    assert!(
+        rl >= random - 1.0 && rl >= eg - 1.0,
+        "RL {rl:.2} vs random {random:.2} / e-greedy {eg:.2}"
+    );
+}
+
+#[test]
+fn already_compressed_model_gains_little_from_compression() {
+    // MobileNet is the C1 reference architecture: the engine's best plan
+    // for it should barely move its MACCs (most techniques do not even
+    // apply), whereas VGG11 should compress substantially.
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 60,
+        seed: 3,
+        ..SearchConfig::default()
+    };
+    let run = |base: &cadmc::nn::ModelSpec| {
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let outcome = optimal_branch(&mut controllers, base, &env, Mbps(1.0), &cfg, &memo);
+        // At 1 Mbps offloading is hopeless, so the best candidate stays on
+        // the edge and its MACC ratio reflects pure compression appetite.
+        outcome.best.model.total_maccs() as f64 / base.total_maccs() as f64
+    };
+    let mobilenet_ratio = run(&zoo::mobilenet_cifar());
+    let vgg_ratio = run(&zoo::vgg11_cifar());
+    assert!(
+        vgg_ratio < mobilenet_ratio,
+        "VGG11 should compress more: vgg {vgg_ratio:.2} vs mobilenet {mobilenet_ratio:.2}"
+    );
+    assert!(
+        mobilenet_ratio > 0.55,
+        "MobileNet should be near-incompressible, got ratio {mobilenet_ratio:.2}"
+    );
+}
+
+#[test]
+fn memo_pool_is_shared_effectively_across_phases() {
+    // Boosted tree search reuses the memo pool across branch warmup and
+    // tree episodes; the hit rate should be substantial.
+    let base = zoo::alexnet_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 2);
+    let cfg = SearchConfig {
+        episodes: 60,
+        seed: 2,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let _ = cadmc::core::tree_search::tree_search(
+        &mut controllers,
+        &base,
+        &env,
+        ctx.levels(),
+        3,
+        &cfg,
+        &memo,
+        true,
+        Some(ctx.trace()),
+    );
+    let hits = memo.hits();
+    let misses = memo.misses();
+    // At short budgets the candidate space is barely revisited; the pool
+    // must still be exercised and save at least some re-evaluations.
+    assert!(hits > 0, "memo pool never hit: {hits} hits / {misses} misses");
+    assert!(misses > 0);
+}
