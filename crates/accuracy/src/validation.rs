@@ -182,11 +182,14 @@ mod tests {
         // Real-gradient check at tiny scale: the oracle's predictions for
         // a couple of single-technique plans should land within a few
         // points of measured post-distillation accuracy, and never predict
-        // an accuracy *gain*.
+        // an accuracy *gain*. Plans are restricted to F1 and C1: F2's
+        // KSVD rank on TinyCnn's fc(32) is 5 — below the 10 classes — so
+        // whether that bottleneck converges at this scale is seed lottery,
+        // not a statement about the oracle.
         let base = zoo::tiny_cnn();
-        let data = dataset::synthetic(260, 1.0, 19);
+        let data = dataset::synthetic(260, 0.5, 19);
         let cfg = TrainConfig {
-            epochs: 5,
+            epochs: 10,
             batch_size: 20,
             lr: 8e-3,
             seed: 2,
@@ -194,8 +197,12 @@ mod tests {
         };
         let plans: Vec<CompressionPlan> = single_technique_plans(&base)
             .into_iter()
-            .take(2)
+            .filter(|p| {
+                let s = p.summary();
+                s.starts_with("F1") || s.starts_with("C1")
+            })
             .collect();
+        assert_eq!(plans.len(), 2);
         assert!(!plans.is_empty());
         let report = validate_oracle(&base, &plans, data, &cfg).unwrap();
         assert!(report.teacher_accuracy > 0.5);

@@ -1,0 +1,110 @@
+//! Microbenchmarks for the parallel rollout engine: tree search across
+//! worker counts (serial vs fanned-out episode batches) and the sharded
+//! memo pool under thread contention (1 / 4 / 16 shards).
+//!
+//! Worker count never changes results (see the `parallel_determinism`
+//! integration tests), so these benches measure pure scheduling cost. On
+//! a single-core host the worker sweep degenerates to overhead
+//! measurement; run on a multicore machine to see the fan-out win.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{Candidate, EvalEnv, NetworkContext};
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn search_cfg(workers: usize) -> SearchConfig {
+    SearchConfig {
+        episodes: 20,
+        hidden: 8,
+        seed: 7,
+        parallelism: Parallelism::new(workers),
+        ..SearchConfig::default()
+    }
+}
+
+fn bench_tree_search_workers(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 7);
+    let mut group = c.benchmark_group("tree_search_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let cfg = search_cfg(workers);
+                    let mut controllers = Controllers::new(&cfg);
+                    let memo = MemoPool::new();
+                    tree_search(
+                        &mut controllers,
+                        &base,
+                        &env,
+                        ctx.levels(),
+                        3,
+                        &cfg,
+                        &memo,
+                        false,
+                        None,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_memo_shards(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    // A pool of distinct candidates to look up (pre-evaluated once so the
+    // bench measures cache traffic, not evaluation).
+    let candidates: Vec<Candidate> = (0..base.len())
+        .map(|i| {
+            Candidate::compose(
+                &base,
+                cadmc_core::Partition::AfterLayer(i),
+                &cadmc_compress::CompressionPlan::identity(base.len()),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mut group = c.benchmark_group("memo_pool_shards");
+    group.sample_size(10);
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &shards,
+            |b, &shards| {
+                let memo = MemoPool::with_shards(shards);
+                for c in &candidates {
+                    memo.get_or_insert_with(c, 10.0, || env.evaluate(&base, c, cadmc_latency::Mbps(10.0)));
+                }
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..4 {
+                            let memo = &memo;
+                            let candidates = &candidates;
+                            scope.spawn(move || {
+                                for i in 0..2_000usize {
+                                    let c = &candidates[(i + t) % candidates.len()];
+                                    criterion::black_box(memo.get(c, 10.0));
+                                }
+                            });
+                        }
+                    });
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_search_workers, bench_memo_shards);
+criterion_main!(benches);

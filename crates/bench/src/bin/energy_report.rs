@@ -11,7 +11,7 @@ use cadmc_nn::zoo;
 fn main() {
     let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
-    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     println!("Per-inference device energy (VGG11, Phone; mJ at the context median)\n");
     println!(
         "{:<22} {:>10} | {:>9} {:>9} {:>9}",

@@ -6,6 +6,7 @@ use cadmc_core::baselines::{epsilon_greedy_search, random_search};
 use cadmc_core::branch::optimal_branch;
 use cadmc_core::experiments::search_comparison;
 use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
 use cadmc_core::search::{Controllers, SearchConfig};
 use cadmc_core::{EvalEnv, NetworkContext};
 use cadmc_latency::{Mbps, Platform};
@@ -15,10 +16,15 @@ use cadmc_nn::zoo;
 fn main() {
     let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
+    let par = std::env::var("CADMC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(Parallelism::available, Parallelism::new);
     println!("Fig. 7: search method comparison (VGG11, Phone; {episodes} episodes per method)\n");
     for scenario in [Scenario::FourGIndoorStatic, Scenario::WifiWeakIndoor] {
         println!("context: {}", scenario.name());
-        let cmp = search_comparison(&zoo::vgg11_cifar(), Platform::Phone, scenario, episodes, seed);
+        let cmp =
+            search_comparison(&zoo::vgg11_cifar(), Platform::Phone, scenario, episodes, seed, par);
         let (rl, random, eg) = cmp.finals();
         for (name, curve, final_v) in [
             ("RL (ours)", &cmp.rl, rl),
@@ -36,11 +42,11 @@ fn main() {
     let base = zoo::vgg11_cifar();
     let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, seed);
     let bw = Mbps(ctx.median_bandwidth());
-    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let cfg = SearchConfig { episodes, seed, parallelism: par, ..SearchConfig::default() };
     let mut controllers = Controllers::new(&cfg);
     let rl = optimal_branch(&mut controllers, &base, &env, bw, &cfg, &MemoPool::new());
-    let rnd = random_search(&base, &env, bw, episodes, seed, &MemoPool::new());
-    let eg = epsilon_greedy_search(&base, &env, bw, episodes, 0.3, seed, &MemoPool::new());
+    let rnd = random_search(&base, &env, bw, episodes, seed, &MemoPool::new(), par);
+    let eg = epsilon_greedy_search(&base, &env, bw, episodes, 0.3, seed, &MemoPool::new(), par);
     for (name, out) in [("RL (ours)", &rl), ("random", &rnd), ("e-greedy", &eg)] {
         let curve = out.best_so_far();
         println!(

@@ -10,7 +10,7 @@ use cadmc_nn::zoo;
 fn main() {
     let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
-    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     for scenario in [Scenario::FourGIndoorStatic, Scenario::FourGOutdoorQuick] {
         let ill = strategy_illustration(&zoo::vgg11_cifar(), Platform::Phone, scenario, &cfg, seed);
         println!("Fig. 8: strategies under '{}'", ill.scenario);

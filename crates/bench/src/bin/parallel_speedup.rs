@@ -1,0 +1,181 @@
+//! Measures the wall-clock speedup of parallel episode rollouts and the
+//! sharded memo pool, writing a machine-readable table to
+//! `results/BENCH_parallel_search.json` (override the path with
+//! `CADMC_BENCH_OUT`).
+//!
+//! The worker count never changes search results — the determinism
+//! regression tests pin that — so the numbers here are pure scheduling.
+//! Interpret them against `host_parallelism`: on a single-core host every
+//! worker count collapses onto one CPU and speedup hovers around 1.0 (the
+//! fan-out overhead itself is what is being measured); the parallel win
+//! requires as many cores as workers.
+
+use std::time::Instant;
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{EvalEnv, NetworkContext};
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct WorkerPoint {
+    workers: usize,
+    mean_ms: f64,
+    speedup_vs_serial: f64,
+}
+
+#[derive(Serialize)]
+struct ShardPoint {
+    shards: usize,
+    lookups_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    host_parallelism: usize,
+    episodes: usize,
+    reps: usize,
+    tree_search_workers: Vec<WorkerPoint>,
+    memo_pool_shards: Vec<ShardPoint>,
+    note: String,
+}
+
+fn time_tree_search(workers: usize, episodes: usize, reps: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 7);
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let cfg = SearchConfig {
+            episodes,
+            hidden: 8,
+            seed: 7 + rep as u64,
+            parallelism: Parallelism::new(workers),
+            ..SearchConfig::default()
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let start = Instant::now();
+        let result = tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            ctx.levels(),
+            3,
+            &cfg,
+            &memo,
+            false,
+            None,
+        );
+        total += start.elapsed().as_secs_f64() * 1000.0;
+        std::hint::black_box(result);
+    }
+    total / reps as f64
+}
+
+fn time_memo_shards(shards: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let candidates: Vec<_> = (0..base.len())
+        .map(|i| {
+            cadmc_core::Candidate::compose(
+                &base,
+                cadmc_core::Partition::AfterLayer(i),
+                &cadmc_compress::CompressionPlan::identity(base.len()),
+            )
+            .unwrap()
+        })
+        .collect();
+    let memo = MemoPool::with_shards(shards);
+    for c in &candidates {
+        memo.get_or_insert_with(c, 10.0, || env.evaluate(&base, c, cadmc_latency::Mbps(10.0)));
+    }
+    const THREADS: usize = 4;
+    const LOOKUPS: usize = 50_000;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let memo = &memo;
+            let candidates = &candidates;
+            scope.spawn(move || {
+                for i in 0..LOOKUPS {
+                    std::hint::black_box(memo.get(&candidates[(i + t) % candidates.len()], 10.0));
+                }
+            });
+        }
+    });
+    (THREADS * LOOKUPS) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let episodes: usize = std::env::var("CADMC_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let reps: usize = std::env::var("CADMC_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let host = Parallelism::available().workers;
+
+    eprintln!("timing tree_search across worker counts ({episodes} episodes x {reps} reps)...");
+    let mut worker_points = Vec::new();
+    let serial_ms = time_tree_search(1, episodes, reps);
+    worker_points.push(WorkerPoint {
+        workers: 1,
+        mean_ms: serial_ms,
+        speedup_vs_serial: 1.0,
+    });
+    for workers in [2usize, 4, 8] {
+        let mean_ms = time_tree_search(workers, episodes, reps);
+        worker_points.push(WorkerPoint {
+            workers,
+            mean_ms,
+            speedup_vs_serial: serial_ms / mean_ms,
+        });
+    }
+
+    eprintln!("timing memo pool lookups across shard counts...");
+    let shard_points: Vec<ShardPoint> = [1usize, 4, 16]
+        .into_iter()
+        .map(|shards| ShardPoint {
+            shards,
+            lookups_per_sec: time_memo_shards(shards),
+        })
+        .collect();
+
+    let report = Report {
+        host_parallelism: host,
+        episodes,
+        reps,
+        tree_search_workers: worker_points,
+        memo_pool_shards: shard_points,
+        note: format!(
+            "worker count is bit-identical in results (see parallel_determinism tests); \
+             speedups are wall-clock only and require as many cores as workers — \
+             this run saw {host} core(s)"
+        ),
+    };
+
+    println!("{:<9} {:>10} {:>9}", "workers", "mean ms", "speedup");
+    for p in &report.tree_search_workers {
+        println!("{:<9} {:>10.1} {:>8.2}x", p.workers, p.mean_ms, p.speedup_vs_serial);
+    }
+    println!("\n{:<9} {:>16}", "shards", "lookups/s");
+    for p in &report.memo_pool_shards {
+        println!("{:<9} {:>16.0}", p.shards, p.lookups_per_sec);
+    }
+
+    let out = std::env::var("CADMC_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_parallel_search.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out, json).expect("write bench report");
+    eprintln!("wrote {out}");
+}

@@ -10,7 +10,7 @@ use cadmc_nn::zoo;
 fn main() {
     let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(50);
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
-    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     println!("N/K sweep: VGG11, Phone, WiFi (weak) indoor ({episodes} episodes per cell)\n");
     println!("{:>3} {:>3} {:>10} {:>12} {:>14} {:>8}", "N", "K", "reward", "latency ms", "storage MB", "nodes");
     cadmc_bench::rule(56);

@@ -10,7 +10,7 @@ fn main() {
     let episodes: usize = std::env::var("CADMC_EPISODES").ok().and_then(|v| v.parse().ok()).unwrap_or(60);
     let requests: usize = std::env::var("CADMC_REQUESTS").ok().and_then(|v| v.parse().ok()).unwrap_or(80);
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
-    let cfg = SearchConfig { episodes, seed, ..SearchConfig::default() };
+    let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     eprintln!("training 14 scenes ({episodes} episodes each)...");
     let scenes = train_all(&cfg, seed);
     let rows = emulation_table(&scenes, Mode::Field, requests, seed);

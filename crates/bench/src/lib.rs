@@ -13,6 +13,17 @@ pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
 }
 
+/// Rollout worker pool for the harness binaries: `CADMC_WORKERS` if set,
+/// otherwise the machine's available parallelism. Worker count never
+/// affects results — only wall-clock time.
+pub fn workers_from_env() -> cadmc_core::parallel::Parallelism {
+    use cadmc_core::parallel::Parallelism;
+    std::env::var("CADMC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map_or_else(Parallelism::available, Parallelism::new)
+}
+
 /// Formats a `(reward, latency, accuracy)` triple as table cells.
 pub fn triple(v: (f64, f64, f64)) -> String {
     format!("{:>8.2} {:>9.2} {:>7.2}", v.0, v.1, v.2 * 100.0)

@@ -5,6 +5,7 @@ use std::error::Error;
 use cadmc_core::executor::{execute, ExecConfig, Mode, Policy};
 use cadmc_core::experiments::{train_scene, Workload};
 use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
 use cadmc_core::persist;
 use cadmc_core::search::{Controllers, SearchConfig};
 use cadmc_core::{surgery, EvalEnv, NetworkContext};
@@ -29,7 +30,7 @@ COMMANDS:
     train           run the offline phase and save the model tree as JSON
                       --model <vgg11|vgg16|alexnet|mobilenet|squeezenet>
                       --device <phone|tx2> --scenario <name> --out <file>
-                      [--episodes N] [--seed N]
+                      [--episodes N] [--seed N] [--workers N]
     show            print a saved model tree's structure
                       --tree <file>
     emulate         stream requests against a saved tree (or baselines)
@@ -38,7 +39,7 @@ COMMANDS:
                       [--out report.csv]
     plan            one-shot branch search vs surgery at a fixed bandwidth
                       --model <name> --device <d> --bandwidth <Mbps>
-                      [--episodes N] [--seed N]
+                      [--episodes N] [--seed N] [--workers N]
     export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
                       --scenario <name> --out <file> [--seed N]
     help            this text
@@ -150,6 +151,16 @@ fn characterize(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// Rollout worker pool: `--workers N`, defaulting to the machine's
+/// available parallelism. Purely a scheduling knob — results are
+/// bit-identical for any value.
+fn workers(args: &Args) -> Result<Parallelism, Box<dyn Error>> {
+    Ok(match args.get("workers") {
+        None => Parallelism::available(),
+        Some(_) => Parallelism::new(args.get_or("workers", 1usize)?),
+    })
+}
+
 fn train(args: &Args) -> Result<(), Box<dyn Error>> {
     let model = model_by_name(args.require("model")?)?;
     let device = device_by_name(args.require("device")?)?;
@@ -160,6 +171,7 @@ fn train(args: &Args) -> Result<(), Box<dyn Error>> {
     let cfg = SearchConfig {
         episodes,
         seed,
+        parallelism: workers(args)?,
         ..SearchConfig::default()
     };
     let w = Workload {
@@ -293,6 +305,7 @@ fn plan(args: &Args) -> Result<(), Box<dyn Error>> {
     let cfg = SearchConfig {
         episodes,
         seed,
+        parallelism: workers(args)?,
         ..SearchConfig::default()
     };
     let mut controllers = Controllers::new(&cfg);

@@ -13,7 +13,15 @@ use crate::branch::SearchOutcome;
 use crate::candidate::{Candidate, Partition};
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
+use crate::parallel::{par_map_indexed, Parallelism};
 use crate::reward::Evaluation;
+
+/// Episodes per proposal batch: within a batch, proposals are generated in
+/// parallel from the best candidate *at batch start* (each episode on its
+/// own `seed ^ episode` RNG stream); best-so-far tracking is then applied
+/// sequentially in episode order. Fixed — independent of worker count — so
+/// results are bit-identical for any [`Parallelism`].
+const BASELINE_BATCH: usize = 8;
 
 /// Samples a uniformly random partition for `base`.
 pub fn random_partition(base: &ModelSpec, rng: &mut StdRng) -> Partition {
@@ -73,6 +81,7 @@ fn random_candidate(base: &ModelSpec, rng: &mut StdRng) -> Candidate {
     Candidate::compose(base, partition, &plan).expect("random plans are applicable")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_search(
     base: &ModelSpec,
     env: &EvalEnv,
@@ -80,27 +89,38 @@ fn run_search(
     episodes: usize,
     seed: u64,
     memo: &MemoPool,
-    mut propose: impl FnMut(&mut StdRng, Option<&Candidate>) -> Candidate,
+    par: Parallelism,
+    propose: impl Fn(&mut StdRng, Option<&Candidate>) -> Candidate + Sync,
 ) -> SearchOutcome {
     assert!(episodes > 0, "need at least one episode");
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut episode_rewards = Vec::with_capacity(episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
-    for _ in 0..episodes {
-        let candidate = propose(&mut rng, best.as_ref().map(|(c, _)| c));
-        let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
-            env.evaluate(base, &candidate, bandwidth)
+    let mut batch_start = 0;
+    while batch_start < episodes {
+        let batch_end = (batch_start + BASELINE_BATCH).min(episodes);
+        let anchor = best.as_ref().map(|(c, _)| c.clone());
+        let rollouts = par_map_indexed(batch_end - batch_start, par.workers, |offset| {
+            let episode = batch_start + offset;
+            let mut rng = StdRng::seed_from_u64(seed ^ episode as u64);
+            let candidate = propose(&mut rng, anchor.as_ref());
+            let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+                env.evaluate(base, &candidate, bandwidth)
+            });
+            (candidate, eval)
         });
-        episode_rewards.push(eval.reward);
-        let replace = match &best {
-            Some((_, be)) => eval.reward > be.reward,
-            None => true,
-        };
-        if replace {
-            improvers.push((candidate.clone(), eval));
-            best = Some((candidate, eval));
+        for (candidate, eval) in rollouts {
+            episode_rewards.push(eval.reward);
+            let replace = match &best {
+                Some((_, be)) => eval.reward > be.reward,
+                None => true,
+            };
+            if replace {
+                improvers.push((candidate.clone(), eval));
+                best = Some((candidate, eval));
+            }
         }
+        batch_start = batch_end;
     }
     let (best, best_eval) = best.expect("episodes > 0");
     SearchOutcome {
@@ -119,15 +139,18 @@ pub fn random_search(
     episodes: usize,
     seed: u64,
     memo: &MemoPool,
+    par: Parallelism,
 ) -> SearchOutcome {
-    run_search(base, env, bandwidth, episodes, seed, memo, |rng, _| {
+    run_search(base, env, bandwidth, episodes, seed, memo, par, |rng, _| {
         random_candidate(base, rng)
     })
 }
 
 /// ε-greedy search: with probability ε explore a uniform random candidate,
 /// otherwise locally mutate the best candidate found so far (re-randomize
-/// one layer's compression action, or nudge the partition point).
+/// one layer's compression action, or nudge the partition point). Within a
+/// rollout batch, mutations start from the best candidate at batch start.
+#[allow(clippy::too_many_arguments)]
 pub fn epsilon_greedy_search(
     base: &ModelSpec,
     env: &EvalEnv,
@@ -136,14 +159,22 @@ pub fn epsilon_greedy_search(
     epsilon: f64,
     seed: u64,
     memo: &MemoPool,
+    par: Parallelism,
 ) -> SearchOutcome {
     assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
-    run_search(base, env, bandwidth, episodes, seed, memo, |rng, best| {
-        match best {
+    run_search(
+        base,
+        env,
+        bandwidth,
+        episodes,
+        seed,
+        memo,
+        par,
+        |rng, best| match best {
             Some(b) if rng.random_range(0.0..1.0) >= epsilon => mutate(base, b, rng),
             _ => random_candidate(base, rng),
-        }
-    })
+        },
+    )
 }
 
 /// One local move in the (partition × compression) space.
@@ -199,7 +230,7 @@ mod tests {
         let base = zoo::vgg11_cifar();
         let env = EvalEnv::phone();
         let memo = MemoPool::new();
-        let out = random_search(&base, &env, Mbps(10.0), 40, 1, &memo);
+        let out = random_search(&base, &env, Mbps(10.0), 40, 1, &memo, Parallelism::serial());
         assert_eq!(out.episode_rewards.len(), 40);
         assert!(out.best_eval.reward > 0.0);
     }
@@ -209,7 +240,8 @@ mod tests {
         let base = zoo::vgg11_cifar();
         let env = EvalEnv::phone();
         let memo = MemoPool::new();
-        let out = epsilon_greedy_search(&base, &env, Mbps(10.0), 60, 0.3, 2, &memo);
+        let out =
+            epsilon_greedy_search(&base, &env, Mbps(10.0), 60, 0.3, 2, &memo, Parallelism::serial());
         let curve = out.best_so_far();
         assert!(curve.last().unwrap() >= curve.first().unwrap());
     }
@@ -244,8 +276,36 @@ mod tests {
     fn deterministic_per_seed() {
         let base = zoo::tiny_cnn();
         let env = EvalEnv::phone();
-        let a = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new());
-        let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new());
+        let a = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial());
+        let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial());
         assert_eq!(a.episode_rewards, b.episode_rewards);
+    }
+
+    #[test]
+    fn identical_results_for_any_worker_count() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let serial = epsilon_greedy_search(
+            &base,
+            &env,
+            Mbps(5.0),
+            30,
+            0.3,
+            11,
+            &MemoPool::new(),
+            Parallelism::serial(),
+        );
+        let parallel = epsilon_greedy_search(
+            &base,
+            &env,
+            Mbps(5.0),
+            30,
+            0.3,
+            11,
+            &MemoPool::new(),
+            Parallelism::new(8),
+        );
+        assert_eq!(serial.episode_rewards, parallel.episode_rewards);
+        assert_eq!(serial.best, parallel.best);
     }
 }

@@ -19,6 +19,7 @@ use crate::candidate::{Candidate, Partition};
 use crate::controller::EpisodeTape;
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
+use crate::parallel::par_map_indexed;
 use crate::reward::Evaluation;
 use crate::search::{to_partition, Controllers, SearchConfig};
 
@@ -103,8 +104,17 @@ pub fn sample_candidate(
     (tape, candidate)
 }
 
+/// RNG stream salt for the branch search (`"branch"`).
+const BRANCH_SALT: u64 = 0x6272_616e_6368;
+
 /// Runs Algorithm 1: searches compression + partition for `base` under the
 /// constant bandwidth `bandwidth`, updating `controllers` in place.
+///
+/// Episodes are rolled out in batches of `cfg.rollout_batch` from frozen
+/// controller parameters — in parallel across `cfg.parallelism.workers`
+/// threads, each episode on its own `seed ^ episode` RNG stream — and the
+/// policy updates are then applied sequentially in episode order, so the
+/// result is bit-identical for any worker count.
 pub fn optimal_branch(
     controllers: &mut Controllers,
     base: &ModelSpec,
@@ -113,29 +123,53 @@ pub fn optimal_branch(
     cfg: &SearchConfig,
     memo: &MemoPool,
 ) -> SearchOutcome {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x6272_616e_6368);
     let mut episode_rewards = Vec::with_capacity(cfg.episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
 
-    for _episode in 0..cfg.episodes {
-        let (tape, candidate) =
-            sample_candidate(controllers, base, bandwidth.0, &mut rng, 0.0, cfg.explore_epsilon);
-        let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
-            env.evaluate(base, &candidate, bandwidth)
-        });
-        episode_rewards.push(eval.reward);
-        let replace = match &best {
-            Some((_, be)) => eval.reward > be.reward,
-            None => true,
+    let batch_size = cfg.rollout_batch.max(1);
+    let mut batch_start = 0;
+    while batch_start < cfg.episodes {
+        let batch_end = (batch_start + batch_size).min(cfg.episodes);
+        let rollouts = {
+            let shared: &Controllers = controllers;
+            par_map_indexed(
+                batch_end - batch_start,
+                cfg.parallelism.workers,
+                |offset| {
+                    let episode = batch_start + offset;
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ BRANCH_SALT ^ episode as u64);
+                    let (tape, candidate) = sample_candidate(
+                        shared,
+                        base,
+                        bandwidth.0,
+                        &mut rng,
+                        0.0,
+                        cfg.explore_epsilon,
+                    );
+                    let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+                        env.evaluate(base, &candidate, bandwidth)
+                    });
+                    (tape, candidate, eval)
+                },
+            )
         };
-        if replace {
-            improvers.push((candidate.clone(), eval));
-            best = Some((candidate, eval));
+        for (tape, candidate, eval) in rollouts {
+            episode_rewards.push(eval.reward);
+            let replace = match &best {
+                Some((_, be)) => eval.reward > be.reward,
+                None => true,
+            };
+            if replace {
+                improvers.push((candidate.clone(), eval));
+                best = Some((candidate, eval));
+            }
+            controllers
+                .trainer
+                .update_batch(&mut controllers.params, vec![(tape, eval.reward)]);
         }
-        controllers
-            .trainer
-            .update_batch(&mut controllers.params, vec![(tape, eval.reward)]);
+        batch_start = batch_end;
     }
 
     let (best, best_eval) = best.expect("at least one episode ran");

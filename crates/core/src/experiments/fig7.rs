@@ -13,6 +13,7 @@ use crate::baselines::random_plan;
 use crate::context::NetworkContext;
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
+use crate::parallel::{par_map_indexed, Parallelism};
 use crate::search::{Controllers, SearchConfig};
 use crate::tree::{ModelTree, TreeNode};
 use crate::tree_search::tree_search;
@@ -192,6 +193,7 @@ pub fn search_comparison(
     scenario: Scenario,
     episodes: usize,
     seed: u64,
+    par: Parallelism,
 ) -> SearchComparison {
     let env = EvalEnv::for_edge(device);
     let ctx = NetworkContext::from_scenario(scenario, K_LEVELS, seed);
@@ -202,6 +204,7 @@ pub fn search_comparison(
     let cfg = SearchConfig {
         episodes,
         seed,
+        parallelism: par,
         ..SearchConfig::default()
     };
     let mut controllers = Controllers::new(&cfg);
@@ -219,33 +222,45 @@ pub fn search_comparison(
     );
     let rl = best_so_far(&rl_result.episode_scores);
 
-    // Random search.
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x72616e64);
+    // Random search: every episode is independent, so the whole budget
+    // fans out at once — each episode on its own `seed ^ episode` stream.
     let memo_r = MemoPool::new();
-    let random_scores: Vec<f64> = (0..episodes)
-        .map(|_| {
-            let mut t = random_tree(base, &levels, &mut rng);
-            score_tree(&mut t, base, &env, &memo_r)
-        })
-        .collect();
+    let random_scores = par_map_indexed(episodes, par.workers, |episode| {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x72616e64 ^ episode as u64);
+        let mut t = random_tree(base, &levels, &mut rng);
+        score_tree(&mut t, base, &env, &memo_r)
+    });
     let random = best_so_far(&random_scores);
 
-    // ε-greedy search (ε = 0.3).
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x65677265);
+    // ε-greedy search (ε = 0.3), batched like the baselines: proposals in
+    // a batch mutate the best tree at batch start, then best-tracking is
+    // applied sequentially in episode order (bit-identical for any worker
+    // count).
     let memo_e = MemoPool::new();
     let mut best_tree: Option<(ModelTree, f64)> = None;
     let mut eg_scores = Vec::with_capacity(episodes);
-    for _ in 0..episodes {
-        let mut proposal = match &best_tree {
-            Some((t, _)) if rng.random_range(0.0..1.0) >= 0.3 => mutate_tree(t, base, &mut rng),
-            _ => random_tree(base, &levels, &mut rng),
-        };
-        let score = score_tree(&mut proposal, base, &env, &memo_e);
-        eg_scores.push(score);
-        let replace = best_tree.as_ref().is_none_or(|(_, s)| score > *s);
-        if replace {
-            best_tree = Some((proposal, score));
+    let mut batch_start = 0;
+    while batch_start < episodes {
+        let batch_end = (batch_start + cfg.rollout_batch.max(1)).min(episodes);
+        let anchor = best_tree.as_ref().map(|(t, _)| t.clone());
+        let rollouts = par_map_indexed(batch_end - batch_start, par.workers, |offset| {
+            let episode = batch_start + offset;
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x65677265 ^ episode as u64);
+            let mut proposal = match &anchor {
+                Some(t) if rng.random_range(0.0..1.0) >= 0.3 => mutate_tree(t, base, &mut rng),
+                _ => random_tree(base, &levels, &mut rng),
+            };
+            let score = score_tree(&mut proposal, base, &env, &memo_e);
+            (proposal, score)
+        });
+        for (proposal, score) in rollouts {
+            eg_scores.push(score);
+            let replace = best_tree.as_ref().is_none_or(|(_, s)| score > *s);
+            if replace {
+                best_tree = Some((proposal, score));
+            }
         }
+        batch_start = batch_end;
     }
     let epsilon_greedy = best_so_far(&eg_scores);
 
@@ -269,6 +284,7 @@ mod tests {
             Scenario::FourGIndoorStatic,
             20,
             1,
+            Parallelism::serial(),
         );
         for curve in [&cmp.rl, &cmp.random, &cmp.epsilon_greedy] {
             assert_eq!(curve.len(), 20);
@@ -286,6 +302,7 @@ mod tests {
             Scenario::FourGIndoorStatic,
             15,
             2,
+            Parallelism::new(4),
         );
         let (rl, random, eg) = cmp.finals();
         for (name, v) in [("rl", rl), ("random", random), ("eg", eg)] {

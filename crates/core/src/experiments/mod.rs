@@ -248,25 +248,25 @@ pub fn train_all(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
 }
 
 /// Trains the paper workloads concurrently (scenes are independent; each
-/// gets its own controllers and memo pool). Results come back in workload
-/// order and are bit-identical to sequential training.
+/// gets its own controllers and memo pool). The scene fan-out is bounded
+/// by `cfg.parallelism.workers`; to avoid oversubscription, the inner
+/// rollout pools of each scene's searches run serial whenever scenes
+/// themselves run in parallel (harmless: the worker count never affects
+/// results). Results come back in workload order and are bit-identical to
+/// sequential training.
 pub fn train_all_parallel(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
     let workloads = paper_workloads();
-    let mut out: Vec<Option<TrainedScene>> = Vec::new();
-    out.resize_with(workloads.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in &workloads {
-            let cfg = *cfg;
-            handles.push(scope.spawn(move || train_scene(w, &cfg, seed)));
+    let scene_cfg = if cfg.parallelism.is_serial() {
+        *cfg
+    } else {
+        SearchConfig {
+            parallelism: crate::parallel::Parallelism::serial(),
+            ..*cfg
         }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("training thread panicked"));
-        }
-    });
-    out.into_iter()
-        .map(|s| s.expect("all slots filled"))
-        .collect()
+    };
+    crate::parallel::par_map(&workloads, cfg.parallelism.workers, |w| {
+        train_scene(w, &scene_cfg, seed)
+    })
 }
 
 /// Execution fidelity for [`emulation_table`].

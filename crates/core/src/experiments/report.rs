@@ -139,7 +139,7 @@ pub fn mismatch_markdown(m: &MismatchMatrix) -> String {
     out
 }
 
-fn group_by_model<'a, T>(rows: &'a [T], key: impl Fn(&T) -> &str) -> Vec<(String, Vec<&'a T>)> {
+fn group_by_model<T>(rows: &[T], key: impl Fn(&T) -> &str) -> Vec<(String, Vec<&T>)> {
     let mut out: Vec<(String, Vec<&T>)> = Vec::new();
     for r in rows {
         let k = key(r);

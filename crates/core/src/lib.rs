@@ -38,6 +38,7 @@ pub mod experiments;
 pub mod mdp;
 pub mod memo;
 pub mod mincut;
+pub mod parallel;
 pub mod persist;
 mod proptests;
 mod reward;

@@ -1,29 +1,63 @@
 //! Candidate-evaluation memoization — the paper's "memory pool storing the
 //! hash code of searched models to avoid redundant computations" (§VII-A,
 //! Training time).
+//!
+//! The pool is lock-striped: entries are spread over a power-of-two number
+//! of independently locked shards selected by the high bits of the cache
+//! key, so parallel rollout workers rarely contend on the same mutex.
+//! Hit/miss counters are plain atomics and never take a lock.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::candidate::Candidate;
 use crate::reward::Evaluation;
 
+/// Default shard count — enough stripes that 8–16 workers rarely collide,
+/// small enough that `len()` stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
 /// Thread-safe evaluation cache keyed by (model structure, cut, quantized
-/// bandwidth).
-#[derive(Debug, Default)]
+/// bandwidth), striped over independently locked shards.
+#[derive(Debug)]
 pub struct MemoPool {
-    map: Mutex<HashMap<u64, Evaluation>>,
-    hits: std::sync::atomic::AtomicUsize,
-    misses: std::sync::atomic::AtomicUsize,
+    shards: Vec<Mutex<HashMap<u64, Evaluation>>>,
+    /// log2(shards.len()): the shard index is the key's top `shard_bits` bits.
+    shard_bits: u32,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl Default for MemoPool {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
 }
 
 impl MemoPool {
-    /// An empty pool.
+    /// An empty pool with [`DEFAULT_SHARDS`] shards.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty pool with `shards` lock stripes (rounded up to a power of
+    /// two, minimum 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        Self {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shard_bits: n.trailing_zeros(),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Cache key for a candidate at a bandwidth (bandwidth quantized to
@@ -36,7 +70,25 @@ impl MemoPool {
         h.finish()
     }
 
-    /// Returns the cached evaluation or computes and stores it.
+    /// Shard index for a key: the top `shard_bits` bits. `DefaultHasher`
+    /// mixes well, so high bits spread entries evenly; low bits are left
+    /// for the in-shard `HashMap` bucketing.
+    fn shard_for(&self, key: u64) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (key >> (64 - self.shard_bits)) as usize
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Evaluation>> {
+        &self.shards[self.shard_for(key)]
+    }
+
+    /// Returns the cached evaluation or computes and stores it. Only the
+    /// key's shard is locked, and never while `compute` runs; two threads
+    /// racing on the same fresh key may both compute, but both store the
+    /// same value so lookups stay consistent.
     pub fn get_or_insert_with(
         &self,
         candidate: &Candidate,
@@ -45,38 +97,67 @@ impl MemoPool {
     ) -> Evaluation {
         let key = Self::key(candidate, bandwidth_mbps);
         {
-            let map = self.map.lock();
+            let map = self.shard(key).lock().expect("memo shard poisoned");
             if let Some(&e) = map.get(&key) {
-                self.hits
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return e;
             }
         }
         let e = compute();
-        self.misses
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        self.map.lock().insert(key, e);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(key, e);
         e
+    }
+
+    /// Cached evaluation for a candidate, if present (no compute, counts
+    /// as a hit or miss).
+    pub fn get(&self, candidate: &Candidate, bandwidth_mbps: f64) -> Option<Evaluation> {
+        let key = Self::key(candidate, bandwidth_mbps);
+        let found = self
+            .shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(&key)
+            .copied();
+        match found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
     }
 
     /// Number of cache hits so far.
     pub fn hits(&self) -> usize {
-        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses so far.
     pub fn misses(&self) -> usize {
-        self.misses.load(std::sync::atomic::Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of cached evaluations.
+    /// Number of cached evaluations across all shards.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .sum()
     }
 
     /// Whether the pool is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.len() == 0
+    }
+
+    /// Entry count per shard, in shard order (for balance diagnostics).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").len())
+            .collect()
     }
 }
 
@@ -107,15 +188,15 @@ mod tests {
 
     #[test]
     fn concurrent_access_is_consistent() {
-        // The pool is shared across search workers (`parking_lot::Mutex`):
-        // hammer it from several threads and check every thread saw the
-        // same evaluation and the entry was computed at most a few times
-        // (the get/compute/insert window allows benign duplicate compute).
+        // The pool is shared across rollout workers: hammer one key from
+        // several threads and check every thread saw the same evaluation
+        // and the entry was computed at most a few times (the
+        // get/compute/insert window allows benign duplicate compute).
         let pool = std::sync::Arc::new(MemoPool::new());
         let base = zoo::vgg11_cifar();
         let c = Candidate::base_all_edge(&base);
         let spec = RewardSpec::default();
-        let computed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let computed = std::sync::Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::new();
         for _ in 0..8 {
             let pool = pool.clone();
@@ -125,7 +206,7 @@ mod tests {
                 let mut rewards = Vec::new();
                 for _ in 0..200 {
                     let e = pool.get_or_insert_with(&c, 10.0, || {
-                        computed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        computed.fetch_add(1, Ordering::Relaxed);
                         Evaluation::new(0.9, 50.0, &RewardSpec::default())
                     });
                     rewards.push(e.reward);
@@ -140,7 +221,7 @@ mod tests {
             }
         }
         assert!(
-            computed.load(std::sync::atomic::Ordering::Relaxed) <= 8,
+            computed.load(Ordering::Relaxed) <= 8,
             "entry recomputed more than once per thread"
         );
         assert_eq!(pool.len(), 1);
@@ -152,5 +233,77 @@ mod tests {
         let c = Candidate::base_all_edge(&base);
         assert_ne!(MemoPool::key(&c, 1.0), MemoPool::key(&c, 2.0));
         assert_eq!(MemoPool::key(&c, 1.0), MemoPool::key(&c, 1.001));
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(MemoPool::with_shards(1).shards(), 1);
+        assert_eq!(MemoPool::with_shards(3).shards(), 4);
+        assert_eq!(MemoPool::with_shards(16).shards(), 16);
+        assert_eq!(MemoPool::with_shards(0).shards(), 1);
+    }
+
+    #[test]
+    fn entries_spread_across_shards() {
+        // Distinct bandwidths produce distinct keys; with 16 shards and
+        // many entries the stripe distribution must not collapse onto a
+        // single shard.
+        let pool = MemoPool::with_shards(16);
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        for i in 0..256 {
+            let bw = 1.0 + i as f64;
+            pool.get_or_insert_with(&c, bw, || Evaluation::new(0.9, 50.0, &spec));
+        }
+        let lens = pool.shard_lens();
+        assert_eq!(lens.iter().sum::<usize>(), 256);
+        assert_eq!(pool.len(), 256);
+        let occupied = lens.iter().filter(|&&l| l > 0).count();
+        assert!(
+            occupied >= 8,
+            "keys collapsed onto {occupied} of 16 shards: {lens:?}"
+        );
+    }
+
+    #[test]
+    fn counters_sum_to_lookups_across_threads() {
+        // hits + misses must equal total lookups even under contention.
+        let pool = std::sync::Arc::new(MemoPool::with_shards(4));
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let pool = pool.clone();
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let bw = 1.0 + ((t * 100 + i) % 40) as f64;
+                    pool.get_or_insert_with(&c, bw, || {
+                        Evaluation::new(0.9, 50.0, &RewardSpec::default())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("thread ok");
+        }
+        assert_eq!(pool.hits() + pool.misses(), 400);
+        // Racing threads may double-compute a key, so misses can exceed
+        // distinct keys but never drop below them.
+        assert!(pool.misses() >= 40);
+        assert_eq!(pool.len(), 40);
+    }
+
+    #[test]
+    fn single_shard_pool_still_works() {
+        let pool = MemoPool::with_shards(1);
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        let e = pool.get_or_insert_with(&c, 5.0, || Evaluation::new(0.8, 40.0, &spec));
+        let e2 = pool.get_or_insert_with(&c, 5.0, || unreachable!("must hit"));
+        assert_eq!(e.reward, e2.reward);
+        assert_eq!(pool.shard_lens(), vec![1]);
     }
 }

@@ -40,6 +40,16 @@ pub struct SearchConfig {
     /// exploit (see the `ablation_quality` binary); it is exposed for the
     /// ablation and for long-budget users.
     pub entropy_beta: f32,
+    /// Episodes rolled out per policy snapshot: within a batch all
+    /// episodes sample from the same frozen controller parameters (each
+    /// on its own `seed ^ episode` RNG stream), then their REINFORCE
+    /// updates are applied sequentially in episode order. This is what
+    /// makes rollouts parallelizable without losing determinism — the
+    /// batch size (not the worker count) defines the learning dynamics.
+    pub rollout_batch: usize,
+    /// Rollout worker pool. Purely a scheduling knob: any value produces
+    /// bit-identical results (see [`crate::parallel`]).
+    pub parallelism: crate::parallel::Parallelism,
 }
 
 impl Default for SearchConfig {
@@ -54,6 +64,8 @@ impl Default for SearchConfig {
             backward_rule: crate::tree::BackwardRule::Mean,
             explore_epsilon: 0.1,
             entropy_beta: 0.0,
+            rollout_batch: 8,
+            parallelism: crate::parallel::Parallelism::serial(),
         }
     }
 }

@@ -28,8 +28,12 @@ use crate::candidate::Partition;
 use crate::controller::{EpisodeTape, HeadState, PartitionAction};
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
+use crate::parallel::{par_map, par_map_indexed};
 use crate::search::{Controllers, SearchConfig};
 use crate::tree::{ModelTree, TreeNode};
+
+/// RNG stream salt for the tree search (`"tree"`).
+const TREE_SALT: u64 = 0x7472_6565;
 
 /// Result of a tree search.
 #[derive(Debug, Clone)]
@@ -64,7 +68,6 @@ pub fn tree_search(
     selection_trace: Option<&BandwidthTrace>,
 ) -> TreeSearchResult {
     assert!(!levels.is_empty(), "need at least one bandwidth level");
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7472_6565);
     let mut best: Option<(ModelTree, f64)> = None;
     let mut finalists: Vec<ModelTree> = Vec::new();
 
@@ -101,46 +104,74 @@ pub fn tree_search(
         best = Some((boosted, score));
     }
 
+    // Episodes roll out in batches of `cfg.rollout_batch` from frozen
+    // controller parameters, fanned across `cfg.parallelism.workers`
+    // threads; each episode generates (and backward-estimates) its tree on
+    // its own `seed ^ episode` RNG stream, then the REINFORCE updates are
+    // applied sequentially in episode order — bit-identical results for
+    // any worker count.
     let mut episode_scores = Vec::with_capacity(cfg.episodes);
-    for episode in 0..cfg.episodes {
-        let (mut tree, tapes) =
-            generate_tree(controllers, base, env, levels, n_blocks, cfg, episode, &mut rng, memo);
-        tree.backward_estimate_with(cfg.backward_rule);
-        let episodes: Vec<(EpisodeTape, f64)> = tapes
-            .into_iter()
-            .enumerate()
-            .map(|(id, tape)| (tape, tree.nodes()[id].reward))
-            .collect();
-        controllers
-            .trainer
-            .update_batch(&mut controllers.params, episodes);
-        let score = tree.mean_branch_reward();
-        episode_scores.push(score);
-        let replace = match &best {
-            Some((_, s)) => score > *s,
-            None => true,
+    let batch_size = cfg.rollout_batch.max(1);
+    let mut batch_start = 0;
+    while batch_start < cfg.episodes {
+        let batch_end = (batch_start + batch_size).min(cfg.episodes);
+        let rollouts = {
+            let shared: &Controllers = controllers;
+            par_map_indexed(
+                batch_end - batch_start,
+                cfg.parallelism.workers,
+                |offset| {
+                    let episode = batch_start + offset;
+                    let mut rng =
+                        StdRng::seed_from_u64(cfg.seed ^ TREE_SALT ^ episode as u64);
+                    let (mut tree, tapes) = generate_tree(
+                        shared, base, env, levels, n_blocks, cfg, episode, &mut rng, memo,
+                    );
+                    tree.backward_estimate_with(cfg.backward_rule);
+                    (tree, tapes)
+                },
+            )
         };
-        if replace {
-            finalists.push(tree.clone());
-            best = Some((tree, score));
+        for (tree, tapes) in rollouts {
+            let episodes: Vec<(EpisodeTape, f64)> = tapes
+                .into_iter()
+                .enumerate()
+                .map(|(id, tape)| (tape, tree.nodes()[id].reward))
+                .collect();
+            controllers
+                .trainer
+                .update_batch(&mut controllers.params, episodes);
+            let score = tree.mean_branch_reward();
+            episode_scores.push(score);
+            let replace = match &best {
+                Some((_, s)) => score > *s,
+                None => true,
+            };
+            if replace {
+                finalists.push(tree.clone());
+                best = Some((tree, score));
+            }
         }
+        batch_start = batch_end;
     }
 
     let (mut tree, _) = best.expect("at least one tree generated");
     if let Some(trace) = selection_trace {
         // Re-rank the finalists by replayed execution; keep the seeded
         // rigid/boost trees plus the last few RL improvers to bound cost.
-        let keep = if finalists.len() > 10 {
+        if finalists.len() > 10 {
             finalists.drain(3..finalists.len() - 6);
-            0
-        } else {
-            0
-        };
+        }
+        // Emulations of distinct finalists are independent — fan them out.
+        // The winner is picked by a strictly-greater scan in finalist
+        // order, matching the serial semantics exactly.
         let exec_cfg = ExecConfig::emulation(300, cfg.seed);
-        let mut best_exec = f64::NEG_INFINITY;
-        for cand in &finalists[keep..] {
+        let exec_rewards = par_map(&finalists, cfg.parallelism.workers, |cand| {
             let report = execute(env, base, &Policy::Tree(cand), trace, &exec_cfg);
-            let r = report.evaluation(&env.reward).reward;
+            report.evaluation(&env.reward).reward
+        });
+        let mut best_exec = f64::NEG_INFINITY;
+        for (cand, &r) in finalists.iter().zip(&exec_rewards) {
             if r > best_exec {
                 best_exec = r;
                 tree = cand.clone();

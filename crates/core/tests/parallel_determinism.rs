@@ -1,0 +1,90 @@
+//! Regression tests for the parallel rollout engine's core contract: the
+//! worker count is purely a scheduling knob. The same seed must produce
+//! bit-identical search results at `workers = 1` and `workers = 8` —
+//! per-episode RNG streams (`seed ^ episode`) plus sequential policy
+//! updates in episode order make this hold by construction, and these
+//! tests keep it true.
+
+use cadmc_core::branch::optimal_branch;
+use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{EvalEnv, NetworkContext};
+use cadmc_latency::Mbps;
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+
+fn cfg_with(workers: usize, seed: u64) -> SearchConfig {
+    SearchConfig {
+        episodes: 30,
+        hidden: 8,
+        seed,
+        parallelism: Parallelism::new(workers),
+        ..SearchConfig::default()
+    }
+}
+
+#[test]
+fn tree_search_is_identical_across_worker_counts() {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 5);
+    let run = |workers: usize| {
+        let cfg = cfg_with(workers, 5);
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            ctx.levels(),
+            3,
+            &cfg,
+            &memo,
+            true,
+            Some(ctx.trace()),
+        )
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.episode_scores, parallel.episode_scores);
+    assert_eq!(serial.best_branch_reward, parallel.best_branch_reward);
+    assert_eq!(serial.tree, parallel.tree);
+}
+
+#[test]
+fn branch_search_is_identical_across_worker_counts() {
+    let base = zoo::alexnet_cifar();
+    let env = EvalEnv::phone();
+    let run = |workers: usize| {
+        let cfg = cfg_with(workers, 11);
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let out = optimal_branch(&mut controllers, &base, &env, Mbps(8.0), &cfg, &memo);
+        (out.episode_rewards, out.best, out.best_eval)
+    };
+    let (rewards_1, best_1, eval_1) = run(1);
+    let (rewards_8, best_8, eval_8) = run(8);
+    assert_eq!(rewards_1, rewards_8);
+    assert_eq!(best_1, best_8);
+    assert_eq!(eval_1, eval_8);
+}
+
+#[test]
+fn worker_count_beyond_batch_size_is_harmless() {
+    // More workers than episodes per batch (and than episodes total)
+    // must neither panic nor change results.
+    let base = zoo::tiny_cnn();
+    let env = EvalEnv::phone();
+    let run = |workers: usize| {
+        let cfg = SearchConfig {
+            episodes: 5,
+            ..cfg_with(workers, 3)
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo).episode_rewards
+    };
+    assert_eq!(run(1), run(64));
+}

@@ -3,8 +3,54 @@
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
+use std::sync::OnceLock;
 
 use crate::layer::{LayerSpec, Shape, ShapeError};
+
+/// Lazily-computed derived quantities of a [`ModelSpec`]: the structural
+/// hash and the per-layer / total MACC counts. Both are pure functions of
+/// the spec, re-derived on demand — so the cache is invisible to equality,
+/// serialization, and cloning, and is simply reset whenever the spec
+/// changes (every mutation path goes through [`ModelSpec::new`] or
+/// [`ModelSpec::set_name`]).
+#[derive(Debug, Default)]
+struct ModelCache {
+    hash: OnceLock<u64>,
+    /// `(per-layer MACCs, their sum)`.
+    maccs: OnceLock<(Vec<u64>, u64)>,
+}
+
+impl Clone for ModelCache {
+    fn clone(&self) -> Self {
+        let out = Self::default();
+        if let Some(&h) = self.hash.get() {
+            let _ = out.hash.set(h);
+        }
+        if let Some(m) = self.maccs.get() {
+            let _ = out.maccs.set(m.clone());
+        }
+        out
+    }
+}
+
+// The cache carries no information beyond what the spec itself determines.
+impl PartialEq for ModelCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for ModelCache {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for ModelCache {
+    fn deserialize(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self::default())
+    }
+}
 
 /// A sequential DNN specification: the substrate every search strategy in
 /// the paper manipulates.
@@ -38,6 +84,9 @@ pub struct ModelSpec {
     layers: Vec<LayerSpec>,
     /// Output shape after each layer (same length as `layers`).
     shapes: Vec<Shape>,
+    /// Memoized structural hash and MACC counts (serialized as null,
+    /// rebuilt on demand after deserialization).
+    cache: ModelCache,
 }
 
 impl ModelSpec {
@@ -63,6 +112,7 @@ impl ModelSpec {
             input,
             layers,
             shapes,
+            cache: ModelCache::default(),
         })
     }
 
@@ -71,9 +121,11 @@ impl ModelSpec {
         &self.name
     }
 
-    /// Renames the model (used by compression rewrites).
+    /// Renames the model (used by compression rewrites). Resets the cached
+    /// structural hash, which covers the name.
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();
+        self.cache = ModelCache::default();
     }
 
     /// Input shape.
@@ -115,14 +167,28 @@ impl ModelSpec {
         self.shapes[i]
     }
 
+    /// Per-layer MACCs and their sum, computed once per spec. Layer MACC
+    /// inference walks the layer's arithmetic every call, and the searches
+    /// ask for these counts on every candidate evaluation — memoizing them
+    /// is one of the wins that makes parallel rollouts scale.
+    fn maccs(&self) -> &(Vec<u64>, u64) {
+        self.cache.maccs.get_or_init(|| {
+            let per_layer: Vec<u64> = (0..self.layers.len())
+                .map(|i| self.layers[i].maccs(self.layer_input(i)))
+                .collect();
+            let total = per_layer.iter().sum();
+            (per_layer, total)
+        })
+    }
+
     /// MACCs of layer `i` given its in-network input shape.
     pub fn layer_maccs(&self, i: usize) -> u64 {
-        self.layers[i].maccs(self.layer_input(i))
+        self.maccs().0[i]
     }
 
     /// Total MACCs of the model (Eqs. 4–5 summed over layers).
     pub fn total_maccs(&self) -> u64 {
-        (0..self.layers.len()).map(|i| self.layer_maccs(i)).sum()
+        self.maccs().1
     }
 
     /// Total trainable parameters.
@@ -163,11 +229,15 @@ impl ModelSpec {
     }
 
     /// A stable 64-bit hash of the structural encoding — the key used by
-    /// the search memo pool.
+    /// the search memo pool. Computed once per spec: the memo pool hashes
+    /// every candidate it sees, and candidates are re-looked-up far more
+    /// often than they are built.
     pub fn structural_hash(&self) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.encode().hash(&mut h);
-        h.finish()
+        *self.cache.hash.get_or_init(|| {
+            let mut h = DefaultHasher::new();
+            self.encode().hash(&mut h);
+            h.finish()
+        })
     }
 
     /// Replaces layer `i` with a sequence of layers, revalidating shapes.
@@ -404,6 +474,29 @@ mod tests {
         let other = m.replace_layer(0, vec![LayerSpec::conv(3, 1, 1, 8)]).unwrap();
         assert_ne!(m.structural_hash(), other.structural_hash());
         assert_eq!(m.structural_hash(), toy().structural_hash());
+    }
+
+    #[test]
+    fn cached_hash_tracks_renames() {
+        let mut m = toy();
+        let h0 = m.structural_hash();
+        assert_eq!(m.structural_hash(), h0, "cached lookup is stable");
+        m.set_name("renamed");
+        assert_ne!(m.structural_hash(), h0, "rename must invalidate the hash");
+    }
+
+    #[test]
+    fn clone_and_serde_roundtrip_preserve_derived_values() {
+        let m = toy();
+        let h = m.structural_hash();
+        let maccs = m.total_maccs();
+        let cloned = m.clone();
+        assert_eq!(cloned.structural_hash(), h);
+        assert_eq!(cloned.total_maccs(), maccs);
+        let back = ModelSpec::deserialize(&m.serialize()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.structural_hash(), h);
+        assert_eq!(back.total_maccs(), maccs);
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn rl_tree_search_matches_or_beats_baselines_in_hard_context() {
         Scenario::WifiWeakIndoor,
         120,
         7,
+        cadmc::core::parallel::Parallelism::new(2),
     );
     let (rl, random, eg) = cmp.finals();
     assert!(

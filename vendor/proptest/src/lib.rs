@@ -1,0 +1,395 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides seeded random-sampling property tests with the API surface
+//! this workspace uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_filter` / `prop_filter_map`, range and tuple strategies,
+//! [`Just`], weighted [`prop_oneof!`], [`collection::vec`], and the
+//! [`proptest!`] / `prop_assert*` macros. Unlike real proptest there is
+//! **no shrinking**: a failing case panics with the sampled inputs left
+//! to the assertion message. Sampling is deterministic per test name.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Run-time configuration for a [`proptest!`] block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values for property tests.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (resamples otherwise).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Maps values through a fallible `f`, resampling on `None`.
+    fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U>,
+    {
+        FilterMap {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// Strategy returning a constant.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+const FILTER_TRIES: usize = 10_000;
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..FILTER_TRIES {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected {FILTER_TRIES} samples", self.whence);
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        for _ in 0..FILTER_TRIES {
+            if let Some(v) = (self.f)(self.inner.sample(rng)) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter_map `{}` rejected {FILTER_TRIES} samples",
+            self.whence
+        );
+    }
+}
+
+impl<T> Strategy for core::ops::Range<T>
+where
+    T: Clone,
+    core::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+impl<T> Strategy for core::ops::RangeInclusive<T>
+where
+    T: Clone,
+    core::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Weighted union of boxed strategies — the engine behind [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof needs a positive total weight");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.random_range(0..total);
+        for (w, s) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return s.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum checked in Union::new")
+    }
+}
+
+/// Boxes a strategy into a weighted [`Union`] arm (used by [`prop_oneof!`]).
+pub fn weighted<V>(
+    weight: u32,
+    strategy: impl Strategy<Value = V> + 'static,
+) -> (u32, Box<dyn Strategy<Value = V>>) {
+    (weight, Box::new(strategy))
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{RngExt, StdRng, Strategy};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Seeds the deterministic RNG for a named property test.
+#[doc(hidden)]
+pub fn __seed_rng(test_name: &str) -> StdRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::__seed_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Weighted or unweighted choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($w:literal => $s:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::weighted($w as u32, $s)),+])
+    };
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::weighted(1u32, $s)),+])
+    };
+}
+
+/// Asserts a property (no shrinking: behaves like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// Asserts equality (no shrinking: behaves like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// Asserts inequality (no shrinking: behaves like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    //! Everything a property-test module needs.
+
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in -1.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn maps_apply(v in (1usize..5).prop_map(|n| n * 2)) {
+            prop_assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_vec(v in collection::vec(prop_oneof![2 => Just(1usize), 1 => Just(7)], 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 7));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small slice of the `rand` 0.10 API it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`RngExt::random_range`]. The generator is xoshiro256++ seeded through
+//! SplitMix64 — deterministic, fast, and with well-separated streams for
+//! nearby seeds (which the parallel rollout engine relies on: episode
+//! streams are derived as `seed ^ episode_index`).
+//!
+//! Numbers produced here do **not** match upstream `rand`; every consumer
+//! in this workspace only requires per-seed determinism, not a specific
+//! stream.
+
+/// Core pseudo-random generator interface: a source of `u64`s.
+pub trait RngCore {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of seedable generators.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Per-type uniform drawing used by the blanket [`SampleRange`] impls.
+pub trait UniformSampler: Sized {
+    /// Draws from `[start, end)`.
+    fn sample_half_open(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+    /// Draws from `[start, end]`.
+    fn sample_inclusive(start: Self, end: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+/// Range sampling, mirroring `rand`'s `Rng::random_range` surface. The
+/// sampled type is a trait parameter (not an associated type), and the
+/// range impls are blanket over [`UniformSampler`], so type inference can
+/// flow backward from the call site into unsuffixed float or integer
+/// range literals, as with upstream `rand`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `next` as the entropy source.
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: UniformSampler> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_half_open(self.start, self.end, next)
+    }
+}
+
+impl<T: UniformSampler + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from(self, next: &mut dyn FnMut() -> u64) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), next)
+    }
+}
+
+macro_rules! int_uniform_sampler {
+    ($($t:ty),*) => {$(
+        impl UniformSampler for $t {
+            fn sample_half_open(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let v = (next() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+            fn sample_inclusive(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (next() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_uniform_sampler!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_uniform_sampler {
+    ($($t:ty),*) => {$(
+        impl UniformSampler for $t {
+            fn sample_half_open(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let unit = (next() >> 11) as f64 / (1u64 << 53) as f64;
+                (start as f64 + unit * (end as f64 - start as f64)) as $t
+            }
+            fn sample_inclusive(start: $t, end: $t, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let unit = (next() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                (start as f64 + unit * (end as f64 - start as f64)) as $t
+            }
+        }
+    )*};
+}
+
+float_uniform_sampler!(f32, f64);
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws a value uniformly from `range` (integer or float,
+    /// half-open or inclusive).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_from(&mut next)
+    }
+
+    /// Draws a bool that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> RngExt for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for `rand`'s
+    /// `StdRng`; the stream differs from upstream but is stable per seed).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, the reference seeding procedure for
+            // xoshiro: decorrelates nearby seeds.
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            // All-zero state would be a fixed point; SplitMix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x1;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000), b.random_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..u64::MAX)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..u64::MAX)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..10);
+            assert!((3..10).contains(&v));
+            let f = rng.random_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&f));
+            let i = rng.random_range(0..=4usize);
+            assert!(i <= 4);
+            let x = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn covers_full_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.random_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
