@@ -175,7 +175,7 @@ impl AccuracyOracle {
             .collect();
         // Largest loss counts fully, further actions diminish: compressing
         // an already-compressed model removes less *new* information.
-        losses.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        losses.sort_by(|a, b| b.total_cmp(a));
         let mut raw_pp = 0.0;
         let mut weight = 1.0;
         for l in &losses {

@@ -75,6 +75,7 @@ impl ConvGeom {
     }
 }
 
+#[derive(Debug)]
 enum Op {
     /// Leaf holding a constant (no gradient flows out).
     Constant,
@@ -129,6 +130,7 @@ enum Op {
     },
 }
 
+#[derive(Debug)]
 struct Node {
     value: Matrix,
     op: Op,
@@ -217,7 +219,7 @@ impl Gradients {
 /// // d(3w)/dw = 3
 /// assert_eq!(grads.get(w).unwrap().at(0, 0), 3.0);
 /// ```
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Graph {
     nodes: Vec<Node>,
 }

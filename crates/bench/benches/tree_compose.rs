@@ -31,7 +31,8 @@ fn bench_compose(c: &mut Criterion) {
         &memo,
         false,
         None,
-    );
+    )
+    .expect("valid inputs");
     let tree = result.tree;
     c.bench_function("tree_compose_alg2", |b| {
         let mut flip = false;

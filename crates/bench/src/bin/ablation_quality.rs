@@ -28,7 +28,8 @@ fn run(cfg: &SearchConfig, boost: bool, seed: u64) -> f64 {
         &memo,
         boost,
         Some(ctx.trace()),
-    );
+    )
+    .expect("valid inputs");
     result.tree.mean_branch_reward()
 }
 

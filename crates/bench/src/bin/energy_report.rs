@@ -31,7 +31,7 @@ fn main() {
             device: Platform::Phone,
             scenario,
         };
-        let scene = train_scene(&w, &cfg, seed);
+        let scene = train_scene(&w, &cfg, seed).expect("valid inputs");
         let radio = if scenario.is_4g() { Radio::Cellular } else { Radio::Wifi };
         let energy = EnergyProfile::phone(radio);
         let bw = Mbps(scene.ctx.median_bandwidth());

@@ -24,7 +24,8 @@ fn main() {
     for scenario in [Scenario::FourGIndoorStatic, Scenario::WifiWeakIndoor] {
         println!("context: {}", scenario.name());
         let cmp =
-            search_comparison(&zoo::vgg11_cifar(), Platform::Phone, scenario, episodes, seed, par);
+            search_comparison(&zoo::vgg11_cifar(), Platform::Phone, scenario, episodes, seed, par)
+                .expect("valid inputs");
         let (rl, random, eg) = cmp.finals();
         for (name, curve, final_v) in [
             ("RL (ours)", &cmp.rl, rl),
@@ -44,9 +45,12 @@ fn main() {
     let bw = Mbps(ctx.median_bandwidth());
     let cfg = SearchConfig { episodes, seed, parallelism: par, ..SearchConfig::default() };
     let mut controllers = Controllers::new(&cfg);
-    let rl = optimal_branch(&mut controllers, &base, &env, bw, &cfg, &MemoPool::new());
-    let rnd = random_search(&base, &env, bw, episodes, seed, &MemoPool::new(), par);
-    let eg = epsilon_greedy_search(&base, &env, bw, episodes, 0.3, seed, &MemoPool::new(), par);
+    let rl = optimal_branch(&mut controllers, &base, &env, bw, &cfg, &MemoPool::new())
+        .expect("valid inputs");
+    let rnd = random_search(&base, &env, bw, episodes, seed, &MemoPool::new(), par)
+        .expect("valid inputs");
+    let eg = epsilon_greedy_search(&base, &env, bw, episodes, 0.3, seed, &MemoPool::new(), par)
+        .expect("valid inputs");
     for (name, out) in [("RL (ours)", &rl), ("random", &rnd), ("e-greedy", &eg)] {
         let curve = out.best_so_far();
         println!(

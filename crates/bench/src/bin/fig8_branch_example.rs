@@ -12,7 +12,8 @@ fn main() {
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     for scenario in [Scenario::FourGIndoorStatic, Scenario::FourGOutdoorQuick] {
-        let ill = strategy_illustration(&zoo::vgg11_cifar(), Platform::Phone, scenario, &cfg, seed);
+        let ill = strategy_illustration(&zoo::vgg11_cifar(), Platform::Phone, scenario, &cfg, seed)
+            .expect("valid inputs");
         println!("Fig. 8: strategies under '{}'", ill.scenario);
         println!(
             "bandwidth levels (poor/good): {:.2} / {:.2} Mbps\n",

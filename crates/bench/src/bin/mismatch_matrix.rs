@@ -18,7 +18,8 @@ fn main() {
         Scenario::WifiOutdoorSlow,
     ];
     println!("Context mismatch (VGG11, Phone): executed reward of tree trained on row, run in column\n");
-    let m = mismatch_matrix(&zoo::vgg11_cifar(), Platform::Phone, &scenarios, &cfg, 120, seed);
+    let m = mismatch_matrix(&zoo::vgg11_cifar(), Platform::Phone, &scenarios, &cfg, 120, seed)
+        .expect("valid inputs");
     print!("{:<22}", "trained \\ executed");
     for s in &m.scenarios {
         print!(" {:>20}", s);

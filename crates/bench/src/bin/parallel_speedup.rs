@@ -70,7 +70,8 @@ fn time_tree_search(workers: usize, episodes: usize, reps: usize) -> f64 {
             &memo,
             false,
             None,
-        );
+        )
+        .expect("valid inputs");
         total += start.elapsed().as_secs_f64() * 1000.0;
         std::hint::black_box(result);
     }

@@ -23,7 +23,7 @@ fn main() {
     let mut per_seed = Vec::new();
     for &seed in &seeds {
         let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
-        let scenes = train_all(&cfg, seed);
+        let scenes = train_all(&cfg, seed).expect("valid inputs");
         let rows = emulation_table(&scenes, Mode::Emulation, requests, seed);
         let avg = averages(&rows[..10]); // the 10 VGG11 rows
         println!(

@@ -22,7 +22,8 @@ fn main() {
         &[2, 3],
         &cfg,
         seed,
-    );
+    )
+    .expect("valid inputs");
     for p in &points {
         println!(
             "{:>3} {:>3} {:>10.2} {:>12.2} {:>14.2} {:>8}",

@@ -9,7 +9,7 @@ fn main() {
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     eprintln!("training 14 scenes ({episodes} episodes each)...");
-    let scenes = train_all(&cfg, seed);
+    let scenes = train_all(&cfg, seed).expect("valid inputs");
     let rows = offline_table(&scenes);
 
     println!("Table 3: offline training reward");

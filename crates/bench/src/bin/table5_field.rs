@@ -12,7 +12,7 @@ fn main() {
     let seed: u64 = std::env::var("CADMC_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(7);
     let cfg = SearchConfig { episodes, seed, parallelism: cadmc_bench::workers_from_env(), ..SearchConfig::default() };
     eprintln!("training 14 scenes ({episodes} episodes each)...");
-    let scenes = train_all(&cfg, seed);
+    let scenes = train_all(&cfg, seed).expect("valid inputs");
     let rows = emulation_table(&scenes, Mode::Field, requests, seed);
 
     println!("Table 5: field test results ({requests} requests per run)");

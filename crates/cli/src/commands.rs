@@ -1,19 +1,18 @@
 //! CLI subcommand implementations.
 
-use std::error::Error;
-
 use cadmc_core::executor::{execute, ExecConfig, Mode, Policy};
 use cadmc_core::experiments::{train_scene, Workload};
 use cadmc_core::memo::MemoPool;
 use cadmc_core::parallel::Parallelism;
-use cadmc_core::persist;
 use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::{persist, validate};
 use cadmc_core::{surgery, EvalEnv, NetworkContext};
 use cadmc_latency::{Mbps, Platform};
 use cadmc_netsim::{stats::trace_stats, Scenario};
 use cadmc_nn::{zoo, ModelSpec};
 
 use crate::args::Args;
+use crate::error::CliError;
 
 /// `cadmc help` text.
 pub const HELP: &str = "\
@@ -40,6 +39,9 @@ COMMANDS:
     plan            one-shot branch search vs surgery at a fixed bandwidth
                       --model <name> --device <d> --bandwidth <Mbps>
                       [--episodes N] [--seed N] [--workers N]
+    validate        audit a saved model tree (or a named model) against
+                    every model-graph invariant
+                      --tree <file> | --model <name>
     export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
                       --scenario <name> --out <file> [--seed N]
     help            this text
@@ -53,9 +55,9 @@ Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
 ///
 /// # Errors
 ///
-/// Returns a human-readable error for unknown commands, bad flags or
-/// failing I/O.
-pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
+/// Returns a [`CliError`] for unknown commands, bad flags, invalid
+/// inputs or failing I/O.
+pub fn run(args: &Args) -> Result<(), CliError> {
     match args.command.as_str() {
         "scenarios" => scenarios(args),
         "characterize" => characterize(args),
@@ -63,12 +65,15 @@ pub fn run(args: &Args) -> Result<(), Box<dyn Error>> {
         "show" => show(args),
         "emulate" => emulate(args),
         "plan" => plan(args),
+        "validate" => validate_cmd(args),
         "export-trace" => export_trace(args),
-        other => Err(format!("unknown command {other:?} (try `cadmc help`)").into()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?} (try `cadmc help`)"
+        ))),
     }
 }
 
-fn model_by_name(name: &str) -> Result<ModelSpec, Box<dyn Error>> {
+fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "vgg11" => zoo::vgg11_cifar(),
         "vgg16" => zoo::vgg16_cifar(),
@@ -76,26 +81,28 @@ fn model_by_name(name: &str) -> Result<ModelSpec, Box<dyn Error>> {
         "mobilenet" => zoo::mobilenet_cifar(),
         "squeezenet" => zoo::squeezenet_cifar(),
         "tiny" => zoo::tiny_cnn(),
-        other => return Err(format!("unknown model {other:?}").into()),
+        other => return Err(CliError::Usage(format!("unknown model {other:?}"))),
     })
 }
 
-fn device_by_name(name: &str) -> Result<Platform, Box<dyn Error>> {
+fn device_by_name(name: &str) -> Result<Platform, CliError> {
     Ok(match name.to_ascii_lowercase().as_str() {
         "phone" => Platform::Phone,
         "tx2" => Platform::Tx2,
-        other => return Err(format!("unknown device {other:?}").into()),
+        other => return Err(CliError::Usage(format!("unknown device {other:?}"))),
     })
 }
 
-fn scenario_by_name(name: &str) -> Result<Scenario, Box<dyn Error>> {
+fn scenario_by_name(name: &str) -> Result<Scenario, CliError> {
     Scenario::ALL
         .into_iter()
         .find(|s| s.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown scenario {name:?} (see `cadmc scenarios`)").into())
+        .ok_or_else(|| {
+            CliError::Usage(format!("unknown scenario {name:?} (see `cadmc scenarios`)"))
+        })
 }
 
-fn scenarios(args: &Args) -> Result<(), Box<dyn Error>> {
+fn scenarios(args: &Args) -> Result<(), CliError> {
     let seed: u64 = args.get_or("seed", 7)?;
     println!(
         "{:<22} {:>8} {:>8} {:>8} {:>8} {:>10}",
@@ -118,7 +125,7 @@ fn scenarios(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn characterize(args: &Args) -> Result<(), Box<dyn Error>> {
+fn characterize(args: &Args) -> Result<(), CliError> {
     // Either a named synthetic scenario or a recorded CSV trace.
     if let Some(path) = args.get("trace") {
         let file = std::fs::File::open(path)?;
@@ -154,14 +161,14 @@ fn characterize(args: &Args) -> Result<(), Box<dyn Error>> {
 /// Rollout worker pool: `--workers N`, defaulting to the machine's
 /// available parallelism. Purely a scheduling knob — results are
 /// bit-identical for any value.
-fn workers(args: &Args) -> Result<Parallelism, Box<dyn Error>> {
+fn workers(args: &Args) -> Result<Parallelism, CliError> {
     Ok(match args.get("workers") {
         None => Parallelism::available(),
         Some(_) => Parallelism::new(args.get_or("workers", 1usize)?),
     })
 }
 
-fn train(args: &Args) -> Result<(), Box<dyn Error>> {
+fn train(args: &Args) -> Result<(), CliError> {
     let model = model_by_name(args.require("model")?)?;
     let device = device_by_name(args.require("device")?)?;
     let scenario = scenario_by_name(args.require("scenario")?)?;
@@ -180,7 +187,7 @@ fn train(args: &Args) -> Result<(), Box<dyn Error>> {
         scenario,
     };
     eprintln!("training {} ({episodes} episodes)...", w.label());
-    let scene = train_scene(&w, &cfg, seed);
+    let scene = train_scene(&w, &cfg, seed)?;
     persist::save_tree(&scene.tree.tree, out)?;
     println!(
         "saved model tree to {out}: {} nodes, {} branches, {:.2} MB edge storage",
@@ -197,7 +204,7 @@ fn train(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn show(args: &Args) -> Result<(), Box<dyn Error>> {
+fn show(args: &Args) -> Result<(), CliError> {
     let tree = persist::load_tree(args.require("tree")?)?;
     println!(
         "model tree over {} — N = {} blocks, K = {} levels ({:?} Mbps)",
@@ -231,7 +238,7 @@ fn show(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn emulate(args: &Args) -> Result<(), Box<dyn Error>> {
+fn emulate(args: &Args) -> Result<(), CliError> {
     let tree = persist::load_tree(args.require("tree")?)?;
     let model = model_by_name(args.require("model")?)?;
     let device = device_by_name(args.require("device")?)?;
@@ -266,7 +273,43 @@ fn emulate(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn export_trace(args: &Args) -> Result<(), Box<dyn Error>> {
+fn validate_cmd(args: &Args) -> Result<(), CliError> {
+    if let Some(path) = args.get("tree") {
+        // load_tree already audits every model-tree invariant; reaching
+        // this point means the artifact passed.
+        let tree = persist::load_tree(path)?;
+        println!(
+            "ok: {path} — {} over {} layers, N = {} blocks, K = {} levels, {} nodes, {} branches",
+            tree.base().name(),
+            tree.base().len(),
+            tree.n_blocks(),
+            tree.k(),
+            tree.nodes().len(),
+            tree.branches().len()
+        );
+        return Ok(());
+    }
+    let name = match args.get("model") {
+        Some(m) => m,
+        None => {
+            return Err(CliError::Usage(
+                "validate needs --tree <file> or --model <name>".to_string(),
+            ))
+        }
+    };
+    let model = model_by_name(name)?;
+    validate::model_spec(&model)?;
+    println!(
+        "ok: model {} — {} layers, shape-consistent, input {:?} -> output {:?}",
+        model.name(),
+        model.len(),
+        model.input_shape(),
+        model.output_shape()
+    );
+    Ok(())
+}
+
+fn export_trace(args: &Args) -> Result<(), CliError> {
     let scenario = scenario_by_name(args.require("scenario")?)?;
     let out = args.require("out")?;
     let seed: u64 = args.get_or("seed", 7)?;
@@ -282,13 +325,13 @@ fn export_trace(args: &Args) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn plan(args: &Args) -> Result<(), Box<dyn Error>> {
+fn plan(args: &Args) -> Result<(), CliError> {
     let model = model_by_name(args.require("model")?)?;
     let device = device_by_name(args.require("device")?)?;
     let bandwidth: f64 = args
         .require("bandwidth")?
         .parse()
-        .map_err(|_| "invalid --bandwidth")?;
+        .map_err(|_| CliError::Usage("invalid --bandwidth".to_string()))?;
     let episodes: usize = args.get_or("episodes", 120)?;
     let seed: u64 = args.get_or("seed", 7)?;
     let env = EvalEnv::for_edge(device);
@@ -311,7 +354,7 @@ fn plan(args: &Args) -> Result<(), Box<dyn Error>> {
     let mut controllers = Controllers::new(&cfg);
     let memo = MemoPool::new();
     let outcome =
-        cadmc_core::branch::optimal_branch(&mut controllers, &model, &env, bw, &cfg, &memo);
+        cadmc_core::branch::optimal_branch(&mut controllers, &model, &env, bw, &cfg, &memo)?;
     println!(
         "branch  : {:<44} reward {:.2} ({:.1} ms)",
         outcome.best.summary(),

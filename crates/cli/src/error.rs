@@ -1,0 +1,82 @@
+//! The CLI's typed error: every subcommand failure is one of these
+//! variants, so `main` prints a single well-formed diagnostic instead of
+//! unwinding through `Box<dyn Error>` chains.
+
+use cadmc_core::persist::PersistError;
+use cadmc_core::validate::ValidateError;
+use cadmc_netsim::io::TraceIoError;
+
+use crate::args::ArgsError;
+
+/// Errors surfaced by `cadmc` subcommands.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation: unknown command, model, device or scenario name.
+    Usage(String),
+    /// Flag parsing or lookup failure.
+    Args(ArgsError),
+    /// Artifact save/load failure.
+    Persist(PersistError),
+    /// An input failed model-graph or configuration validation.
+    Invalid(ValidateError),
+    /// Bandwidth-trace CSV I/O failure.
+    Trace(TraceIoError),
+    /// Other filesystem failure (report/trace output files).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Persist(e) => write!(f, "{e}"),
+            CliError::Invalid(e) => write!(f, "validation failed: {e}"),
+            CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(_) => None,
+            CliError::Args(e) => Some(e),
+            CliError::Persist(e) => Some(e),
+            CliError::Invalid(e) => Some(e),
+            CliError::Trace(e) => Some(e),
+            CliError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ArgsError> for CliError {
+    fn from(e: ArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<PersistError> for CliError {
+    fn from(e: PersistError) -> Self {
+        CliError::Persist(e)
+    }
+}
+
+impl From<ValidateError> for CliError {
+    fn from(e: ValidateError) -> Self {
+        CliError::Invalid(e)
+    }
+}
+
+impl From<TraceIoError> for CliError {
+    fn from(e: TraceIoError) -> Self {
+        CliError::Trace(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}

@@ -10,3 +10,4 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;

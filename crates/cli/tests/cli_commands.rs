@@ -5,7 +5,7 @@ use cadmc_cli::commands;
 
 fn run(tokens: &[&str]) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(tokens.iter().map(|s| s.to_string()))?;
-    commands::run(&args)
+    Ok(commands::run(&args)?)
 }
 
 fn tmp(name: &str) -> String {

@@ -29,7 +29,7 @@ pub fn select_filters(norms: &[f32], keep: usize) -> Vec<usize> {
     assert!(keep > 0, "must keep at least one filter");
     assert!(keep <= norms.len(), "cannot keep more filters than exist");
     let mut order: Vec<usize> = (0..norms.len()).collect();
-    order.sort_by(|&a, &b| norms[b].partial_cmp(&norms[a]).unwrap());
+    order.sort_by(|&a, &b| norms[b].total_cmp(&norms[a]));
     let mut kept: Vec<usize> = order[..keep].to_vec();
     kept.sort_unstable();
     kept

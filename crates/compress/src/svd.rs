@@ -91,7 +91,7 @@ pub fn svd(a: &Matrix) -> Svd {
         .collect();
     // Sort descending, permuting U and V columns identically.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).unwrap());
+    order.sort_by(|&i, &j| sigma[j].total_cmp(&sigma[i]));
     let mut u = Matrix::zeros(m, n);
     let mut v_sorted = Matrix::zeros(n, n);
     let mut sigma_sorted = vec![0.0f32; n];

@@ -123,10 +123,15 @@ impl Technique {
     /// Stable index into [`Technique::ALL`] (used by controller softmax
     /// heads).
     pub fn index(self) -> usize {
-        Technique::ALL
-            .iter()
-            .position(|&t| t == self)
-            .expect("technique is in ALL")
+        match self {
+            Technique::F1Svd => 0,
+            Technique::F2Ksvd => 1,
+            Technique::F3Gap => 2,
+            Technique::C1MobileNet => 3,
+            Technique::C2MobileNetV2 => 4,
+            Technique::C3SqueezeNet => 5,
+            Technique::W1FilterPrune => 6,
+        }
     }
 
     /// Relative accuracy-risk weight used by the accuracy oracle: larger
@@ -324,10 +329,16 @@ impl std::fmt::Display for Technique {
 fn apply_gap(spec: &ModelSpec, idx: usize) -> Result<ModelSpec, CompressError> {
     let classes = spec.output_shape().len();
     // Find the Flatten that starts the head.
-    let flatten_idx = spec.layers()[..idx]
+    let Some(flatten_idx) = spec.layers()[..idx]
         .iter()
         .rposition(|l| matches!(l, LayerSpec::Flatten))
-        .expect("applicability guaranteed a Flatten before the FC head");
+    else {
+        return Err(CompressError::NotApplicable {
+            technique: Technique::F3Gap,
+            layer_index: idx,
+            layer: "no Flatten precedes the FC head".to_string(),
+        });
+    };
     let mut layers: Vec<LayerSpec> = spec.layers()[..flatten_idx].to_vec();
     layers.push(LayerSpec::conv(1, 1, 0, classes));
     layers.push(LayerSpec::GlobalAvgPool);

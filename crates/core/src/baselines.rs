@@ -15,6 +15,7 @@ use crate::env::EvalEnv;
 use crate::memo::MemoPool;
 use crate::parallel::{par_map_indexed, Parallelism};
 use crate::reward::Evaluation;
+use crate::validate::{self, ValidateError};
 
 /// Episodes per proposal batch: within a batch, proposals are generated in
 /// parallel from the best candidate *at batch start* (each episode on its
@@ -91,8 +92,15 @@ fn run_search(
     memo: &MemoPool,
     par: Parallelism,
     propose: impl Fn(&mut StdRng, Option<&Candidate>) -> Candidate + Sync,
-) -> SearchOutcome {
-    assert!(episodes > 0, "need at least one episode");
+) -> Result<SearchOutcome, ValidateError> {
+    validate::model_spec(base)?;
+    validate::bandwidth(bandwidth.0)?;
+    if episodes == 0 {
+        return Err(ValidateError::BadConfig {
+            field: "episodes",
+            detail: "must be at least 1".to_string(),
+        });
+    }
     let mut episode_rewards = Vec::with_capacity(episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
@@ -122,16 +130,21 @@ fn run_search(
         }
         batch_start = batch_end;
     }
-    let (best, best_eval) = best.expect("episodes > 0");
-    SearchOutcome {
+    let (best, best_eval) = best.expect("episodes >= 1 was validated");
+    Ok(SearchOutcome {
         best,
         best_eval,
         episode_rewards,
         improvers,
-    }
+    })
 }
 
 /// Pure random search: every episode samples a fresh uniform candidate.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] for an empty model, non-finite bandwidth or
+/// a zero episode budget.
 pub fn random_search(
     base: &ModelSpec,
     env: &EvalEnv,
@@ -140,7 +153,7 @@ pub fn random_search(
     seed: u64,
     memo: &MemoPool,
     par: Parallelism,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, ValidateError> {
     run_search(base, env, bandwidth, episodes, seed, memo, par, |rng, _| {
         random_candidate(base, rng)
     })
@@ -150,6 +163,11 @@ pub fn random_search(
 /// otherwise locally mutate the best candidate found so far (re-randomize
 /// one layer's compression action, or nudge the partition point). Within a
 /// rollout batch, mutations start from the best candidate at batch start.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] for an empty model, non-finite bandwidth,
+/// zero episode budget or an ε outside `[0, 1]`.
 #[allow(clippy::too_many_arguments)]
 pub fn epsilon_greedy_search(
     base: &ModelSpec,
@@ -160,8 +178,13 @@ pub fn epsilon_greedy_search(
     seed: u64,
     memo: &MemoPool,
     par: Parallelism,
-) -> SearchOutcome {
-    assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
+) -> Result<SearchOutcome, ValidateError> {
+    if !epsilon.is_finite() || !(0.0..=1.0).contains(&epsilon) {
+        return Err(ValidateError::BadConfig {
+            field: "explore_epsilon",
+            detail: format!("probability {epsilon} must be in [0, 1]"),
+        });
+    }
     run_search(
         base,
         env,
@@ -230,7 +253,8 @@ mod tests {
         let base = zoo::vgg11_cifar();
         let env = EvalEnv::phone();
         let memo = MemoPool::new();
-        let out = random_search(&base, &env, Mbps(10.0), 40, 1, &memo, Parallelism::serial());
+        let out = random_search(&base, &env, Mbps(10.0), 40, 1, &memo, Parallelism::serial())
+            .expect("valid inputs");
         assert_eq!(out.episode_rewards.len(), 40);
         assert!(out.best_eval.reward > 0.0);
     }
@@ -241,7 +265,8 @@ mod tests {
         let env = EvalEnv::phone();
         let memo = MemoPool::new();
         let out =
-            epsilon_greedy_search(&base, &env, Mbps(10.0), 60, 0.3, 2, &memo, Parallelism::serial());
+            epsilon_greedy_search(&base, &env, Mbps(10.0), 60, 0.3, 2, &memo, Parallelism::serial())
+                .expect("valid inputs");
         let curve = out.best_so_far();
         assert!(curve.last().unwrap() >= curve.first().unwrap());
     }
@@ -276,8 +301,10 @@ mod tests {
     fn deterministic_per_seed() {
         let base = zoo::tiny_cnn();
         let env = EvalEnv::phone();
-        let a = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial());
-        let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial());
+        let a = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial())
+            .expect("valid inputs");
+        let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial())
+            .expect("valid inputs");
         assert_eq!(a.episode_rewards, b.episode_rewards);
     }
 
@@ -294,7 +321,8 @@ mod tests {
             11,
             &MemoPool::new(),
             Parallelism::serial(),
-        );
+        )
+        .expect("valid inputs");
         let parallel = epsilon_greedy_search(
             &base,
             &env,
@@ -304,7 +332,8 @@ mod tests {
             11,
             &MemoPool::new(),
             Parallelism::new(8),
-        );
+        )
+        .expect("valid inputs");
         assert_eq!(serial.episode_rewards, parallel.episode_rewards);
         assert_eq!(serial.best, parallel.best);
     }

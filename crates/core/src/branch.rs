@@ -22,6 +22,7 @@ use crate::memo::MemoPool;
 use crate::parallel::par_map_indexed;
 use crate::reward::Evaluation;
 use crate::search::{to_partition, Controllers, SearchConfig};
+use crate::validate::{self, ValidateError};
 
 /// Outcome of a search run.
 #[derive(Debug, Clone)]
@@ -115,6 +116,11 @@ const BRANCH_SALT: u64 = 0x6272_616e_6368;
 /// threads, each episode on its own `seed ^ episode` RNG stream — and the
 /// policy updates are then applied sequentially in episode order, so the
 /// result is bit-identical for any worker count.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model, bandwidth or configuration
+/// fails [`validate::branch_inputs`]; no episode runs in that case.
 pub fn optimal_branch(
     controllers: &mut Controllers,
     base: &ModelSpec,
@@ -122,7 +128,8 @@ pub fn optimal_branch(
     bandwidth: Mbps,
     cfg: &SearchConfig,
     memo: &MemoPool,
-) -> SearchOutcome {
+) -> Result<SearchOutcome, ValidateError> {
+    validate::branch_inputs(base, bandwidth.0, cfg)?;
     let mut episode_rewards = Vec::with_capacity(cfg.episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
@@ -172,13 +179,13 @@ pub fn optimal_branch(
         batch_start = batch_end;
     }
 
-    let (best, best_eval) = best.expect("at least one episode ran");
-    SearchOutcome {
+    let (best, best_eval) = best.expect("episodes >= 1 was validated");
+    Ok(SearchOutcome {
         best,
         best_eval,
         episode_rewards,
         improvers,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +207,8 @@ mod tests {
         };
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        let outcome = optimal_branch(&mut controllers, &base, &env, bw, &cfg, &memo);
+        let outcome =
+            optimal_branch(&mut controllers, &base, &env, bw, &cfg, &memo).expect("valid inputs");
         let surgery = crate::surgery::plan(&base, &env, bw);
         assert!(
             outcome.best_eval.reward >= surgery.evaluation.reward - 2.0,
@@ -217,8 +225,8 @@ mod tests {
         let cfg = SearchConfig::quick(1);
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        let outcome =
-            optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+        let outcome = optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+            .expect("valid inputs");
         assert_eq!(outcome.episode_rewards.len(), cfg.episodes);
         for &r in &outcome.episode_rewards {
             assert!((0.0..=400.0).contains(&r));
@@ -239,7 +247,8 @@ mod tests {
         };
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        let _ = optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+        let _ = optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+            .expect("valid inputs");
         assert!(
             memo.hits() > 0,
             "60 episodes on a 7-layer model must revisit candidates"
@@ -255,6 +264,7 @@ mod tests {
             let mut controllers = Controllers::new(&cfg);
             let memo = MemoPool::new();
             optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+                .expect("valid inputs")
                 .episode_rewards
         };
         assert_eq!(run(), run());

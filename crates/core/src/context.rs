@@ -28,10 +28,7 @@ impl NetworkContext {
         assert!(k > 0, "need at least one bandwidth level");
         // Characterize over a 3-minute window: short traces can miss the
         // outage tail entirely and make fragile all-cloud plans look safe.
-        let salt = Scenario::ALL
-            .iter()
-            .position(|&x| x == scenario)
-            .expect("scenario is in ALL") as u64;
+        let salt = scenario.index() as u64;
         let trace = cadmc_netsim::BandwidthTrace::synthesize(
             scenario.process_config(),
             180_000.0,

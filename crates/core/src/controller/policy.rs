@@ -9,7 +9,7 @@ use rand::RngExt;
 /// Records the sampled actions' log-probabilities of one episode so the
 /// surrogate loss `-(G - b) · Σ log π(a|s)` can be built once the reward
 /// is known.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct EpisodeTape {
     /// The autodiff graph the episode's policy passes were recorded on.
     pub graph: Graph,

@@ -19,6 +19,7 @@ use crate::search::{Controllers, SearchConfig};
 use crate::surgery;
 use crate::tree::ModelTree;
 use crate::tree_search::tree_search;
+use crate::validate::ValidateError;
 
 /// A trained decision engine for one (base model, device, context) cell.
 ///
@@ -38,7 +39,8 @@ use crate::tree_search::tree_search;
 ///     Scenario::WifiWeakIndoor,
 ///     &cfg,
 ///     1,
-/// );
+/// )
+/// .expect("valid inputs");
 /// // Online: compose the model for the currently measured bandwidth.
 /// let (candidate, _path) = engine.decide(|_| 5.0);
 /// assert_eq!(candidate.model.output_shape(), zoo::tiny_cnn().output_shape());
@@ -56,13 +58,18 @@ impl DecisionEngine {
     /// Runs the full offline phase (Fig. 2's upper half): characterizes
     /// the scenario, boosts with Alg. 1 branches, and searches the model
     /// tree with Alg. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the model or configuration fails
+    /// pre-search validation; nothing is trained in that case.
     pub fn train(
         base: ModelSpec,
         env: EvalEnv,
         scenario: cadmc_netsim::Scenario,
         cfg: &SearchConfig,
         seed: u64,
-    ) -> Self {
+    ) -> Result<Self, ValidateError> {
         let ctx = NetworkContext::from_scenario(scenario, 2, seed);
         let memo = MemoPool::new();
         let mut controllers = Controllers::new(cfg);
@@ -76,14 +83,14 @@ impl DecisionEngine {
             &memo,
             true,
             Some(ctx.trace()),
-        );
-        Self {
+        )?;
+        Ok(Self {
             base,
             env,
             ctx,
             tree: result.tree,
             controllers,
-        }
+        })
     }
 
     /// The base model this engine deploys.
@@ -117,7 +124,16 @@ impl DecisionEngine {
     /// Convenience: runs Alg. 1 for a single constant bandwidth with this
     /// engine's (already warmed) controllers and returns the best
     /// deployment, floored by the surgery baseline.
-    pub fn plan_for_bandwidth(&mut self, bandwidth: Mbps, cfg: &SearchConfig) -> Candidate {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError`] when the bandwidth or configuration
+    /// fails pre-search validation.
+    pub fn plan_for_bandwidth(
+        &mut self,
+        bandwidth: Mbps,
+        cfg: &SearchConfig,
+    ) -> Result<Candidate, ValidateError> {
         let memo = MemoPool::new();
         let outcome = optimal_branch(
             &mut self.controllers,
@@ -126,13 +142,13 @@ impl DecisionEngine {
             bandwidth,
             cfg,
             &memo,
-        );
+        )?;
         let surgery = surgery::plan(&self.base, &self.env, bandwidth);
-        if surgery.evaluation.reward > outcome.best_eval.reward {
+        Ok(if surgery.evaluation.reward > outcome.best_eval.reward {
             surgery.candidate
         } else {
             outcome.best
-        }
+        })
     }
 }
 
@@ -154,6 +170,7 @@ mod tests {
             &cfg,
             seed,
         )
+        .expect("valid inputs")
     }
 
     #[test]
@@ -177,7 +194,7 @@ mod tests {
             ..SearchConfig::quick(2)
         };
         let bw = Mbps(10.0);
-        let plan = engine.plan_for_bandwidth(bw, &cfg);
+        let plan = engine.plan_for_bandwidth(bw, &cfg).expect("valid inputs");
         let planned = engine.evaluate(&plan, bw);
         let surgery = surgery::plan(engine.base(), &EvalEnv::phone(), bw);
         assert!(planned.reward >= surgery.evaluation.reward - 1e-9);

@@ -108,7 +108,7 @@ impl ExecReport {
             return 0.0;
         }
         let mut sorted = self.latencies_ms.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         sorted[((sorted.len() - 1) as f64 * 0.95).round() as usize]
     }
 

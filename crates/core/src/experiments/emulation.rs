@@ -106,7 +106,7 @@ mod tests {
             episodes: 40,
             ..SearchConfig::quick(seed)
         };
-        train_scene(&w, &cfg, seed)
+        train_scene(&w, &cfg, seed).expect("valid inputs")
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::parallel::{par_map_indexed, Parallelism};
 use crate::search::{Controllers, SearchConfig};
 use crate::tree::{ModelTree, TreeNode};
 use crate::tree_search::tree_search;
+use crate::validate::ValidateError;
 
 use super::{K_LEVELS, N_BLOCKS};
 
@@ -187,6 +188,11 @@ fn mutate_tree(tree: &ModelTree, base: &ModelSpec, rng: &mut StdRng) -> ModelTre
 
 /// Runs the three searches with equal episode budgets and returns their
 /// best-so-far curves.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model or derived configuration
+/// fails pre-search validation.
 pub fn search_comparison(
     base: &ModelSpec,
     device: Platform,
@@ -194,7 +200,7 @@ pub fn search_comparison(
     episodes: usize,
     seed: u64,
     par: Parallelism,
-) -> SearchComparison {
+) -> Result<SearchComparison, ValidateError> {
     let env = EvalEnv::for_edge(device);
     let ctx = NetworkContext::from_scenario(scenario, K_LEVELS, seed);
     let levels = ctx.levels().to_vec();
@@ -219,7 +225,7 @@ pub fn search_comparison(
         &memo,
         false,
         None,
-    );
+    )?;
     let rl = best_so_far(&rl_result.episode_scores);
 
     // Random search: every episode is independent, so the whole budget
@@ -264,11 +270,11 @@ pub fn search_comparison(
     }
     let epsilon_greedy = best_so_far(&eg_scores);
 
-    SearchComparison {
+    Ok(SearchComparison {
         rl,
         random,
         epsilon_greedy,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -285,7 +291,8 @@ mod tests {
             20,
             1,
             Parallelism::serial(),
-        );
+        )
+        .expect("valid inputs");
         for curve in [&cmp.rl, &cmp.random, &cmp.epsilon_greedy] {
             assert_eq!(curve.len(), 20);
             for pair in curve.windows(2) {
@@ -303,7 +310,8 @@ mod tests {
             15,
             2,
             Parallelism::new(4),
-        );
+        )
+        .expect("valid inputs");
         let (rl, random, eg) = cmp.finals();
         for (name, v) in [("rl", rl), ("random", random), ("eg", eg)] {
             assert!(v > 250.0, "{name} final reward {v:.1} too low");

@@ -9,6 +9,7 @@ use cadmc_nn::ModelSpec;
 
 use crate::executor::{execute, ExecConfig, Policy};
 use crate::search::SearchConfig;
+use crate::validate::ValidateError;
 
 use super::{train_scene, Workload};
 
@@ -45,19 +46,24 @@ impl StrategyIllustration {
 }
 
 /// Builds the illustration for one (model, device, scenario) cell.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model or configuration fails
+/// pre-search validation.
 pub fn strategy_illustration(
     base: &ModelSpec,
     device: Platform,
     scenario: Scenario,
     cfg: &SearchConfig,
     seed: u64,
-) -> StrategyIllustration {
+) -> Result<StrategyIllustration, ValidateError> {
     let w = Workload {
         model: base.clone(),
         device,
         scenario,
     };
-    let scene = train_scene(&w, cfg, seed);
+    let scene = train_scene(&w, cfg, seed)?;
     let tree = &scene.tree.tree;
     // Every displayed deployment is scored at the context median, so the
     // panel's rewards are directly comparable (like the paper's Fig. 8,
@@ -79,7 +85,7 @@ pub fn strategy_illustration(
             (cand.summary(), reward)
         })
         .collect();
-    StrategyIllustration {
+    Ok(StrategyIllustration {
         scenario: scenario.name().to_string(),
         surgery: (
             scene.surgery.candidate.summary(),
@@ -94,7 +100,7 @@ pub fn strategy_illustration(
         tree_executed: executed(Policy::Tree(tree)),
         tree_branches,
         levels: scene.ctx.levels().to_vec(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -114,7 +120,8 @@ mod tests {
             Scenario::FourGIndoorStatic,
             &cfg,
             1,
-        );
+        )
+        .expect("valid inputs");
         // Fig. 8's qualitative content: under execution, the tree is at
         // least competitive with both static strategies, and the panel
         // carries planned + executed numbers for each.

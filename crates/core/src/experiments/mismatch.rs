@@ -13,6 +13,7 @@ use cadmc_nn::ModelSpec;
 
 use crate::executor::{execute, ExecConfig, Mode, Policy};
 use crate::search::SearchConfig;
+use crate::validate::ValidateError;
 
 use super::{train_scene, TrainedScene, Workload};
 
@@ -51,6 +52,11 @@ impl MismatchMatrix {
 
 /// Trains a tree per scenario in `scenarios` and cross-executes, streaming
 /// `requests` per cell on each target's held-out trace.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model or configuration fails
+/// pre-search validation.
 pub fn mismatch_matrix(
     base: &ModelSpec,
     device: Platform,
@@ -58,7 +64,7 @@ pub fn mismatch_matrix(
     cfg: &SearchConfig,
     requests: usize,
     seed: u64,
-) -> MismatchMatrix {
+) -> Result<MismatchMatrix, ValidateError> {
     let scenes: Vec<TrainedScene> = scenarios
         .iter()
         .map(|&scenario| {
@@ -72,7 +78,7 @@ pub fn mismatch_matrix(
                 seed,
             )
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
     let exec = ExecConfig {
         requests,
         mode: Mode::Emulation,
@@ -97,10 +103,10 @@ pub fn mismatch_matrix(
                 .collect()
         })
         .collect();
-    MismatchMatrix {
+    Ok(MismatchMatrix {
         scenarios: scenarios.iter().map(|s| s.name()).collect(),
         rewards,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -121,7 +127,8 @@ mod tests {
             &cfg,
             40,
             1,
-        );
+        )
+        .expect("valid inputs");
         assert_eq!(m.scenarios.len(), 2);
         assert_eq!(m.rewards.len(), 2);
         for row in &m.rewards {

@@ -33,6 +33,7 @@ use crate::memo::MemoPool;
 use crate::search::{Controllers, SearchConfig};
 use crate::surgery;
 use crate::tree_search::{tree_search, TreeSearchResult};
+use crate::validate::ValidateError;
 
 /// The paper's number of blocks `N`.
 pub const N_BLOCKS: usize = 3;
@@ -134,7 +135,16 @@ pub struct TrainedScene {
 /// Runs the full offline phase for one workload: characterize the context,
 /// plan surgery, run Alg. 1 at the median bandwidth, then Alg. 3 with
 /// boosting across the K levels.
-pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> TrainedScene {
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the workload model or configuration
+/// fails pre-search validation.
+pub fn train_scene(
+    workload: &Workload,
+    cfg: &SearchConfig,
+    seed: u64,
+) -> Result<TrainedScene, ValidateError> {
     let env = EvalEnv::for_edge(workload.device);
     let ctx = NetworkContext::from_scenario(workload.scenario, K_LEVELS, seed);
     let memo = MemoPool::new();
@@ -150,7 +160,7 @@ pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> Traine
         median,
         cfg,
         &memo,
-    );
+    )?;
     // The branch method is static but trained offline with the scene trace
     // available; pick between the RL result and the surgery point (which
     // lies inside the branch space) by *executed* reward on that trace —
@@ -176,9 +186,7 @@ pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> Traine
     let branch = pool
         .into_iter()
         .max_by(|a, b| {
-            executed(a)
-                .partial_cmp(&executed(b))
-                .expect("rewards are finite")
+executed(a).total_cmp(&executed(b))
         })
         .expect("pool contains surgery")
         .clone();
@@ -199,7 +207,7 @@ pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> Traine
         &memo,
         true,
         Some(ctx.trace()),
-    );
+    )?;
 
     // A rigid tree deploying the median-bandwidth branch is always a
     // valid model tree; keep it if it executes better than the searched
@@ -229,7 +237,7 @@ pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> Traine
     }
 
     let test_trace = workload.scenario.trace(seed ^ 0x5eed_cafe);
-    TrainedScene {
+    Ok(TrainedScene {
         workload: workload.clone(),
         ctx,
         env,
@@ -239,11 +247,16 @@ pub fn train_scene(workload: &Workload, cfg: &SearchConfig, seed: u64) -> Traine
         branch_outcome,
         tree,
         test_trace,
-    }
+    })
 }
 
 /// Trains every paper workload with a shared configuration.
-pub fn train_all(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the configuration fails pre-search
+/// validation (the paper workloads themselves are always well formed).
+pub fn train_all(cfg: &SearchConfig, seed: u64) -> Result<Vec<TrainedScene>, ValidateError> {
     train_all_parallel(cfg, seed)
 }
 
@@ -254,7 +267,15 @@ pub fn train_all(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
 /// themselves run in parallel (harmless: the worker count never affects
 /// results). Results come back in workload order and are bit-identical to
 /// sequential training.
-pub fn train_all_parallel(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the configuration fails pre-search
+/// validation (the paper workloads themselves are always well formed).
+pub fn train_all_parallel(
+    cfg: &SearchConfig,
+    seed: u64,
+) -> Result<Vec<TrainedScene>, ValidateError> {
     let workloads = paper_workloads();
     let scene_cfg = if cfg.parallelism.is_serial() {
         *cfg
@@ -267,6 +288,8 @@ pub fn train_all_parallel(cfg: &SearchConfig, seed: u64) -> Vec<TrainedScene> {
     crate::parallel::par_map(&workloads, cfg.parallelism.workers, |w| {
         train_scene(w, &scene_cfg, seed)
     })
+    .into_iter()
+    .collect()
 }
 
 /// Execution fidelity for [`emulation_table`].

@@ -65,7 +65,7 @@ mod tests {
             episodes: 40,
             ..SearchConfig::quick(1)
         };
-        let scene = train_scene(&w, &cfg, 1);
+        let scene = train_scene(&w, &cfg, 1).expect("valid inputs");
         let rows = offline_table(&[scene]);
         assert_eq!(rows.len(), 1);
         let r = &rows[0];

@@ -16,6 +16,7 @@ use crate::executor::{execute, ExecConfig, Policy};
 use crate::memo::MemoPool;
 use crate::search::{Controllers, SearchConfig};
 use crate::tree_search::tree_search;
+use crate::validate::ValidateError;
 
 /// One grid cell of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +36,12 @@ pub struct SweepPoint {
 }
 
 /// Trains and executes a tree per `(n, k)` grid cell.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model, a grid cell's block count
+/// or the configuration fails pre-search validation.
+#[allow(clippy::too_many_arguments)]
 pub fn nk_sweep(
     base: &ModelSpec,
     device: Platform,
@@ -43,7 +50,7 @@ pub fn nk_sweep(
     ks: &[usize],
     cfg: &SearchConfig,
     seed: u64,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, ValidateError> {
     let env = EvalEnv::for_edge(device);
     let mut out = Vec::new();
     for &n in ns {
@@ -61,7 +68,7 @@ pub fn nk_sweep(
                 &memo,
                 true,
                 Some(ctx.trace()),
-            );
+            )?;
             let report = execute(
                 &env,
                 base,
@@ -80,7 +87,7 @@ pub fn nk_sweep(
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -102,7 +109,8 @@ mod tests {
             &[2, 3],
             &cfg,
             1,
-        );
+        )
+        .expect("valid inputs");
         assert_eq!(points.len(), 4);
         for p in &points {
             assert!((0.0..=400.0).contains(&p.reward), "{p:?}");

@@ -46,6 +46,7 @@ pub mod search;
 pub mod surgery;
 pub mod tree;
 pub mod tree_search;
+pub mod validate;
 
 pub use candidate::{Candidate, Partition};
 pub use context::NetworkContext;

@@ -11,7 +11,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use crate::candidate::Candidate;
 use crate::reward::Evaluation;
@@ -85,6 +85,14 @@ impl MemoPool {
         &self.shards[self.shard_for(key)]
     }
 
+    /// Locks a shard, recovering from poisoning: a panicking evaluator
+    /// can only leave a shard map in a consistent state (entries are
+    /// inserted whole), so the cache stays usable instead of cascading
+    /// panics through every other rollout worker.
+    fn lock(shard: &Mutex<HashMap<u64, Evaluation>>) -> MutexGuard<'_, HashMap<u64, Evaluation>> {
+        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Returns the cached evaluation or computes and stores it. Only the
     /// key's shard is locked, and never while `compute` runs; two threads
     /// racing on the same fresh key may both compute, but both store the
@@ -97,7 +105,7 @@ impl MemoPool {
     ) -> Evaluation {
         let key = Self::key(candidate, bandwidth_mbps);
         {
-            let map = self.shard(key).lock().expect("memo shard poisoned");
+            let map = Self::lock(self.shard(key));
             if let Some(&e) = map.get(&key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return e;
@@ -105,10 +113,7 @@ impl MemoPool {
         }
         let e = compute();
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.shard(key)
-            .lock()
-            .expect("memo shard poisoned")
-            .insert(key, e);
+        Self::lock(self.shard(key)).insert(key, e);
         e
     }
 
@@ -116,12 +121,7 @@ impl MemoPool {
     /// as a hit or miss).
     pub fn get(&self, candidate: &Candidate, bandwidth_mbps: f64) -> Option<Evaluation> {
         let key = Self::key(candidate, bandwidth_mbps);
-        let found = self
-            .shard(key)
-            .lock()
-            .expect("memo shard poisoned")
-            .get(&key)
-            .copied();
+        let found = Self::lock(self.shard(key)).get(&key).copied();
         match found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -141,10 +141,7 @@ impl MemoPool {
 
     /// Number of cached evaluations across all shards.
     pub fn len(&self) -> usize {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
-            .sum()
+        self.shards.iter().map(|s| Self::lock(s).len()).sum()
     }
 
     /// Whether the pool is empty.
@@ -154,10 +151,7 @@ impl MemoPool {
 
     /// Entry count per shard, in shard order (for balance diagnostics).
     pub fn shard_lens(&self) -> Vec<usize> {
-        self.shards
-            .iter()
-            .map(|s| s.lock().expect("memo shard poisoned").len())
-            .collect()
+        self.shards.iter().map(|s| Self::lock(s).len()).collect()
     }
 }
 

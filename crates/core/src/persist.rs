@@ -12,6 +12,7 @@ use std::path::Path;
 
 use crate::candidate::Candidate;
 use crate::tree::ModelTree;
+use crate::validate::{self, ValidateError};
 
 /// Errors from saving/loading artifacts.
 #[derive(Debug)]
@@ -20,6 +21,8 @@ pub enum PersistError {
     Io(std::io::Error),
     /// (De)serialization failure.
     Serde(serde_json::Error),
+    /// The artifact deserialized but violates a model-graph invariant.
+    Invalid(ValidateError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "i/o error: {e}"),
             PersistError::Serde(e) => write!(f, "serialization error: {e}"),
+            PersistError::Invalid(e) => write!(f, "invalid artifact: {e}"),
         }
     }
 }
@@ -36,7 +40,14 @@ impl std::error::Error for PersistError {
         match self {
             PersistError::Io(e) => Some(e),
             PersistError::Serde(e) => Some(e),
+            PersistError::Invalid(e) => Some(e),
         }
+    }
+}
+
+impl From<ValidateError> for PersistError {
+    fn from(e: ValidateError) -> Self {
+        PersistError::Invalid(e)
     }
 }
 
@@ -64,14 +75,21 @@ pub fn save_tree(tree: &ModelTree, path: impl AsRef<Path>) -> Result<(), Persist
     Ok(())
 }
 
-/// Loads a model tree saved by [`save_tree`].
+/// Loads a model tree saved by [`save_tree`] and audits every model-tree
+/// invariant before returning it — a deserialized tree is untrusted input
+/// (hand-edited files, version skew), so this is the validation trust
+/// boundary for the online phase.
 ///
 /// # Errors
 ///
-/// Returns [`PersistError`] on filesystem or deserialization failure.
+/// Returns [`PersistError`] on filesystem or deserialization failure, or
+/// [`PersistError::Invalid`] when the tree violates a structural
+/// invariant.
 pub fn load_tree(path: impl AsRef<Path>) -> Result<ModelTree, PersistError> {
     let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let tree: ModelTree = serde_json::from_str(&json)?;
+    validate::model_tree(&tree)?;
+    Ok(tree)
 }
 
 /// Saves a candidate deployment as JSON.
@@ -86,14 +104,18 @@ pub fn save_candidate(candidate: &Candidate, path: impl AsRef<Path>) -> Result<(
     Ok(())
 }
 
-/// Loads a candidate saved by [`save_candidate`].
+/// Loads a candidate saved by [`save_candidate`] and checks it against
+/// its own embedded base model.
 ///
 /// # Errors
 ///
-/// Returns [`PersistError`] on filesystem or deserialization failure.
+/// Returns [`PersistError`] on filesystem or deserialization failure, or
+/// [`PersistError::Invalid`] when the candidate is malformed.
 pub fn load_candidate(path: impl AsRef<Path>) -> Result<Candidate, PersistError> {
     let json = fs::read_to_string(path)?;
-    Ok(serde_json::from_str(&json)?)
+    let candidate: Candidate = serde_json::from_str(&json)?;
+    validate::model_spec(&candidate.model)?;
+    Ok(candidate)
 }
 
 #[cfg(test)]
@@ -129,7 +151,8 @@ mod tests {
             &memo,
             false,
             None,
-        );
+        )
+        .expect("valid inputs");
         let path = tmp("tree.json");
         save_tree(&result.tree, &path).unwrap();
         let loaded = load_tree(&path).unwrap();
@@ -157,6 +180,30 @@ mod tests {
     fn load_missing_file_is_io_error() {
         let err = load_tree("/nonexistent/cadmc/tree.json").unwrap_err();
         assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_structurally_invalid_tree_is_rejected() {
+        // A tree whose root claims a nonzero level deserializes fine but
+        // violates the level-chain invariant; load_tree must reject it.
+        let base = zoo::tiny_cnn();
+        let mut tree = crate::tree::ModelTree::new(base, 3, vec![2.0, 10.0]);
+        tree.push_node(
+            None,
+            crate::tree::TreeNode {
+                level: 1,
+                partition_abs: None,
+                actions: Vec::new(),
+                children: Vec::new(),
+                reward: 0.0,
+            },
+        );
+        let path = tmp("invalid-tree.json");
+        let json = serde_json::to_string_pretty(&tree).unwrap();
+        std::fs::write(&path, json).unwrap();
+        let err = load_tree(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Invalid(_)), "{err}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

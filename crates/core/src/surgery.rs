@@ -49,7 +49,7 @@ pub fn optimal_partition_scan(base: &ModelSpec, env: &EvalEnv, bandwidth: Mbps) 
                 &Candidate::compose(base, b, &plan).expect("identity plan composes"),
                 bandwidth,
             );
-            la.partial_cmp(&lb).expect("latencies are finite")
+            la.total_cmp(&lb)
         })
         .expect("at least one partition option")
 }

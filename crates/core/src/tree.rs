@@ -245,7 +245,7 @@ impl ModelTree {
         let block = self
             .base
             .slice(range.start, end)
-            .expect("block slices of a valid model are valid");
+            .expect("valid block slice");
         let mut plan = CompressionPlan::identity(block.len());
         for a in &node.actions {
             debug_assert!((range.start..end).contains(&a.layer_index));
@@ -300,7 +300,7 @@ impl ModelTree {
             .max_by(|a, b| {
                 let ra = self.nodes[*a.last().expect("non-empty")].reward;
                 let rb = self.nodes[*b.last().expect("non-empty")].reward;
-                ra.partial_cmp(&rb).expect("rewards are finite")
+                ra.total_cmp(&rb)
             })
             .map(|path| {
                 let c = self.compose_path(&path);

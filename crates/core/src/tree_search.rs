@@ -31,6 +31,7 @@ use crate::memo::MemoPool;
 use crate::parallel::{par_map, par_map_indexed};
 use crate::search::{Controllers, SearchConfig};
 use crate::tree::{ModelTree, TreeNode};
+use crate::validate::{self, ValidateError};
 
 /// RNG stream salt for the tree search (`"tree"`).
 const TREE_SALT: u64 = 0x7472_6565;
@@ -55,6 +56,12 @@ pub struct TreeSearchResult {
 /// short emulation against that trace — the offline phase has the scene
 /// traces available, and per-level point evaluation systematically
 /// overvalues offloading branches relative to replayed execution.
+///
+/// # Errors
+///
+/// Returns [`ValidateError`] when the model, bandwidth levels, block
+/// count or configuration fails [`validate::tree_inputs`]; no episode
+/// runs in that case.
 #[allow(clippy::too_many_arguments)]
 pub fn tree_search(
     controllers: &mut Controllers,
@@ -66,8 +73,8 @@ pub fn tree_search(
     memo: &MemoPool,
     boost: bool,
     selection_trace: Option<&BandwidthTrace>,
-) -> TreeSearchResult {
-    assert!(!levels.is_empty(), "need at least one bandwidth level");
+) -> Result<TreeSearchResult, ValidateError> {
+    validate::tree_inputs(base, levels, n_blocks, cfg)?;
     let mut best: Option<(ModelTree, f64)> = None;
     let mut finalists: Vec<ModelTree> = Vec::new();
 
@@ -79,7 +86,7 @@ pub fn tree_search(
         let mut branch_candidates = Vec::new();
         for &bw in levels {
             let outcome =
-                optimal_branch(controllers, base, env, Mbps(bw), &branch_cfg, memo);
+                optimal_branch(controllers, base, env, Mbps(bw), &branch_cfg, memo)?;
             // The surgery deployment (min-cut partition, no compression)
             // is a point inside the branch space; floor each level's
             // candidate with it so the boost tree never starts below the
@@ -155,7 +162,7 @@ pub fn tree_search(
         batch_start = batch_end;
     }
 
-    let (mut tree, _) = best.expect("at least one tree generated");
+    let (mut tree, _) = best.expect("episodes >= 1 was validated");
     if let Some(trace) = selection_trace {
         // Re-rank the finalists by replayed execution; keep the seeded
         // rigid/boost trees plus the last few RL improvers to bound cost.
@@ -182,11 +189,11 @@ pub fn tree_search(
         .best_branch()
         .map(|(path, _)| tree.nodes()[*path.last().expect("non-empty")].reward)
         .unwrap_or(0.0);
-    TreeSearchResult {
+    Ok(TreeSearchResult {
         tree,
         episode_scores,
         best_branch_reward,
-    }
+    })
 }
 
 /// Forward generation of one episode's tree. Returns the tree (leaf
@@ -243,7 +250,7 @@ fn generate_tree(
         if compress_len > 0 {
             let edge_block = base
                 .slice(range.start, range.start + compress_len)
-                .expect("valid sub-block slice");
+                .expect("valid block slice");
             let plan = controllers.compression.sample_with_state(
                 &mut tape,
                 &controllers.params,
@@ -413,7 +420,7 @@ fn boost_tree(
         .max_by(|(a, &bwa), (b, &bwb)| {
             let ra = env.evaluate(base, a, Mbps(bwa)).reward;
             let rb = env.evaluate(base, b, Mbps(bwb)).reward;
-            ra.partial_cmp(&rb).expect("rewards are finite")
+            ra.total_cmp(&rb)
         })
         .map(|(c, _)| c)
         .expect("one branch candidate per level");
@@ -591,7 +598,8 @@ mod tests {
             &memo,
             boost,
             Some(ctx.trace()),
-        );
+        )
+        .expect("valid inputs");
         (result, controllers)
     }
 

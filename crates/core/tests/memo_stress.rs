@@ -1,0 +1,209 @@
+//! Schedule-permutation stress tests for the lock-striped [`MemoPool`].
+//!
+//! Plain concurrency tests exercise whatever interleaving the OS happens
+//! to pick. This harness instead *drives* many distinct schedules: each
+//! run derives every worker's operation sequence and yield points from a
+//! seeded RNG, so a sweep over master seeds replays the pool under many
+//! different thread interleavings — deterministically reproducible by
+//! seed when one fails.
+//!
+//! Invariants checked after every run:
+//! - `hits + misses == total lookups` (no counter update is lost),
+//! - `len == number of distinct keys touched`,
+//! - `misses >= distinct keys` (each entry was computed at least once;
+//!   benign duplicate compute under a race may push it higher),
+//! - `shard_lens().sum() == len` (stripes partition the key space),
+//! - every lookup of a key observed the same `Evaluation` (first write
+//!   wins semantics never expose torn or mixed values).
+//!
+//! The same binary runs under Miri and ThreadSanitizer in CI with reduced
+//! sizes (`cfg(miri)` / `MEMO_STRESS_LIGHT=1`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::{Candidate, Evaluation, RewardSpec};
+use cadmc_nn::zoo;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One observed (bandwidth-key, reward) pair from a worker.
+type Observation = (u64, f64);
+
+fn light_mode() -> bool {
+    cfg!(miri) || std::env::var_os("MEMO_STRESS_LIGHT").is_some()
+}
+
+/// Drives `workers` threads over a shared pool. Every thread's key
+/// sequence and yield schedule derive from `seed`, and all threads start
+/// together behind a barrier so the contention window is as wide as the
+/// scheduler allows. Returns all observations plus the key universe size.
+fn run_schedule(
+    seed: u64,
+    workers: usize,
+    ops_per_worker: usize,
+    key_universe: usize,
+    shards: usize,
+) -> (Arc<MemoPool>, Vec<Observation>, usize) {
+    let pool = Arc::new(MemoPool::with_shards(shards));
+    let base = zoo::tiny_cnn();
+    let candidate = Candidate::base_all_edge(&base);
+    let computes = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(workers));
+
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let pool = Arc::clone(&pool);
+        let candidate = candidate.clone();
+        let computes = Arc::clone(&computes);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            // Per-worker stream: disjoint from other workers, stable for
+            // a given (seed, worker) pair.
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15 ^ (w as u64));
+            barrier.wait();
+            let mut seen = Vec::with_capacity(ops_per_worker);
+            for _ in 0..ops_per_worker {
+                let k = rng.random_range(0..key_universe);
+                // Distinct bandwidths are distinct cache keys (quantized
+                // at 0.01 Mbps, so steps of 1.0 never collide).
+                let bw = 1.0 + k as f64;
+                // The evaluation payload is a pure function of the key,
+                // so every thread computing it produces the same value —
+                // any divergence observed later is a pool bug.
+                let e = pool.get_or_insert_with(&candidate, bw, || {
+                    computes.fetch_add(1, Ordering::Relaxed);
+                    Evaluation::new(
+                        0.5 + (k as f64) * 1e-3,
+                        10.0 + k as f64,
+                        &RewardSpec::default(),
+                    )
+                });
+                seen.push((k as u64, e.reward));
+                // Seeded perturbation: sometimes yield mid-sequence so
+                // different seeds explore different interleavings.
+                if rng.random_range(0..4usize) == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            seen
+        }));
+    }
+
+    let mut observations = Vec::new();
+    for h in handles {
+        observations.extend(h.join().expect("stress worker panicked"));
+    }
+    (pool, observations, workers * ops_per_worker)
+}
+
+/// Checks every pool invariant for one completed schedule.
+fn check_invariants(seed: u64, pool: &MemoPool, observations: &[Observation], total_ops: usize) {
+    let mut first_value: BTreeMap<u64, f64> = BTreeMap::new();
+    for &(k, reward) in observations {
+        let entry = first_value.entry(k).or_insert(reward);
+        assert!(
+            entry.to_bits() == reward.to_bits(),
+            "seed {seed}: key {k} observed two different evaluations: {entry} vs {reward}"
+        );
+    }
+    let distinct = first_value.len();
+
+    assert_eq!(
+        pool.hits() + pool.misses(),
+        total_ops,
+        "seed {seed}: counter updates lost (hits {} + misses {} != ops {total_ops})",
+        pool.hits(),
+        pool.misses()
+    );
+    assert_eq!(
+        pool.len(),
+        distinct,
+        "seed {seed}: pool holds {} entries but workers touched {distinct} keys",
+        pool.len()
+    );
+    assert!(
+        pool.misses() >= distinct,
+        "seed {seed}: {} misses cannot cover {distinct} distinct keys",
+        pool.misses()
+    );
+    let lens = pool.shard_lens();
+    assert_eq!(
+        lens.iter().sum::<usize>(),
+        pool.len(),
+        "seed {seed}: shard lens {lens:?} do not partition len {}",
+        pool.len()
+    );
+}
+
+#[test]
+fn seeded_schedules_preserve_invariants() {
+    let (seeds, workers, ops, keys) = if light_mode() {
+        (2u64, 4, 40, 12)
+    } else {
+        (12u64, 8, 400, 64)
+    };
+    for seed in 0..seeds {
+        let (pool, observations, total) = run_schedule(seed, workers, ops, keys, 16);
+        check_invariants(seed, &pool, &observations, total);
+    }
+}
+
+#[test]
+fn single_shard_maximizes_contention() {
+    // One stripe forces every operation through a single mutex — the
+    // worst-case schedule for lost updates and torn reads.
+    let (seeds, workers, ops, keys) = if light_mode() {
+        (2u64, 4, 30, 6)
+    } else {
+        (6u64, 8, 300, 16)
+    };
+    for seed in 100..100 + seeds {
+        let (pool, observations, total) = run_schedule(seed, workers, ops, keys, 1);
+        check_invariants(seed, &pool, &observations, total);
+        assert_eq!(pool.shards(), 1);
+    }
+}
+
+#[test]
+fn hot_key_hammering_is_consistent() {
+    // All workers hammer a tiny key set so nearly every op races on the
+    // same shard entries; hit rate must dominate and values never change.
+    let (seeds, workers, ops) = if light_mode() {
+        (2u64, 4, 50)
+    } else {
+        (4u64, 8, 500)
+    };
+    for seed in 200..200 + seeds {
+        let (pool, observations, total) = run_schedule(seed, workers, ops, 2, 16);
+        check_invariants(seed, &pool, &observations, total);
+        assert_eq!(pool.len(), observations.iter().map(|o| o.0).max().map_or(0, |m| m as usize + 1).min(2));
+        // With only 2 keys and hundreds of ops, almost everything hits.
+        assert!(
+            pool.hits() > total / 2,
+            "seed {seed}: hot keys should mostly hit ({} of {total})",
+            pool.hits()
+        );
+    }
+}
+
+#[test]
+fn schedules_differ_but_results_do_not() {
+    // Different seeds produce different interleavings (different
+    // hit/miss splits are fine) but the final cache contents must be the
+    // same whenever the key universe is fully covered.
+    let (workers, ops, keys) = if light_mode() { (4, 60, 8) } else { (8, 400, 16) };
+    let mut final_lens = Vec::new();
+    for seed in [7u64, 77, 777] {
+        let (pool, observations, total) = run_schedule(seed, workers, ops, keys, 8);
+        check_invariants(seed, &pool, &observations, total);
+        assert_eq!(pool.len(), keys, "ops must cover the whole key universe");
+        final_lens.push(pool.shard_lens());
+    }
+    // Shard striping is a pure function of the key, so the final layout
+    // is schedule-independent.
+    assert_eq!(final_lens[0], final_lens[1]);
+    assert_eq!(final_lens[1], final_lens[2]);
+}

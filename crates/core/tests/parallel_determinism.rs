@@ -45,12 +45,51 @@ fn tree_search_is_identical_across_worker_counts() {
             true,
             Some(ctx.trace()),
         )
+        .expect("valid inputs")
     };
     let serial = run(1);
     let parallel = run(8);
     assert_eq!(serial.episode_scores, parallel.episode_scores);
     assert_eq!(serial.best_branch_reward, parallel.best_branch_reward);
     assert_eq!(serial.tree, parallel.tree);
+}
+
+#[test]
+fn serialized_trees_are_byte_identical_across_worker_counts() {
+    // Structural equality can hide representational drift (e.g. f64
+    // payloads that compare equal but print differently, node orderings
+    // masked by a custom PartialEq). Comparing the full serialized
+    // artifact across several worker counts pins the exact bytes a
+    // deployment would ship.
+    let base = zoo::alexnet_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::FourGOutdoorQuick, 2, 9);
+    let serialized = |workers: usize| {
+        let cfg = cfg_with(workers, 9);
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let result = tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            ctx.levels(),
+            3,
+            &cfg,
+            &memo,
+            true,
+            Some(ctx.trace()),
+        )
+        .expect("valid inputs");
+        serde_json::to_string_pretty(&result.tree).expect("tree serializes")
+    };
+    let reference = serialized(1);
+    for workers in [2usize, 3, 8] {
+        let other = serialized(workers);
+        assert_eq!(
+            reference, other,
+            "serialized tree differs between workers=1 and workers={workers}"
+        );
+    }
 }
 
 #[test]
@@ -61,7 +100,8 @@ fn branch_search_is_identical_across_worker_counts() {
         let cfg = cfg_with(workers, 11);
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        let out = optimal_branch(&mut controllers, &base, &env, Mbps(8.0), &cfg, &memo);
+        let out = optimal_branch(&mut controllers, &base, &env, Mbps(8.0), &cfg, &memo)
+            .expect("valid inputs");
         (out.episode_rewards, out.best, out.best_eval)
     };
     let (rewards_1, best_1, eval_1) = run(1);
@@ -69,6 +109,28 @@ fn branch_search_is_identical_across_worker_counts() {
     assert_eq!(rewards_1, rewards_8);
     assert_eq!(best_1, best_8);
     assert_eq!(eval_1, eval_8);
+}
+
+#[test]
+fn serialized_best_candidates_are_byte_identical_across_worker_counts() {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let serialized = |workers: usize| {
+        let cfg = cfg_with(workers, 13);
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let out = optimal_branch(&mut controllers, &base, &env, Mbps(6.0), &cfg, &memo)
+            .expect("valid inputs");
+        serde_json::to_string_pretty(&out.best).expect("candidate serializes")
+    };
+    let reference = serialized(1);
+    for workers in [2usize, 3, 8] {
+        assert_eq!(
+            reference,
+            serialized(workers),
+            "serialized candidate differs at workers={workers}"
+        );
+    }
 }
 
 #[test]
@@ -84,7 +146,9 @@ fn worker_count_beyond_batch_size_is_harmless() {
         };
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo).episode_rewards
+        optimal_branch(&mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+            .expect("valid inputs")
+            .episode_rewards
     };
     assert_eq!(run(1), run(64));
 }

@@ -154,9 +154,22 @@ impl Scenario {
         BandwidthTrace::synthesize(self.process_config(), 60_000.0, 100.0, seed ^ self.seed_salt())
     }
 
+    /// Stable position of this scenario in [`Scenario::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Scenario::FourGWeakIndoor => 0,
+            Scenario::FourGIndoorStatic => 1,
+            Scenario::FourGIndoorSlow => 2,
+            Scenario::FourGOutdoorQuick => 3,
+            Scenario::WifiWeakIndoor => 4,
+            Scenario::WifiWeakOutdoor => 5,
+            Scenario::WifiOutdoorSlow => 6,
+        }
+    }
+
     fn seed_salt(self) -> u64 {
         // Distinct streams per scenario even with the same user seed.
-        Scenario::ALL.iter().position(|&s| s == self).unwrap() as u64 * 0x9e37_79b9
+        self.index() as u64 * 0x9e37_79b9
     }
 }
 

@@ -99,7 +99,7 @@ impl BandwidthTrace {
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
         sorted[idx]
     }

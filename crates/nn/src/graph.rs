@@ -72,7 +72,7 @@ impl ModelDag {
             frontier = Some(dag.expand_layer(layer, frontier, shape));
             shape = layer
                 .output_shape(shape)
-                .expect("spec shapes were validated at construction");
+                .expect("validated shapes");
         }
         if let Some(f) = frontier {
             dag.outputs = vec![f];

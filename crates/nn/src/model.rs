@@ -335,7 +335,7 @@ impl ModelSpec {
             .into_iter()
             .map(|r| {
                 self.slice(r.start, r.end)
-                    .expect("block slice of a valid model is valid")
+                    .expect("valid block slice")
             })
             .collect()
     }

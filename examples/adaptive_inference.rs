@@ -25,7 +25,7 @@ fn main() {
         episodes: 100,
         ..SearchConfig::default()
     };
-    let scene = train_scene(&workload, &cfg, 7);
+    let scene = train_scene(&workload, &cfg, 7).expect("valid inputs");
     let (poor, good) = (scene.ctx.levels()[0], scene.ctx.levels()[1]);
     println!("context levels: poor {poor:.2} Mbps / good {good:.2} Mbps\n");
 

@@ -56,7 +56,8 @@ fn main() {
         &memo,
         true,
         Some(&train_trace),
-    );
+    )
+    .expect("valid inputs");
 
     // Execute on the held-out trace.
     let report = execute(

@@ -25,7 +25,7 @@ fn main() {
         episodes: 80,
         ..SearchConfig::default()
     };
-    let scene = train_scene(&workload, &cfg, 3);
+    let scene = train_scene(&workload, &cfg, 3).expect("valid inputs");
     let base = &workload.model;
     let trace = scene.ctx.trace();
 

@@ -25,7 +25,8 @@ fn main() {
         Scenario::FourGOutdoorQuick,
         &cfg,
         7,
-    );
+    )
+    .expect("valid inputs");
     let tree = engine.tree();
     println!(
         "model tree for VGG11 / Phone / 4G outdoor quick — N = {} blocks, K = {} levels\n",

@@ -37,7 +37,8 @@ fn main() {
     };
     let mut controllers = Controllers::new(&cfg);
     let memo = MemoPool::new();
-    let outcome = optimal_branch(&mut controllers, &base, &env, bandwidth, &cfg, &memo);
+    let outcome = optimal_branch(&mut controllers, &base, &env, bandwidth, &cfg, &memo)
+        .expect("valid inputs");
     println!(
         "branch  : {:<40} reward {:.2} ({:.1} ms, {:.2} %)",
         outcome.best.summary(),

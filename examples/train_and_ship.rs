@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scenario::WifiWeakIndoor,
         &cfg,
         21,
-    );
+    )?;
     let path = std::env::temp_dir().join("cadmc-shipped-tree.json");
     persist::save_tree(engine.tree(), &path)?;
     println!(

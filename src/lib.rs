@@ -34,7 +34,8 @@
 //! let mut controllers = Controllers::new(&cfg);
 //! let memo = MemoPool::new();
 //! let outcome = cadmc::core::branch::optimal_branch(
-//!     &mut controllers, &base, &env, Mbps(10.0), &cfg, &memo);
+//!     &mut controllers, &base, &env, Mbps(10.0), &cfg, &memo)
+//!     .expect("valid inputs");
 //! assert!(outcome.best_eval.reward > 0.0);
 //! ```
 

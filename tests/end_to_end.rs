@@ -24,7 +24,7 @@ fn offline_ordering_tree_ge_branch_ge_surgery() {
         device: Platform::Phone,
         scenario: Scenario::FourGOutdoorQuick,
     };
-    let scene = train_scene(&w, &quick_cfg(1), 1);
+    let scene = train_scene(&w, &quick_cfg(1), 1).expect("valid inputs");
     let rows = offline_table(std::slice::from_ref(&scene));
     let r = &rows[0];
     assert!(r.branch >= r.surgery - 1e-9, "branch {} < surgery {}", r.branch, r.surgery);
@@ -43,7 +43,7 @@ fn emulation_tree_wins_in_volatile_scenes_on_average() {
                 device: Platform::Phone,
                 scenario: Scenario::WifiWeakOutdoor,
             };
-            train_scene(&w, &quick_cfg(seed), seed)
+            train_scene(&w, &quick_cfg(seed), seed).expect("valid inputs")
         })
         .collect();
     let rows = emulation_table(&scenes, Mode::Emulation, 60, 2);
@@ -71,7 +71,7 @@ fn field_mode_degrades_all_methods_but_preserves_ordering_on_average() {
         device: Platform::Phone,
         scenario: Scenario::WifiWeakIndoor,
     };
-    let scene = train_scene(&w, &quick_cfg(3), 3);
+    let scene = train_scene(&w, &quick_cfg(3), 3).expect("valid inputs");
     let scenes = [scene];
     let emu = emulation_table(&scenes, Mode::Emulation, 50, 3);
     let field = emulation_table(&scenes, Mode::Field, 50, 3);
@@ -95,7 +95,7 @@ fn executed_tree_composes_only_valid_models() {
         device: Platform::Tx2,
         scenario: Scenario::FourGWeakIndoor,
     };
-    let scene = train_scene(&w, &quick_cfg(4), 4);
+    let scene = train_scene(&w, &quick_cfg(4), 4).expect("valid inputs");
     // Every branch of the trained tree is a shape-valid deployment.
     let tree = &scene.tree.tree;
     for path in tree.branches() {
@@ -127,7 +127,7 @@ fn whole_pipeline_is_deterministic_per_seed() {
         scenario: Scenario::FourGIndoorStatic,
     };
     let run = || {
-        let scene = train_scene(&w, &quick_cfg(5), 5);
+        let scene = train_scene(&w, &quick_cfg(5), 5).expect("valid inputs");
         let rows = emulation_table(std::slice::from_ref(&scene), Mode::Emulation, 30, 5);
         (
             scene.surgery.evaluation.reward,

@@ -35,7 +35,8 @@ fn branch_search_improves_over_episodes() {
         Mbps(ctx.median_bandwidth()),
         &cfg,
         &memo,
-    );
+    )
+    .expect("valid inputs");
     let r = &outcome.episode_rewards;
     let third = r.len() / 3;
     let first: f64 = r[..third].iter().sum::<f64>() / third as f64;
@@ -57,7 +58,8 @@ fn rl_tree_search_matches_or_beats_baselines_in_hard_context() {
         120,
         7,
         cadmc::core::parallel::Parallelism::new(2),
-    );
+    )
+    .expect("valid inputs");
     let (rl, random, eg) = cmp.finals();
     assert!(
         rl >= random - 1.0 && rl >= eg - 1.0,
@@ -79,7 +81,8 @@ fn already_compressed_model_gains_little_from_compression() {
     let run = |base: &cadmc::nn::ModelSpec| {
         let mut controllers = Controllers::new(&cfg);
         let memo = MemoPool::new();
-        let outcome = optimal_branch(&mut controllers, base, &env, Mbps(1.0), &cfg, &memo);
+        let outcome = optimal_branch(&mut controllers, base, &env, Mbps(1.0), &cfg, &memo)
+            .expect("valid inputs");
         // At 1 Mbps offloading is hopeless, so the best candidate stays on
         // the edge and its MACC ratio reflects pure compression appetite.
         outcome.best.model.total_maccs() as f64 / base.total_maccs() as f64
@@ -120,7 +123,8 @@ fn memo_pool_is_shared_effectively_across_phases() {
         &memo,
         true,
         Some(ctx.trace()),
-    );
+    )
+    .expect("valid inputs");
     let hits = memo.hits();
     let misses = memo.misses();
     // At short budgets the candidate space is barely revisited; the pool

@@ -1,0 +1,134 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//! - `lint` — run the custom static-analysis lints (see `xtask::scan_source`).
+//!   Flags: `--root <dir>` (workspace root, default: parent of this crate),
+//!   `--allowlist <file>` (default: `<root>/lint.allow`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::{parse_allowlist, run_lint};
+
+const HELP: &str = "\
+cargo xtask <command>
+
+Commands:
+  lint    run the custom static-analysis lints (L1 panic-hygiene,
+          L2 map-iteration, L3 nondeterminism, L4 float-equality)
+
+Options for `lint`:
+  --root <dir>        workspace root (default: the cargo workspace)
+  --allowlist <file>  allowlist file (default: <root>/lint.allow)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command {other:?}\n\n{HELP}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut allowlist: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--allowlist" => match it.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => return usage("--allowlist needs a value"),
+            },
+            other => return usage(&format!("unknown flag {other:?}")),
+        }
+    }
+
+    // Default root: the workspace this xtask crate lives in.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+    let allowlist_path = allowlist.unwrap_or_else(|| root.join("lint.allow"));
+
+    let allow = if allowlist_path.exists() {
+        let text = match std::fs::read_to_string(&allowlist_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", allowlist_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_allowlist(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        Vec::new()
+    };
+
+    let report = match run_lint(&root, &allow) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for entry in &report.unused_entries {
+        eprintln!(
+            "warning: unused allowlist entry {}|{}|{} ({})",
+            entry.lint.code(),
+            entry.path_fragment,
+            entry.line_fragment,
+            entry.reason
+        );
+    }
+
+    if report.is_clean() {
+        println!(
+            "xtask lint: clean ({} files scanned, {} allowlisted site(s), {} allowlist entr{})",
+            report.files_scanned,
+            report.suppressed,
+            allow.len(),
+            if allow.len() == 1 { "y" } else { "ies" },
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &report.violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "\nxtask lint: {} violation(s) in {} files scanned ({} allowlisted)",
+            report.violations.len(),
+            report.files_scanned,
+            report.suppressed
+        );
+        eprintln!(
+            "fix the code, or (for a justified exception) add a `LINT|path|substring|reason` line to {}",
+            allowlist_path.display()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("xtask lint: {msg}\n\n{HELP}");
+    ExitCode::FAILURE
+}

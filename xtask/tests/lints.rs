@@ -1,0 +1,356 @@
+//! Negative-case tests: every lint class must fire on a seeded violation,
+//! and must stay silent on the constructs it is designed to permit
+//! (comments, strings, test code, keyed map access, seeded RNG).
+
+use xtask::{
+    apply_allowlist, mask_source, parse_allowlist, scan_source, test_line_mask, AllowlistError,
+    Lint, MAX_ALLOWLIST_ENTRIES,
+};
+
+fn lints_of(rel: &str, src: &str) -> Vec<Lint> {
+    scan_source(rel, src).into_iter().map(|v| v.lint).collect()
+}
+
+const CORE: &str = "crates/core/src/branch.rs";
+
+// --- L1: panic hygiene -------------------------------------------------
+
+#[test]
+fn l1_fires_on_unwrap() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    assert_eq!(lints_of(CORE, src), vec![Lint::L1PanicSite]);
+}
+
+#[test]
+fn l1_fires_on_expect_panic_unreachable_todo() {
+    for line in [
+        "x.expect(\"boom\")",
+        "panic!(\"boom\")",
+        "unreachable!(\"boom\")",
+        "todo!()",
+        "unimplemented!()",
+    ] {
+        let src = format!("fn f() {{\n    {line};\n}}\n");
+        assert_eq!(lints_of(CORE, &src), vec![Lint::L1PanicSite], "{line}");
+    }
+}
+
+#[test]
+fn l1_allows_unwrap_or_family() {
+    let src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default()\n}\n";
+    assert!(lints_of(CORE, src).is_empty());
+}
+
+#[test]
+fn l1_ignores_out_of_scope_crates() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert!(lints_of("crates/cli/src/commands.rs", src).is_empty());
+    assert!(lints_of("crates/bench/src/bin/report.rs", src).is_empty());
+}
+
+// --- L2: map iteration -------------------------------------------------
+
+#[test]
+fn l2_fires_on_hashmap_iter() {
+    let src = "use std::collections::HashMap;\n\
+               fn f() {\n\
+                   let scores: HashMap<u64, f64> = HashMap::new();\n\
+                   for (k, v) in scores.iter() { let _ = (k, v); }\n\
+               }\n";
+    let found = lints_of("crates/core/src/reward.rs", src);
+    assert!(found.contains(&Lint::L2MapIteration), "{found:?}");
+}
+
+#[test]
+fn l2_fires_on_for_loop_over_hashset() {
+    let src = "fn f() {\n\
+                   let seen: HashSet<u64> = HashSet::new();\n\
+                   for k in &seen { let _ = k; }\n\
+               }\n";
+    let found = lints_of("crates/core/src/memo.rs", src);
+    assert!(found.contains(&Lint::L2MapIteration), "{found:?}");
+}
+
+#[test]
+fn l2_fires_on_keys_values_drain_retain() {
+    for call in ["m.keys()", "m.values()", "m.drain()", "m.retain(|_, _| true)"] {
+        let src = format!(
+            "fn f() {{\n    let mut m: HashMap<u64, f64> = HashMap::new();\n    let _ = {call};\n}}\n"
+        );
+        let found = lints_of("crates/core/src/engine.rs", &src);
+        assert!(found.contains(&Lint::L2MapIteration), "{call}: {found:?}");
+    }
+}
+
+#[test]
+fn l2_allows_keyed_access() {
+    let src = "fn f() {\n\
+                   let mut m: HashMap<u64, f64> = HashMap::new();\n\
+                   m.insert(1, 2.5);\n\
+                   let _ = m.get(&1);\n\
+                   let _ = m.len();\n\
+                   let _ = m.contains_key(&1);\n\
+               }\n";
+    assert!(lints_of("crates/core/src/memo.rs", src).is_empty());
+}
+
+#[test]
+fn l2_not_fooled_by_vec_of_map_shards() {
+    // A Vec *containing* maps may be iterated — Vec order is stable.
+    let src = "struct Pool {\n\
+                   shards: Vec<Mutex<HashMap<u64, f64>>>,\n\
+               }\n\
+               impl Pool {\n\
+                   fn total(&self) -> usize {\n\
+                       self.shards.iter().map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len()).sum()\n\
+                   }\n\
+               }\n";
+    assert!(lints_of("crates/core/src/memo.rs", src).is_empty());
+}
+
+#[test]
+fn l2_ignores_non_hot_path_files() {
+    let src = "fn f() {\n    let m: HashMap<u64, u64> = HashMap::new();\n    for k in m.keys() { let _ = k; }\n}\n";
+    assert!(!lints_of("crates/core/src/persist.rs", src).contains(&Lint::L2MapIteration));
+}
+
+// --- L3: nondeterminism ------------------------------------------------
+
+#[test]
+fn l3_fires_on_unseeded_rng_and_clocks() {
+    for line in [
+        "let mut rng = thread_rng();",
+        "let mut rng = StdRng::from_entropy();",
+        "let mut rng = StdRng::from_os_rng();",
+        "let x: f64 = rand::random();",
+        "let t = Instant::now();",
+        "let t = SystemTime::now();",
+        "let t = UNIX_EPOCH;",
+    ] {
+        let src = format!("fn f() {{\n    {line}\n}}\n");
+        let found = lints_of("crates/netsim/src/trace.rs", &src);
+        assert!(found.contains(&Lint::L3Nondeterminism), "{line}: {found:?}");
+    }
+}
+
+#[test]
+fn l3_allows_seeded_rng() {
+    let src = "fn f(seed: u64) {\n    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1ab1e);\n}\n";
+    assert!(lints_of("crates/core/src/parallel.rs", src).is_empty());
+}
+
+#[test]
+fn l3_ignores_out_of_scope_crates() {
+    let src = "fn f() { let t = Instant::now(); }\n";
+    assert!(lints_of("crates/bench/src/bin/timing.rs", src).is_empty());
+}
+
+// --- L4: float equality ------------------------------------------------
+
+#[test]
+fn l4_fires_on_float_literal_equality() {
+    for expr in ["x == 0.0", "0.5 == y", "x != 1.0", "x == -2.5", "x == 3.0f64"] {
+        let src = format!("fn f(x: f64, y: f64) -> bool {{\n    {expr}\n}}\n");
+        let found = lints_of("crates/core/src/reward.rs", &src);
+        assert!(found.contains(&Lint::L4FloatEq), "{expr}: {found:?}");
+    }
+}
+
+#[test]
+fn l4_fires_on_float_const_equality() {
+    let src = "fn f(x: f64) -> bool {\n    x == f64::INFINITY\n}\n";
+    assert!(lints_of(CORE, src).contains(&Lint::L4FloatEq));
+}
+
+#[test]
+fn l4_allows_integer_equality_and_comparisons() {
+    let src = "fn f(x: u32, y: f64, t: (f64, f64)) -> bool {\n\
+                   x == 3 && y <= 1.5 && y >= 0.5 && t.0 < 1.0\n\
+               }\n";
+    assert!(lints_of(CORE, src).is_empty());
+}
+
+#[test]
+fn l4_allows_tuple_field_access() {
+    // `bw.0 == cap.0` compares tuple fields, not float literals.
+    let src = "fn f(bw: (u32,), cap: (u32,)) -> bool {\n    bw.0 == cap.0\n}\n";
+    assert!(lints_of(CORE, src).is_empty());
+}
+
+// --- masking and test exemption ---------------------------------------
+
+#[test]
+fn masking_hides_comments_and_strings() {
+    let src = "fn f() {\n\
+               // x.unwrap() in a comment\n\
+               /* panic!(\"nested /* block */ comment\") */\n\
+               let s = \"y.unwrap() in a string\";\n\
+               let r = r#\"z.unwrap() in a raw \"string\"\"#;\n\
+               let c = '\"';\n\
+               }\n";
+    assert!(lints_of(CORE, src).is_empty());
+    let masked = mask_source(src);
+    assert!(!masked.contains("unwrap"));
+    assert!(!masked.contains("panic"));
+    assert_eq!(masked.lines().count(), src.lines().count());
+}
+
+#[test]
+fn masking_handles_escaped_quotes_and_lifetimes() {
+    let src = "fn f<'a>(x: &'a str) -> &'a str {\n\
+                   let s = \"quote \\\" then x.unwrap()\";\n\
+                   x\n\
+               }\n";
+    assert!(lints_of(CORE, src).is_empty());
+    // Lifetimes must survive masking (not treated as char literals).
+    assert!(mask_source(src).contains("<'a>"));
+}
+
+#[test]
+fn cfg_test_modules_are_exempt() {
+    let src = "fn shipped() -> u32 { 1 }\n\
+               \n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() {\n\
+                       let x: Option<u32> = Some(1);\n\
+                       assert_eq!(x.unwrap(), 1);\n\
+                       panic!(\"only in tests\");\n\
+                   }\n\
+               }\n";
+    assert!(lints_of(CORE, src).is_empty());
+}
+
+#[test]
+fn code_after_cfg_test_module_is_still_linted() {
+    let src = "#[cfg(test)]\n\
+               mod tests {\n\
+                   fn t() { let _ = Some(1).unwrap(); }\n\
+               }\n\
+               \n\
+               fn shipped(x: Option<u32>) -> u32 {\n\
+                   x.unwrap()\n\
+               }\n";
+    let v = scan_source(CORE, src);
+    assert_eq!(v.len(), 1);
+    assert_eq!(v[0].line, 7);
+}
+
+#[test]
+fn test_line_mask_tracks_braces() {
+    let masked = "#[cfg(test)]\nmod t {\n  fn a() {}\n}\nfn b() {}\n";
+    let mask = test_line_mask(masked);
+    assert_eq!(mask, vec![true, true, true, true, false]);
+}
+
+#[test]
+fn test_files_are_fully_exempt() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    for rel in [
+        "crates/core/tests/end_to_end.rs",
+        "crates/core/benches/search.rs",
+        "crates/core/examples/quickstart.rs",
+        "crates/core/src/search_tests.rs",
+        "crates/core/src/proptests.rs",
+    ] {
+        assert!(lints_of(rel, src).is_empty(), "{rel}");
+    }
+}
+
+// --- allowlist ---------------------------------------------------------
+
+#[test]
+fn allowlist_parses_and_suppresses() {
+    let allow = parse_allowlist(
+        "# comment\n\
+         \n\
+         L1|branch.rs|episodes >= 1|validated upstream\n",
+    )
+    .expect("valid allowlist");
+    assert_eq!(allow.len(), 1);
+
+    let src = "fn f(best: Option<u32>) {\n    let _ = best.expect(\"episodes >= 1\");\n}\n";
+    let raw = scan_source(CORE, src);
+    assert_eq!(raw.len(), 1);
+    let report = apply_allowlist(raw, &allow);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused_entries.is_empty());
+}
+
+#[test]
+fn allowlist_entries_are_lint_specific() {
+    // An L1 entry must not silence an L4 violation on a matching line.
+    let allow = parse_allowlist("L1|policy.rs|== 0.0|wrong lint\n").expect("valid allowlist");
+    let src = "fn f(x: f64) -> bool {\n    x == 0.0\n}\n";
+    let raw = scan_source("crates/core/src/controller/policy.rs", src);
+    let report = apply_allowlist(raw, &allow);
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.unused_entries.len(), 1);
+}
+
+#[test]
+fn allowlist_reports_unused_entries() {
+    let allow = parse_allowlist("L1|nowhere.rs|no such line|stale\n").expect("valid allowlist");
+    let report = apply_allowlist(Vec::new(), &allow);
+    assert_eq!(report.unused_entries.len(), 1);
+}
+
+#[test]
+fn allowlist_rejects_missing_reason() {
+    let err = parse_allowlist("L1|f.rs|x.unwrap()|   \n").expect_err("reason required");
+    assert!(matches!(err, AllowlistError::MissingReason { line: 1 }));
+}
+
+#[test]
+fn allowlist_rejects_malformed_and_unknown_lint() {
+    assert!(matches!(
+        parse_allowlist("L1|only|three\n"),
+        Err(AllowlistError::Malformed { line: 1, .. })
+    ));
+    assert!(matches!(
+        parse_allowlist("L9|f.rs|x|reason\n"),
+        Err(AllowlistError::UnknownLint { line: 1, .. })
+    ));
+}
+
+#[test]
+fn allowlist_enforces_entry_cap() {
+    let text: String = (0..MAX_ALLOWLIST_ENTRIES + 1)
+        .map(|i| format!("L1|file{i}.rs|site{i}|reason {i}\n"))
+        .collect();
+    assert!(matches!(
+        parse_allowlist(&text),
+        Err(AllowlistError::TooManyEntries { count }) if count == MAX_ALLOWLIST_ENTRIES + 1
+    ));
+}
+
+// --- integration: the real workspace must be clean ---------------------
+
+#[test]
+fn workspace_is_clean_under_committed_allowlist() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives in the workspace root");
+    let allow_text =
+        std::fs::read_to_string(root.join("lint.allow")).expect("lint.allow exists at repo root");
+    let allow = parse_allowlist(&allow_text).expect("committed allowlist parses");
+    let report = xtask::run_lint(root, &allow).expect("scan succeeds");
+    assert!(
+        report.is_clean(),
+        "workspace has lint violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.unused_entries.is_empty(),
+        "stale allowlist entries: {:?}",
+        report.unused_entries
+    );
+    assert!(report.files_scanned > 50, "scan should cover the workspace");
+}
