@@ -1,0 +1,84 @@
+//! Telemetry overhead microbenchmarks.
+//!
+//! The telemetry layer is compiled into every hot path but **off by
+//! default**: each `span!`/`counter!`/`hist!` site degenerates to one
+//! relaxed atomic load. This bench measures (a) that disabled per-site
+//! cost directly, (b) a full `optimal_branch` search with telemetry
+//! disabled — the production configuration — and (c) the same search
+//! with a collector installed, to show what turning tracing on costs.
+//!
+//! The `telemetry_overhead` harness binary combines (a) and (b) into the
+//! <2% disabled-overhead bound recorded in
+//! `results/BENCH_telemetry_overhead.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_core::branch::optimal_branch;
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::EvalEnv;
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+use cadmc_telemetry as telemetry;
+
+fn bench_disabled_primitives(c: &mut Criterion) {
+    assert!(!telemetry::enabled(), "bench requires the default off state");
+    let mut group = c.benchmark_group("telemetry_disabled");
+    group.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let span = telemetry::span!("bench.noop", x = 1u64);
+            std::hint::black_box(&span);
+        });
+    });
+    group.bench_function("counter_add", |b| {
+        b.iter(|| telemetry::counter!("bench.counter", 1));
+    });
+    group.bench_function("hist_record", |b| {
+        const BOUNDS: &[f64] = &[1.0, 2.0, 4.0];
+        b.iter(|| telemetry::hist!("bench.hist", BOUNDS, 1.5));
+    });
+    group.finish();
+}
+
+fn run_search(seed: u64) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 20,
+        hidden: 8,
+        seed,
+        ..SearchConfig::default()
+    };
+    let mut controllers = Controllers::new(&cfg);
+    let memo = MemoPool::new();
+    let outcome = optimal_branch(&mut controllers, &base, &env, Mbps(8.0), &cfg, &memo)
+        .expect("valid inputs");
+    std::hint::black_box(outcome);
+}
+
+fn bench_search_disabled(c: &mut Criterion) {
+    assert!(!telemetry::enabled(), "bench requires the default off state");
+    let mut group = c.benchmark_group("optimal_branch");
+    group.sample_size(10);
+    group.bench_function("telemetry_disabled", |b| b.iter(|| run_search(7)));
+    group.finish();
+}
+
+fn bench_search_enabled(c: &mut Criterion) {
+    let (builder, sink) = telemetry::Telemetry::builder().with_memory();
+    let handle = builder.install().expect("no other session in this bench");
+    let mut group = c.benchmark_group("optimal_branch");
+    group.sample_size(10);
+    group.bench_function("telemetry_enabled", |b| b.iter(|| run_search(7)));
+    group.finish();
+    handle.finish().expect("memory sink cannot fail");
+    std::hint::black_box(sink.take());
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_primitives,
+    bench_search_disabled,
+    bench_search_enabled
+);
+criterion_main!(benches);

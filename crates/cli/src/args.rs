@@ -1,13 +1,16 @@
-//! Minimal dependency-free flag parser: `cadmc <command> --key value ...`.
+//! Minimal dependency-free flag parser:
+//! `cadmc <command> [positional ...] --key value ...`.
 
 use std::collections::HashMap;
 
-/// Parsed invocation: a subcommand plus `--key value` flags.
+/// Parsed invocation: a subcommand plus positionals and `--key value`
+/// flags. Commands that take no positionals reject them at dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     flags: HashMap<String, String>,
+    positionals: Vec<String>,
 }
 
 /// Errors from parsing or flag lookup.
@@ -59,16 +62,27 @@ impl Args {
             return Err(ArgsError::Unexpected(command));
         }
         let mut flags = HashMap::new();
+        let mut positionals = Vec::new();
         while let Some(token) = iter.next() {
             let Some(key) = token.strip_prefix("--") else {
-                return Err(ArgsError::Unexpected(token));
+                positionals.push(token);
+                continue;
             };
             let value = iter
                 .next()
                 .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
             flags.insert(key.to_string(), value);
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            flags,
+            positionals,
+        })
+    }
+
+    /// Positional arguments after the command (e.g. `report <file>`).
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
     }
 
     /// Optional string flag.
@@ -132,11 +146,10 @@ mod tests {
     }
 
     #[test]
-    fn unexpected_positional() {
-        assert!(matches!(
-            parse(&["train", "vgg11"]),
-            Err(ArgsError::Unexpected(_))
-        ));
+    fn positionals_are_collected() {
+        let a = parse(&["report", "run.jsonl"]).unwrap();
+        assert_eq!(a.positionals(), ["run.jsonl"]);
+        assert!(matches!(parse(&["--flag"]), Err(ArgsError::Unexpected(_))));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use cadmc_core::{surgery, EvalEnv, NetworkContext};
 use cadmc_latency::{Mbps, Platform};
 use cadmc_netsim::{stats::trace_stats, Scenario};
 use cadmc_nn::{zoo, ModelSpec};
+use cadmc_telemetry::{report, Telemetry, TelemetryHandle};
 
 use crate::args::Args;
 use crate::error::CliError;
@@ -39,6 +40,12 @@ COMMANDS:
     plan            one-shot branch search vs surgery at a fixed bandwidth
                       --model <name> --device <d> --bandwidth <Mbps>
                       [--episodes N] [--seed N] [--workers N]
+    search          run the offline phase with sensible defaults (made for
+                    tracing: `cadmc search --trace run.jsonl`)
+                      [--model <name>] [--device <d>] [--scenario <name>]
+                      [--episodes N] [--seed N] [--workers N] [--out file]
+    report          render a telemetry trace as a human-readable summary
+                      cadmc report <trace.jsonl>
     validate        audit a saved model tree (or a named model) against
                     every model-graph invariant
                       --tree <file> | --model <name>
@@ -49,6 +56,11 @@ COMMANDS:
 Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
 \"4G indoor slow\", \"4G outdoor quick\", \"WiFi (weak) indoor\",
 \"WiFi (weak) outdoor\", \"WiFi outdoor slow\".
+
+TELEMETRY (any command except characterize/report):
+    --trace <file.jsonl>   write a structured span/metric trace
+    --metrics true         print an end-of-run summary to stderr
+    CADMC_TRACE=<file>     environment fallback for --trace
 ";
 
 /// Dispatches a parsed invocation.
@@ -58,6 +70,20 @@ Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
 /// Returns a [`CliError`] for unknown commands, bad flags, invalid
 /// inputs or failing I/O.
 pub fn run(args: &Args) -> Result<(), CliError> {
+    if args.command != "report" {
+        if let Some(extra) = args.positionals().first() {
+            return Err(CliError::Usage(format!("unexpected argument {extra:?}")));
+        }
+    }
+    let handle = telemetry_setup(args)?;
+    let result = dispatch(args);
+    if let Some(handle) = handle {
+        handle.finish()?;
+    }
+    result
+}
+
+fn dispatch(args: &Args) -> Result<(), CliError> {
     match args.command.as_str() {
         "scenarios" => scenarios(args),
         "characterize" => characterize(args),
@@ -65,12 +91,46 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "show" => show(args),
         "emulate" => emulate(args),
         "plan" => plan(args),
+        "search" => search(args),
+        "report" => report_cmd(args),
         "validate" => validate_cmd(args),
         "export-trace" => export_trace(args),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (try `cadmc help`)"
         ))),
     }
+}
+
+/// Installs a telemetry session when `--trace`, `--metrics` or the
+/// `CADMC_TRACE` environment variable asks for one. `characterize` keeps
+/// its pre-existing `--trace` flag as a *CSV input*, and `report` reads
+/// traces rather than producing them, so both are exempt.
+fn telemetry_setup(args: &Args) -> Result<Option<TelemetryHandle>, CliError> {
+    if matches!(args.command.as_str(), "characterize" | "report") {
+        return Ok(None);
+    }
+    let trace_path = args
+        .get("trace")
+        .map(str::to_owned)
+        .or_else(|| std::env::var("CADMC_TRACE").ok().filter(|v| !v.is_empty()));
+    let metrics: bool = args.get_or("metrics", false)?;
+    if trace_path.is_none() && !metrics {
+        return Ok(None);
+    }
+    let mut builder = Telemetry::builder()
+        .with_meta("command", &args.command)
+        .with_meta("schema", report::SCHEMA_VERSION);
+    if let Some(path) = &trace_path {
+        builder = builder.with_jsonl(path);
+    }
+    if metrics {
+        builder = builder.with_summary_stderr();
+    }
+    let handle = builder.install()?;
+    if let Some(path) = trace_path {
+        eprintln!("tracing to {path}");
+    }
+    Ok(Some(handle))
 }
 
 fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
@@ -322,6 +382,58 @@ fn export_trace(args: &Args) -> Result<(), CliError> {
         trace.duration_ms() / 1000.0,
         trace.dt_ms()
     );
+    Ok(())
+}
+
+/// `cadmc search`: the full offline phase on a default workload — the
+/// quick way to produce a representative telemetry trace
+/// (`cadmc search --trace run.jsonl && cadmc report run.jsonl`).
+fn search(args: &Args) -> Result<(), CliError> {
+    let model = model_by_name(args.get("model").unwrap_or("vgg11"))?;
+    let device = device_by_name(args.get("device").unwrap_or("phone"))?;
+    let scenario = scenario_by_name(args.get("scenario").unwrap_or("WiFi (weak) indoor"))?;
+    let episodes: usize = args.get_or("episodes", 40)?;
+    let seed: u64 = args.get_or("seed", 7)?;
+    let cfg = SearchConfig {
+        episodes,
+        seed,
+        parallelism: workers(args)?,
+        ..SearchConfig::default()
+    };
+    let w = Workload {
+        model,
+        device,
+        scenario,
+    };
+    eprintln!("searching {} ({episodes} episodes)...", w.label());
+    let scene = train_scene(&w, &cfg, seed)?;
+    if let Some(out) = args.get("out") {
+        persist::save_tree(&scene.tree.tree, out)?;
+        println!("saved model tree to {out}");
+    }
+    println!(
+        "offline rewards: surgery {:.2} | branch {:.2} | tree(best branch) {:.2}",
+        scene.surgery.evaluation.reward,
+        scene.branch_reward,
+        scene.tree.best_branch_reward
+    );
+    Ok(())
+}
+
+/// `cadmc report <trace.jsonl>`: validates the trace against the JSONL
+/// schema and prints the human-readable run summary.
+fn report_cmd(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .or_else(|| args.get("trace"))
+        .ok_or_else(|| {
+            CliError::Usage("report needs a trace file: cadmc report <trace.jsonl>".to_string())
+        })?;
+    let text = std::fs::read_to_string(path)?;
+    let run_report = report::parse_jsonl(&text)?;
+    print!("{}", report::render_summary(&run_report));
     Ok(())
 }
 

@@ -5,6 +5,8 @@
 use cadmc_core::persist::PersistError;
 use cadmc_core::validate::ValidateError;
 use cadmc_netsim::io::TraceIoError;
+use cadmc_telemetry::report::SchemaError;
+use cadmc_telemetry::TelemetryError;
 
 use crate::args::ArgsError;
 
@@ -21,6 +23,10 @@ pub enum CliError {
     Invalid(ValidateError),
     /// Bandwidth-trace CSV I/O failure.
     Trace(TraceIoError),
+    /// A telemetry trace file failed JSONL schema validation.
+    Schema(SchemaError),
+    /// Telemetry session setup or sink failure.
+    Telemetry(TelemetryError),
     /// Other filesystem failure (report/trace output files).
     Io(std::io::Error),
 }
@@ -33,6 +39,8 @@ impl std::fmt::Display for CliError {
             CliError::Persist(e) => write!(f, "{e}"),
             CliError::Invalid(e) => write!(f, "validation failed: {e}"),
             CliError::Trace(e) => write!(f, "{e}"),
+            CliError::Schema(e) => write!(f, "invalid trace: {e}"),
+            CliError::Telemetry(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -46,8 +54,22 @@ impl std::error::Error for CliError {
             CliError::Persist(e) => Some(e),
             CliError::Invalid(e) => Some(e),
             CliError::Trace(e) => Some(e),
+            CliError::Schema(e) => Some(e),
+            CliError::Telemetry(e) => Some(e),
             CliError::Io(e) => Some(e),
         }
+    }
+}
+
+impl From<SchemaError> for CliError {
+    fn from(e: SchemaError) -> Self {
+        CliError::Schema(e)
+    }
+}
+
+impl From<TelemetryError> for CliError {
+    fn from(e: TelemetryError) -> Self {
+        CliError::Telemetry(e)
     }
 }
 

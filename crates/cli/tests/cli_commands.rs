@@ -97,6 +97,55 @@ fn export_and_reimport_trace() {
     let _ = std::fs::remove_file(csv_path);
 }
 
+/// One test fn for the whole traced-search → report round trip: telemetry
+/// installs a process-global collector, so traced invocations must not
+/// run concurrently with each other.
+#[test]
+fn traced_search_then_report() {
+    let trace_path = tmp("run.jsonl");
+    run(&[
+        "search",
+        "--model",
+        "tiny",
+        "--episodes",
+        "12",
+        "--seed",
+        "3",
+        "--workers",
+        "2",
+        "--trace",
+        &trace_path,
+    ])
+    .unwrap();
+    // Every line must pass strict schema validation, and the trace must
+    // cover the span taxonomy end to end.
+    let text = std::fs::read_to_string(&trace_path).unwrap();
+    let report = cadmc_telemetry::report::parse_jsonl(&text).unwrap();
+    let names: std::collections::HashSet<&str> =
+        report.events.iter().map(|e| e.name.as_str()).collect();
+    for required in [
+        "scene.train",
+        "scene.branch",
+        "branch.search",
+        "branch.episode",
+        "tree.search",
+        "compose.fork",
+        "controller.epoch",
+        "memo.shard",
+    ] {
+        assert!(names.contains(required), "trace is missing {required:?}");
+    }
+    assert!(report.metrics.counter("memo.hits").is_some());
+    // `report` renders the summary from the same artifact.
+    run(&["report", &trace_path]).unwrap();
+    // A second telemetry session must install cleanly after the first.
+    let trace2 = tmp("run2.jsonl");
+    run(&["plan", "--model", "tiny", "--device", "phone", "--bandwidth", "8", "--episodes", "8", "--trace", &trace2]).unwrap();
+    assert!(std::fs::read_to_string(&trace2).unwrap().contains("branch.search"));
+    let _ = std::fs::remove_file(trace_path);
+    let _ = std::fs::remove_file(trace2);
+}
+
 #[test]
 fn plan_runs() {
     run(&[

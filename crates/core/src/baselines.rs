@@ -6,6 +6,7 @@
 use cadmc_compress::{CompressionPlan, Technique};
 use cadmc_latency::Mbps;
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -101,6 +102,12 @@ fn run_search(
             detail: "must be at least 1".to_string(),
         });
     }
+    let search_span = telemetry::span!(
+        "baseline.search",
+        episodes = episodes,
+        bandwidth = bandwidth.0,
+        workers = par.workers,
+    );
     let mut episode_rewards = Vec::with_capacity(episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
@@ -110,11 +117,13 @@ fn run_search(
         let anchor = best.as_ref().map(|(c, _)| c.clone());
         let rollouts = par_map_indexed(batch_end - batch_start, par.workers, |offset| {
             let episode = batch_start + offset;
+            let episode_span = telemetry::span!("baseline.episode", episode = episode);
             let mut rng = StdRng::seed_from_u64(seed ^ episode as u64);
             let candidate = propose(&mut rng, anchor.as_ref());
             let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
                 env.evaluate(base, &candidate, bandwidth)
             });
+            episode_span.record("reward", eval.reward);
             (candidate, eval)
         });
         for (candidate, eval) in rollouts {
@@ -131,6 +140,7 @@ fn run_search(
         batch_start = batch_end;
     }
     let (best, best_eval) = best.expect("episodes >= 1 was validated");
+    search_span.record("best_reward", best_eval.reward);
     Ok(SearchOutcome {
         best,
         best_eval,

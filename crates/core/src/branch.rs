@@ -10,6 +10,7 @@
 
 use cadmc_latency::Mbps;
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -108,6 +109,10 @@ pub fn sample_candidate(
 /// RNG stream salt for the branch search (`"branch"`).
 const BRANCH_SALT: u64 = 0x6272_616e_6368;
 
+/// Histogram buckets for Eq. 7 episode rewards (they land in 0..400).
+pub(crate) const REWARD_BOUNDS: &[f64] =
+    &[0.0, 25.0, 50.0, 75.0, 100.0, 150.0, 200.0, 300.0];
+
 /// Runs Algorithm 1: searches compression + partition for `base` under the
 /// constant bandwidth `bandwidth`, updating `controllers` in place.
 ///
@@ -130,6 +135,12 @@ pub fn optimal_branch(
     memo: &MemoPool,
 ) -> Result<SearchOutcome, ValidateError> {
     validate::branch_inputs(base, bandwidth.0, cfg)?;
+    let search_span = telemetry::span!(
+        "branch.search",
+        episodes = cfg.episodes,
+        bandwidth = bandwidth.0,
+        workers = cfg.parallelism.workers,
+    );
     let mut episode_rewards = Vec::with_capacity(cfg.episodes);
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
@@ -145,6 +156,7 @@ pub fn optimal_branch(
                 cfg.parallelism.workers,
                 |offset| {
                     let episode = batch_start + offset;
+                    let episode_span = telemetry::span!("branch.episode", episode = episode);
                     let mut rng =
                         StdRng::seed_from_u64(cfg.seed ^ BRANCH_SALT ^ episode as u64);
                     let (tape, candidate) = sample_candidate(
@@ -156,14 +168,17 @@ pub fn optimal_branch(
                         cfg.explore_epsilon,
                     );
                     let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+                        let _eval_span = telemetry::span!("eval.candidate");
                         env.evaluate(base, &candidate, bandwidth)
                     });
+                    episode_span.record("reward", eval.reward);
                     (tape, candidate, eval)
                 },
             )
         };
         for (tape, candidate, eval) in rollouts {
             episode_rewards.push(eval.reward);
+            telemetry::hist!("branch.reward", REWARD_BOUNDS, eval.reward);
             let replace = match &best {
                 Some((_, be)) => eval.reward > be.reward,
                 None => true,
@@ -180,6 +195,7 @@ pub fn optimal_branch(
     }
 
     let (best, best_eval) = best.expect("episodes >= 1 was validated");
+    search_span.record("best_reward", best_eval.reward);
     Ok(SearchOutcome {
         best,
         best_eval,

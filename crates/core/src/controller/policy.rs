@@ -3,6 +3,7 @@
 //! exponential-moving-average baseline (§VI-D, Eqs. 8–10).
 
 use cadmc_autodiff::{Adam, Gradients, Graph, Matrix, ParamSet, VarId};
+use cadmc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -36,6 +37,21 @@ impl EpisodeTape {
     /// Whether no actions were recorded.
     pub fn is_empty(&self) -> bool {
         self.logps.is_empty()
+    }
+
+    /// Mean policy entropy over the episode's sampled decisions (nats);
+    /// zero for an empty tape. A telemetry-facing health signal: entropy
+    /// collapsing to 0 early means the policy stopped exploring.
+    pub fn mean_entropy(&self) -> f64 {
+        if self.entropies.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .entropies
+            .iter()
+            .map(|&v| f64::from(self.graph.value(v).at(0, 0)))
+            .sum();
+        sum / self.entropies.len() as f64
     }
 
     /// Sum of recorded log-probabilities (the episode's log-likelihood).
@@ -141,6 +157,7 @@ pub struct Reinforce {
     clip_norm: f32,
     entropy_beta: f32,
     seen: bool,
+    epoch: u64,
 }
 
 impl Reinforce {
@@ -157,6 +174,7 @@ impl Reinforce {
             clip_norm: 5.0,
             entropy_beta: 0.0,
             seen: false,
+            epoch: 0,
         }
     }
 
@@ -191,6 +209,23 @@ impl Reinforce {
         params: &mut ParamSet,
         episodes: Vec<(EpisodeTape, f64)>,
     ) {
+        self.epoch += 1;
+        // Entropy and reward statistics are only computed when a trace is
+        // being collected; the disabled path must stay free.
+        if telemetry::enabled() && !episodes.is_empty() {
+            let n = episodes.len() as f64;
+            let mean_reward = episodes.iter().map(|(_, r)| *r).sum::<f64>() / n;
+            let mean_entropy =
+                episodes.iter().map(|(t, _)| t.mean_entropy()).sum::<f64>() / n;
+            telemetry::event!(
+                "controller.epoch",
+                epoch = self.epoch,
+                episodes = episodes.len(),
+                mean_reward = mean_reward,
+                baseline = self.baseline,
+                mean_entropy = mean_entropy,
+            );
+        }
         let mut acc: Option<Gradients> = None;
         for (tape, reward) in episodes {
             let adv = self.advantage(reward);

@@ -8,6 +8,7 @@
 
 use cadmc_latency::Mbps;
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 
 use crate::branch::optimal_branch;
 use crate::candidate::Candidate;
@@ -70,6 +71,11 @@ impl DecisionEngine {
         cfg: &SearchConfig,
         seed: u64,
     ) -> Result<Self, ValidateError> {
+        let _train_span = telemetry::span!(
+            "engine.train",
+            episodes = cfg.episodes,
+            seed = seed,
+        );
         let ctx = NetworkContext::from_scenario(scenario, 2, seed);
         let memo = MemoPool::new();
         let mut controllers = Controllers::new(cfg);
@@ -84,6 +90,7 @@ impl DecisionEngine {
             true,
             Some(ctx.trace()),
         )?;
+        memo.publish_telemetry();
         Ok(Self {
             base,
             env,

@@ -21,6 +21,7 @@ use rand::{RngExt, SeedableRng};
 use cadmc_latency::Mbps;
 use cadmc_netsim::{BandwidthEstimator, BandwidthTrace};
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 
 use crate::candidate::Candidate;
 use crate::env::EvalEnv;
@@ -184,6 +185,9 @@ fn gauss(rng: &mut StdRng) -> f64 {
     s * (12.0f64 / 6.0).sqrt()
 }
 
+/// Histogram buckets for per-request end-to-end latency (ms).
+const LATENCY_BOUNDS: &[f64] = &[5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
+
 /// Streams `cfg.requests` inferences of `policy` against `trace` and
 /// reports per-request latency and accuracy.
 ///
@@ -198,6 +202,14 @@ pub fn execute(
     cfg: &ExecConfig,
 ) -> ExecReport {
     assert!(cfg.requests > 0, "need at least one request");
+    let _run_span = telemetry::span!(
+        "exec.run",
+        requests = cfg.requests,
+        mode = match cfg.mode {
+            Mode::Emulation => "emulation",
+            Mode::Field => "field",
+        },
+    );
     let mut noise = NoiseModel::new(cfg.mode, cfg.seed);
     let mut estimator = match cfg.mode {
         Mode::Emulation => BandwidthEstimator::ideal(),
@@ -225,6 +237,7 @@ pub fn execute(
                 &mut estimator,
             ),
         };
+        telemetry::hist!("exec.latency_ms", LATENCY_BOUNDS, latency);
         latencies_ms.push(latency);
         accuracies.push(accuracy);
         now += cfg.think_time_ms;
@@ -294,7 +307,14 @@ fn run_tree(
         }
         // Alg. 2 line 5: measure current bandwidth, match to a fork.
         let est = estimator.observe(*now, bw_at(*now));
-        id = node.children[tree.match_level(est)];
+        let k = tree.match_level(est);
+        telemetry::event!(
+            "compose.fork",
+            level = node.level,
+            bandwidth = est,
+            child = k,
+        );
+        id = node.children[k];
         path.push(id);
     }
     let candidate = tree.compose_path(&path);

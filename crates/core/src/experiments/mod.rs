@@ -23,6 +23,7 @@ pub use sweep::{nk_sweep, SweepPoint};
 use cadmc_latency::{Mbps, Platform};
 use cadmc_netsim::Scenario;
 use cadmc_nn::{zoo, ModelSpec};
+use cadmc_telemetry as telemetry;
 
 use crate::branch::{optimal_branch, SearchOutcome};
 use crate::candidate::Candidate;
@@ -145,14 +146,24 @@ pub fn train_scene(
     cfg: &SearchConfig,
     seed: u64,
 ) -> Result<TrainedScene, ValidateError> {
+    let _scene_span = telemetry::span!(
+        "scene.train",
+        workload = workload.label(),
+        episodes = cfg.episodes,
+        seed = seed,
+    );
     let env = EvalEnv::for_edge(workload.device);
     let ctx = NetworkContext::from_scenario(workload.scenario, K_LEVELS, seed);
     let memo = MemoPool::new();
     let median = Mbps(ctx.median_bandwidth());
 
-    let surgery = surgery::plan(&workload.model, &env, median);
+    let surgery = {
+        let _surgery_span = telemetry::span!("scene.surgery", bandwidth = median.0);
+        surgery::plan(&workload.model, &env, median)
+    };
 
     let mut controllers = Controllers::new(cfg);
+    let branch_span = telemetry::span!("scene.branch", bandwidth = median.0);
     let branch_outcome = optimal_branch(
         &mut controllers,
         &workload.model,
@@ -161,6 +172,7 @@ pub fn train_scene(
         cfg,
         &memo,
     )?;
+    drop(branch_span);
     // The branch method is static but trained offline with the scene trace
     // available; pick between the RL result and the surgery point (which
     // lies inside the branch space) by *executed* reward on that trace —
@@ -178,11 +190,13 @@ pub fn train_scene(
         .evaluation(&env.reward)
         .reward
     };
+    let rerank_span = telemetry::span!("scene.rerank");
     let all_edge = Candidate::base_all_edge(&workload.model);
     let mut pool: Vec<&Candidate> = vec![&surgery.candidate, &all_edge];
     // Consider the last few improvers (the strongest by point reward).
     let tail = branch_outcome.improvers.len().saturating_sub(5);
     pool.extend(branch_outcome.improvers[tail..].iter().map(|(c, _)| c));
+    rerank_span.record("pool", pool.len());
     let branch = pool
         .into_iter()
         .max_by(|a, b| {
@@ -190,6 +204,7 @@ executed(a).total_cmp(&executed(b))
         })
         .expect("pool contains surgery")
         .clone();
+    drop(rerank_span);
     // Table 3 reports the best *planned* reward the offline search
     // attained (the surgery point is inside the branch space).
     let branch_reward = branch_outcome
@@ -197,6 +212,7 @@ executed(a).total_cmp(&executed(b))
         .reward
         .max(surgery.evaluation.reward);
 
+    let tree_span = telemetry::span!("scene.tree", levels = ctx.levels().len());
     let mut tree = tree_search(
         &mut controllers,
         &workload.model,
@@ -235,6 +251,8 @@ executed(a).total_cmp(&executed(b))
     if run(&rigid) > run(&tree.tree) {
         tree.tree = rigid;
     }
+    drop(tree_span);
+    memo.publish_telemetry();
 
     let test_trace = workload.scenario.trace(seed ^ 0x5eed_cafe);
     Ok(TrainedScene {

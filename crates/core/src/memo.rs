@@ -5,13 +5,18 @@
 //! The pool is lock-striped: entries are spread over a power-of-two number
 //! of independently locked shards selected by the high bits of the cache
 //! key, so parallel rollout workers rarely contend on the same mutex.
-//! Hit/miss counters are plain atomics and never take a lock.
+//! Hit/miss/eviction counters are per-shard atomics and never take a lock;
+//! they are the *only* reporting surface — totals are published into the
+//! telemetry metrics registry via [`MemoPool::publish_telemetry`] rather
+//! than printed ad hoc.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use cadmc_telemetry as telemetry;
 
 use crate::candidate::Candidate;
 use crate::reward::Evaluation;
@@ -20,15 +25,39 @@ use crate::reward::Evaluation;
 /// small enough that `len()` stays cheap.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// One lock stripe: the entry map plus its lock-free counters.
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<u64, Evaluation>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+/// Counter snapshot for one shard (see [`MemoPool::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to compute.
+    pub misses: usize,
+    /// Entries dropped by capacity eviction.
+    pub evictions: usize,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
 /// Thread-safe evaluation cache keyed by (model structure, cut, quantized
 /// bandwidth), striped over independently locked shards.
 #[derive(Debug)]
 pub struct MemoPool {
-    shards: Vec<Mutex<HashMap<u64, Evaluation>>>,
+    shards: Vec<Shard>,
     /// log2(shards.len()): the shard index is the key's top `shard_bits` bits.
     shard_bits: u32,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
+    /// Max entries per shard; `None` = unbounded. When an insert would
+    /// exceed it the whole shard is cleared (a deterministic wholesale
+    /// eviction — never dependent on `HashMap` iteration order).
+    capacity_per_shard: Option<usize>,
 }
 
 impl Default for MemoPool {
@@ -46,13 +75,23 @@ impl MemoPool {
     /// An empty pool with `shards` lock stripes (rounded up to a power of
     /// two, minimum 1).
     pub fn with_shards(shards: usize) -> Self {
+        Self::with_shards_and_capacity(shards, None)
+    }
+
+    /// An empty pool with `shards` lock stripes and an optional per-shard
+    /// entry cap (minimum 1 when given).
+    pub fn with_shards_and_capacity(shards: usize, capacity_per_shard: Option<usize>) -> Self {
         let n = shards.max(1).next_power_of_two();
         Self {
-            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..n).map(|_| Shard::default()).collect(),
             shard_bits: n.trailing_zeros(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
+            capacity_per_shard: capacity_per_shard.map(|c| c.max(1)),
         }
+    }
+
+    /// Per-shard entry cap, if bounded.
+    pub fn capacity_per_shard(&self) -> Option<usize> {
+        self.capacity_per_shard
     }
 
     /// Number of lock stripes.
@@ -81,16 +120,16 @@ impl MemoPool {
         }
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Evaluation>> {
+    fn shard(&self, key: u64) -> &Shard {
         &self.shards[self.shard_for(key)]
     }
 
-    /// Locks a shard, recovering from poisoning: a panicking evaluator
+    /// Locks a shard map, recovering from poisoning: a panicking evaluator
     /// can only leave a shard map in a consistent state (entries are
     /// inserted whole), so the cache stays usable instead of cascading
     /// panics through every other rollout worker.
-    fn lock(shard: &Mutex<HashMap<u64, Evaluation>>) -> MutexGuard<'_, HashMap<u64, Evaluation>> {
-        shard.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock(shard: &Shard) -> MutexGuard<'_, HashMap<u64, Evaluation>> {
+        shard.map.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Returns the cached evaluation or computes and stores it. Only the
@@ -104,16 +143,24 @@ impl MemoPool {
         compute: impl FnOnce() -> Evaluation,
     ) -> Evaluation {
         let key = Self::key(candidate, bandwidth_mbps);
+        let shard = self.shard(key);
         {
-            let map = Self::lock(self.shard(key));
+            let map = Self::lock(shard);
             if let Some(&e) = map.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 return e;
             }
         }
         let e = compute();
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        Self::lock(self.shard(key)).insert(key, e);
+        shard.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = Self::lock(shard);
+        if let Some(cap) = self.capacity_per_shard {
+            if map.len() >= cap && !map.contains_key(&key) {
+                shard.evictions.fetch_add(map.len(), Ordering::Relaxed);
+                map.clear();
+            }
+        }
+        map.insert(key, e);
         e
     }
 
@@ -121,22 +168,37 @@ impl MemoPool {
     /// as a hit or miss).
     pub fn get(&self, candidate: &Candidate, bandwidth_mbps: f64) -> Option<Evaluation> {
         let key = Self::key(candidate, bandwidth_mbps);
-        let found = Self::lock(self.shard(key)).get(&key).copied();
+        let shard = self.shard(key);
+        let found = Self::lock(shard).get(&key).copied();
         match found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => shard.hits.fetch_add(1, Ordering::Relaxed),
+            None => shard.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
     }
 
-    /// Number of cache hits so far.
+    /// Number of cache hits so far (summed over shards).
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Number of cache misses so far.
+    /// Number of cache misses so far (summed over shards).
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.shards
+            .iter()
+            .map(|s| s.misses.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of entries dropped by capacity eviction (summed over shards).
+    pub fn evictions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.evictions.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of cached evaluations across all shards.
@@ -152,6 +214,43 @@ impl MemoPool {
     /// Entry count per shard, in shard order (for balance diagnostics).
     pub fn shard_lens(&self) -> Vec<usize> {
         self.shards.iter().map(|s| Self::lock(s).len()).collect()
+    }
+
+    /// Counter snapshot per shard, in shard order.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                evictions: s.evictions.load(Ordering::Relaxed),
+                entries: Self::lock(s).len(),
+            })
+            .collect()
+    }
+
+    /// Publishes the pool's counters into the telemetry registry: totals
+    /// as `memo.hits` / `memo.misses` / `memo.evictions` / `memo.entries`
+    /// counters plus one `memo.shard` event per shard. Call once per
+    /// pool, when its search finishes; a no-op when telemetry is off.
+    pub fn publish_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        for (i, s) in self.stats().iter().enumerate() {
+            telemetry::counter!("memo.hits", s.hits as u64);
+            telemetry::counter!("memo.misses", s.misses as u64);
+            telemetry::counter!("memo.evictions", s.evictions as u64);
+            telemetry::counter!("memo.entries", s.entries as u64);
+            telemetry::event!(
+                "memo.shard",
+                shard = i,
+                hits = s.hits,
+                misses = s.misses,
+                evictions = s.evictions,
+                entries = s.entries,
+            );
+        }
     }
 }
 
@@ -287,6 +386,72 @@ mod tests {
         // distinct keys but never drop below them.
         assert!(pool.misses() >= 40);
         assert_eq!(pool.len(), 40);
+    }
+
+    #[test]
+    fn capacity_evicts_whole_shard_deterministically() {
+        // One shard, cap 4: the 5th distinct insert clears the shard,
+        // counting 4 evictions, and the pool keeps working.
+        let pool = MemoPool::with_shards_and_capacity(1, Some(4));
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        for i in 0..5 {
+            let bw = 1.0 + i as f64;
+            pool.get_or_insert_with(&c, bw, || Evaluation::new(0.9, 50.0, &spec));
+        }
+        assert_eq!(pool.evictions(), 4);
+        assert_eq!(pool.len(), 1);
+        // Re-inserting an evicted key recomputes (a miss).
+        let misses_before = pool.misses();
+        pool.get_or_insert_with(&c, 1.0, || Evaluation::new(0.9, 50.0, &spec));
+        assert_eq!(pool.misses(), misses_before + 1);
+        // Hitting an existing key at capacity does not evict.
+        let evictions_before = pool.evictions();
+        pool.get_or_insert_with(&c, 1.0, || unreachable!("must hit"));
+        assert_eq!(pool.evictions(), evictions_before);
+    }
+
+    #[test]
+    fn stats_snapshot_matches_counters() {
+        let pool = MemoPool::with_shards(4);
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        for i in 0..16 {
+            let bw = 1.0 + (i % 8) as f64;
+            pool.get_or_insert_with(&c, bw, || Evaluation::new(0.9, 50.0, &spec));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<usize>(), pool.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<usize>(), pool.misses());
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), pool.len());
+        assert_eq!(pool.hits() + pool.misses(), 16);
+        assert_eq!(pool.capacity_per_shard(), None);
+    }
+
+    #[test]
+    fn publish_telemetry_reports_to_registry() {
+        let pool = MemoPool::with_shards(2);
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        pool.get_or_insert_with(&c, 1.0, || Evaluation::new(0.9, 50.0, &spec));
+        pool.get_or_insert_with(&c, 1.0, || unreachable!("must hit"));
+        pool.publish_telemetry(); // telemetry off: no-op
+        let ((), report) = cadmc_telemetry::testing::with_collector(|| {
+            pool.publish_telemetry();
+        });
+        assert_eq!(report.metrics.counter("memo.hits"), Some(1));
+        assert_eq!(report.metrics.counter("memo.misses"), Some(1));
+        assert_eq!(report.metrics.counter("memo.entries"), Some(1));
+        let shard_events = report
+            .events
+            .iter()
+            .filter(|e| e.name == "memo.shard")
+            .count();
+        assert_eq!(shard_events, 2);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!
 //! [`SearchConfig::rollout_batch`]: crate::search::SearchConfig::rollout_batch
 
+use cadmc_telemetry as telemetry;
+
 /// Worker-pool sizing for episode rollouts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Parallelism {
@@ -67,24 +69,32 @@ impl Default for Parallelism {
 /// must not depend on cross-index execution order (give each index its
 /// own RNG stream). With `workers <= 1` (or `n <= 1`) this is a plain
 /// serial map with no thread overhead.
+///
+/// When telemetry is enabled each fan-out opens a *region* (numbered on
+/// the calling thread, so numbering follows program order regardless of
+/// worker count) and every index runs in stream `i + 1` of that region —
+/// on the serial and threaded paths alike — so traces merge identically
+/// for any `workers` value.
 pub fn par_map_indexed<U, F>(n: usize, workers: usize, f: F) -> Vec<U>
 where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
     let workers = workers.max(1).min(n.max(1));
+    let region = telemetry::open_region();
+    let run = move |i: usize| telemetry::in_stream(region, i as u64 + 1, || f(i));
     if workers == 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(run).collect();
     }
     let chunk = n.div_ceil(workers);
     let mut out = Vec::with_capacity(n);
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let f = &f;
+                let run = &run;
                 let start = (w * chunk).min(n);
                 let end = ((w + 1) * chunk).min(n);
-                s.spawn(move || (start..end).map(f).collect::<Vec<U>>())
+                s.spawn(move || (start..end).map(run).collect::<Vec<U>>())
             })
             .collect();
         for h in handles {

@@ -16,6 +16,7 @@ use serde::{Deserialize, Serialize};
 use cadmc_accuracy::AppliedAction;
 use cadmc_compress::CompressionPlan;
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 
 use crate::candidate::{Candidate, Partition};
 
@@ -179,6 +180,12 @@ impl ModelTree {
             );
             let bw = measure(self.nodes[id].level);
             let k = self.match_level(bw);
+            telemetry::event!(
+                "compose.fork",
+                level = self.nodes[id].level,
+                bandwidth = bw,
+                child = k,
+            );
             id = self.nodes[id].children[k];
             path.push(id);
         }

@@ -19,6 +19,7 @@ use cadmc_accuracy::AppliedAction;
 use cadmc_latency::Mbps;
 use cadmc_netsim::BandwidthTrace;
 use cadmc_nn::ModelSpec;
+use cadmc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -75,10 +76,18 @@ pub fn tree_search(
     selection_trace: Option<&BandwidthTrace>,
 ) -> Result<TreeSearchResult, ValidateError> {
     validate::tree_inputs(base, levels, n_blocks, cfg)?;
+    let search_span = telemetry::span!(
+        "tree.search",
+        episodes = cfg.episodes,
+        levels = levels.len(),
+        blocks = n_blocks,
+        boost = boost,
+    );
     let mut best: Option<(ModelTree, f64)> = None;
     let mut finalists: Vec<ModelTree> = Vec::new();
 
     if boost {
+        let _boost_span = telemetry::span!("tree.boost", levels = levels.len());
         let branch_cfg = SearchConfig {
             episodes: (cfg.episodes / 2).max(10),
             ..*cfg
@@ -129,12 +138,14 @@ pub fn tree_search(
                 cfg.parallelism.workers,
                 |offset| {
                     let episode = batch_start + offset;
+                    let episode_span = telemetry::span!("tree.episode", episode = episode);
                     let mut rng =
                         StdRng::seed_from_u64(cfg.seed ^ TREE_SALT ^ episode as u64);
                     let (mut tree, tapes) = generate_tree(
                         shared, base, env, levels, n_blocks, cfg, episode, &mut rng, memo,
                     );
                     tree.backward_estimate_with(cfg.backward_rule);
+                    episode_span.record("score", tree.mean_branch_reward());
                     (tree, tapes)
                 },
             )
@@ -149,6 +160,7 @@ pub fn tree_search(
                 .trainer
                 .update_batch(&mut controllers.params, episodes);
             let score = tree.mean_branch_reward();
+            telemetry::hist!("tree.score", crate::branch::REWARD_BOUNDS, score);
             episode_scores.push(score);
             let replace = match &best {
                 Some((_, s)) => score > *s,
@@ -164,6 +176,7 @@ pub fn tree_search(
 
     let (mut tree, _) = best.expect("episodes >= 1 was validated");
     if let Some(trace) = selection_trace {
+        let _rerank_span = telemetry::span!("tree.rerank", finalists = finalists.len());
         // Re-rank the finalists by replayed execution; keep the seeded
         // rigid/boost trees plus the last few RL improvers to bound cost.
         if finalists.len() > 10 {
@@ -189,6 +202,7 @@ pub fn tree_search(
         .best_branch()
         .map(|(path, _)| tree.nodes()[*path.last().expect("non-empty")].reward)
         .unwrap_or(0.0);
+    search_span.record("best_branch_reward", best_branch_reward);
     Ok(TreeSearchResult {
         tree,
         episode_scores,

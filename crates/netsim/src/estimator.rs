@@ -7,7 +7,11 @@
 //! coarseness: an exponentially-smoothed, periodically-refreshed view of
 //! the true bandwidth.
 
+use cadmc_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Histogram buckets for observed true bandwidth (Mbps).
+const BANDWIDTH_BOUNDS: &[f64] = &[0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0];
 
 /// A smoothed, stale view of true bandwidth, as a probing-based estimator
 /// on a real device would provide.
@@ -55,6 +59,13 @@ impl BandwidthEstimator {
     /// current estimate. Between probe refreshes the previous estimate is
     /// returned unchanged (staleness).
     pub fn observe(&mut self, now_ms: f64, true_bandwidth: f64) -> f64 {
+        telemetry::hist!("net.bandwidth_mbps", BANDWIDTH_BOUNDS, true_bandwidth);
+        let est = self.observe_inner(now_ms, true_bandwidth);
+        telemetry::gauge!("net.bandwidth_estimate", est);
+        est
+    }
+
+    fn observe_inner(&mut self, now_ms: f64, true_bandwidth: f64) -> f64 {
         match self.estimate {
             None => {
                 self.estimate = Some(true_bandwidth);

@@ -151,6 +151,11 @@ impl Scenario {
     /// Synthesizes this scenario's reference trace (60 s at 10 Hz),
     /// deterministic for a given `seed`.
     pub fn trace(self, seed: u64) -> BandwidthTrace {
+        let _span = cadmc_telemetry::span!(
+            "netsim.trace",
+            scenario = self.name(),
+            seed = seed,
+        );
         BandwidthTrace::synthesize(self.process_config(), 60_000.0, 100.0, seed ^ self.seed_salt())
     }
 

@@ -1,0 +1,153 @@
+//! Trace events: the single record type shared by spans and point events.
+//!
+//! A closed span and a point event are the same struct; a span carries
+//! `dur_ns: Some(_)`, a point event carries `dur_ns: None`. Every event
+//! is addressed by the deterministic triple `(region, stream, seq)`:
+//!
+//! - `region` — one per `core::parallel` fan-out (or 0 for the main
+//!   thread), allocated sequentially on the *caller* thread so the
+//!   numbering does not depend on worker count;
+//! - `stream` — the logical item index inside a region (episode index
+//!   + 1), or 0 for the caller's own stream;
+//! - `seq` — a per-stream monotonic counter.
+//!
+//! Sorting by that triple yields identical event order no matter how
+//! many worker threads executed the region, which is what makes traces
+//! byte-comparable across `--workers` settings (modulo the wall-clock
+//! `t_ns`/`dur_ns` fields).
+
+use std::fmt;
+
+/// A scalar attached to an event under a string key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating-point number. Non-finite values serialize as JSON
+    /// `null` and parse back as NaN.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl FieldValue {
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            FieldValue::I64(n) => Some(*n as f64),
+            FieldValue::U64(n) => Some(*n as f64),
+            FieldValue::F64(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Bool(b) => write!(f, "{b}"),
+            FieldValue::I64(n) => write!(f, "{n}"),
+            FieldValue::U64(n) => write!(f, "{n}"),
+            FieldValue::F64(n) => write!(f, "{n:.4}"),
+            FieldValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<i32> for FieldValue {
+    fn from(v: i32) -> Self {
+        FieldValue::I64(i64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One trace record: a closed span (`dur_ns: Some`) or a point event
+/// (`dur_ns: None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Span/event name, dot-separated taxonomy (e.g. `branch.episode`).
+    pub name: String,
+    /// Fan-out region id (0 = main thread).
+    pub region: u64,
+    /// Stream id within the region (0 = the region opener's own stream).
+    pub stream: u64,
+    /// Monotonic per-stream sequence number.
+    pub seq: u64,
+    /// `seq` of the enclosing open span in the same stream, if any.
+    pub parent: Option<u64>,
+    /// Nanoseconds since the run started (wall clock — excluded from
+    /// determinism comparisons).
+    pub t_ns: u64,
+    /// Span duration in nanoseconds; `None` marks a point event.
+    pub dur_ns: Option<u64>,
+    /// Ordered key=value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// True when this record is a (closed) span rather than a point event.
+    pub fn is_span(&self) -> bool {
+        self.dur_ns.is_some()
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field lookup.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(FieldValue::as_f64)
+    }
+}

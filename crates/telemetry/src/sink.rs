@@ -1,0 +1,133 @@
+//! Sinks: where a finished [`RunReport`] goes.
+//!
+//! The contract is deliberately small: a sink sees the *complete,
+//! already-merged* report exactly once, at session finish. Sinks never
+//! observe partial state, so they need no locking discipline of their
+//! own and cannot perturb the measured run (all formatting cost is paid
+//! after the clocks stop).
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::report::{self, RunReport};
+
+/// Consumer of a finished run report.
+pub trait Sink: fmt::Debug + Send {
+    /// Consumes the merged report (called exactly once per session).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure writing the report out.
+    fn consume(&mut self, report: &RunReport) -> io::Result<()>;
+}
+
+/// Writes the report as JSON Lines (one schema object per line) to a
+/// file, atomically replacing any previous content.
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// A sink writing to `path` at session finish.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JsonlSink { path: path.into() }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn consume(&mut self, report: &RunReport) -> io::Result<()> {
+        fs::write(&self.path, report::to_jsonl(report))
+    }
+}
+
+/// Captures the report in memory — the collector tests are built on
+/// this. Clones share the same slot, so keep one clone outside the
+/// builder and [`take`](Self::take) it after finish.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    slot: Arc<Mutex<Option<RunReport>>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Takes the captured report, leaving the slot empty.
+    pub fn take(&self) -> Option<RunReport> {
+        self.slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+    }
+}
+
+impl Sink for MemorySink {
+    fn consume(&mut self, report: &RunReport) -> io::Result<()> {
+        *self.slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(report.clone());
+        Ok(())
+    }
+}
+
+/// Renders the human-readable end-of-run summary to stderr (stderr so a
+/// piped stdout stays machine-readable).
+#[derive(Debug)]
+pub struct SummarySink {
+    _private: (),
+}
+
+impl SummarySink {
+    /// A summary sink writing to stderr.
+    pub fn stderr() -> Self {
+        SummarySink { _private: () }
+    }
+}
+
+impl Sink for SummarySink {
+    fn consume(&mut self, report: &RunReport) -> io::Result<()> {
+        let text = report::render_summary(report);
+        let mut err = io::stderr().lock();
+        err.write_all(text.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MetricsSnapshot, SCHEMA_VERSION};
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            version: SCHEMA_VERSION,
+            meta: vec![("cmd".into(), "test".into())],
+            events: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn memory_sink_round_trips() {
+        let sink = MemorySink::new();
+        let mut boxed: Box<dyn Sink> = Box::new(sink.clone());
+        let report = empty_report();
+        boxed.consume(&report).unwrap();
+        assert_eq!(sink.take(), Some(report));
+        assert_eq!(sink.take(), None);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_file() {
+        let path = std::env::temp_dir().join("cadmc_telemetry_sink_test.jsonl");
+        let mut sink = JsonlSink::new(&path);
+        sink.consume(&empty_report()).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        let parsed = report::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, empty_report());
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,187 @@
+//! Histogram bucket-boundary tests and span lifecycle property tests.
+//!
+//! The histogram contract is Prometheus-style `le` buckets: a sample
+//! exactly on a bound lands in that bound's bucket, anything above the
+//! last bound lands in the overflow bucket, and non-finite samples are
+//! dropped. The span property is the one the `Span` docs promise:
+//! *arbitrary* enter/exit/record/event sequences — including dropping
+//! guards out of LIFO order — never panic and never leak an open span.
+
+use cadmc_telemetry::report::{parse_jsonl, to_jsonl};
+use cadmc_telemetry::Histogram;
+use cadmc_telemetry::{self as telemetry, Span};
+use proptest::prelude::*;
+
+// --- histogram bucket boundaries -------------------------------------------
+
+const BOUNDS: &[f64] = &[1.0, 2.0, 4.0];
+
+#[test]
+fn sample_on_a_bound_lands_in_that_bucket() {
+    let mut h = Histogram::new(BOUNDS);
+    for b in BOUNDS {
+        h.record(*b);
+    }
+    assert_eq!(h.counts, vec![1, 1, 1, 0]);
+    assert_eq!(h.count, 3);
+    assert_eq!(h.sum, 7.0);
+}
+
+#[test]
+fn sample_just_above_a_bound_lands_in_the_next_bucket() {
+    let mut h = Histogram::new(BOUNDS);
+    for b in BOUNDS {
+        h.record(b + 1e-9);
+    }
+    // 1.0+eps -> (1,2], 2.0+eps -> (2,4], 4.0+eps -> overflow.
+    assert_eq!(h.counts, vec![0, 1, 1, 1]);
+}
+
+#[test]
+fn below_first_bound_and_overflow_edges() {
+    let mut h = Histogram::new(BOUNDS);
+    h.record(-3.0); // anything <= first bound -> first bucket
+    h.record(0.0);
+    h.record(1e12); // far above the last bound -> overflow
+    assert_eq!(h.counts, vec![2, 0, 0, 1]);
+    assert_eq!(Histogram::bucket_index(BOUNDS, 1.0), 0);
+    assert_eq!(Histogram::bucket_index(BOUNDS, 4.0), 2);
+    assert_eq!(Histogram::bucket_index(BOUNDS, 4.5), 3);
+}
+
+#[test]
+fn non_finite_samples_are_dropped() {
+    let mut h = Histogram::new(BOUNDS);
+    h.record(f64::NAN);
+    h.record(f64::INFINITY);
+    h.record(f64::NEG_INFINITY);
+    assert_eq!(h.count, 0);
+    assert_eq!(h.counts, vec![0, 0, 0, 0]);
+    assert_eq!(h.mean(), 0.0);
+}
+
+#[test]
+fn registry_histogram_matches_direct_recording() {
+    let ((), report) = telemetry::testing::with_collector(|| {
+        for v in [0.5, 1.0, 1.5, 4.0, 9.0] {
+            telemetry::hist!("test.hist", BOUNDS, v);
+        }
+    });
+    let (_, h) = report
+        .metrics
+        .histograms
+        .iter()
+        .find(|(name, _)| name == "test.hist")
+        .expect("histogram registered");
+    let mut direct = Histogram::new(BOUNDS);
+    for v in [0.5, 1.0, 1.5, 4.0, 9.0] {
+        direct.record(v);
+    }
+    assert_eq!(h, &direct);
+    assert_eq!(h.counts, vec![2, 1, 1, 1]);
+}
+
+// --- span lifecycle properties ---------------------------------------------
+
+/// One step of an adversarial span workload. Derived from a byte code so
+/// proptest can shrink sequences.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a span and keep its guard.
+    Enter,
+    /// Drop the most recently opened guard (LIFO exit).
+    ExitLast,
+    /// Drop the *oldest* live guard (out-of-order exit: auto-closes
+    /// everything opened inside it; their guards must then no-op).
+    ExitFirst,
+    /// Emit a point event under whatever span is open.
+    Emit,
+    /// Record a field on the most recent guard (which may already have
+    /// been auto-closed by an out-of-order exit).
+    Record,
+}
+
+fn decode(code: u8) -> Op {
+    match code % 5 {
+        0 => Op::Enter,
+        1 => Op::ExitLast,
+        2 => Op::ExitFirst,
+        3 => Op::Emit,
+        _ => Op::Record,
+    }
+}
+
+/// Runs an op sequence against an installed collector and returns how
+/// many spans were opened.
+fn run_ops(codes: &[u8]) -> usize {
+    let mut guards: Vec<Span> = Vec::new();
+    let mut opened = 0usize;
+    for (i, code) in codes.iter().enumerate() {
+        match decode(*code) {
+            Op::Enter => {
+                guards.push(telemetry::span!("prop.span", step = i));
+                opened += 1;
+            }
+            Op::ExitLast => {
+                drop(guards.pop());
+            }
+            Op::ExitFirst => {
+                if !guards.is_empty() {
+                    drop(guards.remove(0));
+                }
+            }
+            Op::Emit => telemetry::event!("prop.event", step = i),
+            Op::Record => {
+                if let Some(g) = guards.last() {
+                    g.record("step", i);
+                }
+            }
+        }
+    }
+    // Remaining guards drop here; finish() closes anything still open.
+    opened
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary enter/exit/emit/record interleavings never panic, never
+    /// leak an open span (every opened span appears closed in the
+    /// report), keep parent links pointing at earlier records in the
+    /// same stream, and produce a trace that round-trips through the
+    /// JSONL schema.
+    #[test]
+    fn arbitrary_span_sequences_are_safe(
+        codes in proptest::collection::vec(0u8..=255, 0..48),
+    ) {
+        let (opened, report) = telemetry::testing::with_collector(|| run_ops(&codes));
+
+        let closed_spans = report
+            .events
+            .iter()
+            .filter(|e| e.name == "prop.span" && e.is_span())
+            .count();
+        prop_assert_eq!(closed_spans, opened, "every opened span must close");
+        prop_assert!(
+            report.events.iter().all(|e| e.name != "prop.span" || e.is_span()),
+            "a span must never surface as a point event"
+        );
+
+        for e in &report.events {
+            if let Some(p) = e.parent {
+                prop_assert!(p < e.seq, "parent {} must precede seq {}", p, e.seq);
+                prop_assert!(
+                    report
+                        .events
+                        .iter()
+                        .any(|o| o.region == e.region && o.stream == e.stream && o.seq == p),
+                    "parent seq {} missing from stream", p
+                );
+            }
+        }
+
+        let reparsed = parse_jsonl(&to_jsonl(&report));
+        prop_assert!(reparsed.is_ok(), "trace must round-trip: {:?}", reparsed.err());
+        prop_assert_eq!(reparsed.unwrap().events.len(), report.events.len());
+    }
+}

@@ -21,6 +21,10 @@
 //! - **L4 float-equality**: forbids `==`/`!=` against floating-point
 //!   literals (and `f32::`/`f64::` constants) outside approved epsilon
 //!   helpers — exact float comparison is almost always a latent bug.
+//! - **L5 print-in-library**: forbids `println!`/`eprintln!` (and the
+//!   non-newline forms) in first-party library crates. Libraries report
+//!   through the telemetry layer (`cadmc-telemetry` spans, metrics and
+//!   sinks); only the CLI and bench binaries own stdout/stderr.
 //!
 //! The scanner masks comments and string literals (preserving line
 //! structure), skips `#[cfg(test)]` items by brace tracking, and skips
@@ -34,7 +38,7 @@ use std::path::{Path, PathBuf};
 /// ground.
 pub const MAX_ALLOWLIST_ENTRIES: usize = 25;
 
-/// The four lint classes.
+/// The five lint classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// Panic-hygiene: no `unwrap`/`expect`/`panic!` in library code.
@@ -45,6 +49,8 @@ pub enum Lint {
     L3Nondeterminism,
     /// No `==`/`!=` on float literals outside epsilon helpers.
     L4FloatEq,
+    /// No `println!`/`eprintln!` in first-party library crates.
+    L5PrintInLib,
 }
 
 impl Lint {
@@ -55,6 +61,7 @@ impl Lint {
             Lint::L2MapIteration => "L2",
             Lint::L3Nondeterminism => "L3",
             Lint::L4FloatEq => "L4",
+            Lint::L5PrintInLib => "L5",
         }
     }
 
@@ -65,6 +72,7 @@ impl Lint {
             "L2" => Some(Lint::L2MapIteration),
             "L3" => Some(Lint::L3Nondeterminism),
             "L4" => Some(Lint::L4FloatEq),
+            "L5" => Some(Lint::L5PrintInLib),
             _ => None,
         }
     }
@@ -76,6 +84,9 @@ impl Lint {
             Lint::L2MapIteration => "HashMap/HashSet iteration in a hot path (nondeterministic order)",
             Lint::L3Nondeterminism => "unseeded RNG or wall-clock read in simulation/search code",
             Lint::L4FloatEq => "exact float equality comparison",
+            Lint::L5PrintInLib => {
+                "print to stdout/stderr in library code (report via cadmc-telemetry instead)"
+            }
         }
     }
 }
@@ -449,6 +460,21 @@ const L4_CRATES: [&str; 7] = [
     "crates/autodiff/src",
 ];
 
+/// First-party *library* crates: everything except the CLI and the bench
+/// binaries, which own stdout/stderr by design. The telemetry crate is in
+/// scope too — its sinks write through `io::Write` handles, never via the
+/// print macros.
+const L5_CRATES: [&str; 8] = [
+    "crates/core/src",
+    "crates/nn/src",
+    "crates/compress/src",
+    "crates/latency/src",
+    "crates/netsim/src",
+    "crates/accuracy/src",
+    "crates/autodiff/src",
+    "crates/telemetry/src",
+];
+
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| rel.starts_with(s) || rel.contains(s))
 }
@@ -479,7 +505,8 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
     let l2 = in_scope(rel, &L2_HOT_PATHS);
     let l3 = in_scope(rel, &L3_CRATES);
     let l4 = in_scope(rel, &L4_CRATES);
-    if !(l1 || l2 || l3 || l4) {
+    let l5 = in_scope(rel, &L5_CRATES);
+    if !(l1 || l2 || l3 || l4 || l5) {
         return Vec::new();
     }
 
@@ -501,8 +528,20 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
         if l4 && has_float_eq(line) {
             push(Lint::L4FloatEq, i);
         }
+        if l5 && has_print_site(line) {
+            push(Lint::L5PrintInLib, i);
+        }
     }
     out
+}
+
+/// L5: stdout/stderr print macros. Matching `print!(`/`eprint!(` also
+/// covers the `ln` forms' shared suffix, but each is listed explicitly so
+/// an excerpt match in the allowlist stays precise.
+fn has_print_site(line: &str) -> bool {
+    ["println!(", "eprintln!(", "print!(", "eprint!("]
+        .iter()
+        .any(|t| line.contains(t))
 }
 
 /// L1: panic-site tokens. `.unwrap()` is matched exactly so

@@ -15,7 +15,8 @@ cargo xtask <command>
 
 Commands:
   lint    run the custom static-analysis lints (L1 panic-hygiene,
-          L2 map-iteration, L3 nondeterminism, L4 float-equality)
+          L2 map-iteration, L3 nondeterminism, L4 float-equality,
+          L5 print-in-library)
 
 Options for `lint`:
   --root <dir>        workspace root (default: the cargo workspace)

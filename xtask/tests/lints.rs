@@ -177,6 +177,49 @@ fn l4_allows_tuple_field_access() {
     assert!(lints_of(CORE, src).is_empty());
 }
 
+// --- L5: print in library code -----------------------------------------
+
+#[test]
+fn l5_fires_on_print_macros_in_library_crates() {
+    for stmt in [
+        "println!(\"progress: {x}\");",
+        "eprintln!(\"warning\");",
+        "print!(\"partial\");",
+        "eprint!(\"partial\");",
+    ] {
+        let src = format!("fn f(x: u32) {{\n    {stmt}\n}}\n");
+        assert_eq!(
+            lints_of("crates/nn/src/zoo.rs", &src),
+            vec![Lint::L5PrintInLib],
+            "should fire on {stmt:?}"
+        );
+        assert_eq!(
+            lints_of("crates/telemetry/src/lib.rs", &src),
+            vec![Lint::L5PrintInLib],
+            "telemetry crate is in L5 scope"
+        );
+    }
+}
+
+#[test]
+fn l5_exempts_cli_bench_and_tests() {
+    let src = "fn f() {\n    println!(\"ok\");\n}\n";
+    assert!(lints_of("crates/cli/src/commands.rs", src).is_empty());
+    assert!(lints_of("crates/cli/src/main.rs", src).is_empty());
+    assert!(lints_of("crates/bench/src/bin/table3.rs", src).is_empty());
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { println!(\"dbg\"); }\n}\n";
+    assert!(lints_of("crates/nn/src/zoo.rs", test_src).is_empty());
+}
+
+#[test]
+fn l5_ignores_prints_in_docs_and_strings() {
+    let src = "/// Call `println!(\"x\")` yourself if needed.\n\
+               fn f() -> &'static str {\n\
+                   \"println!(not a call)\"\n\
+               }\n";
+    assert!(lints_of("crates/nn/src/zoo.rs", src).is_empty());
+}
+
 // --- masking and test exemption ---------------------------------------
 
 #[test]
