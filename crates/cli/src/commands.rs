@@ -8,7 +8,7 @@ use cadmc_core::search::{Controllers, SearchConfig};
 use cadmc_core::{persist, validate};
 use cadmc_core::{surgery, EvalEnv, NetworkContext};
 use cadmc_latency::{Mbps, Platform};
-use cadmc_netsim::{stats::trace_stats, Scenario};
+use cadmc_netsim::{stats::trace_stats, FaultSchedule, Scenario};
 use cadmc_nn::{zoo, ModelSpec};
 use cadmc_telemetry::{report, Telemetry, TelemetryHandle};
 
@@ -36,7 +36,8 @@ COMMANDS:
     emulate         stream requests against a saved tree (or baselines)
                       --tree <file> --model <name> --device <d>
                       --scenario <name> [--requests N] [--field true]
-                      [--out report.csv]
+                      [--faults <preset|file.json>] [--deadline-ms MS]
+                      [--max-retries N] [--out report.csv]
     plan            one-shot branch search vs surgery at a fixed bandwidth
                       --model <name> --device <d> --bandwidth <Mbps>
                       [--episodes N] [--seed N] [--workers N]
@@ -44,6 +45,8 @@ COMMANDS:
                     tracing: `cadmc search --trace run.jsonl`)
                       [--model <name>] [--device <d>] [--scenario <name>]
                       [--episodes N] [--seed N] [--workers N] [--out file]
+                      [--faults <preset|file.json>]  (post-search smoke:
+                      fault-injected emulation of the trained tree)
     report          render a telemetry trace as a human-readable summary
                       cadmc report <trace.jsonl>
     validate        audit a saved model tree (or a named model) against
@@ -56,6 +59,9 @@ COMMANDS:
 Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
 \"4G indoor slow\", \"4G outdoor quick\", \"WiFi (weak) indoor\",
 \"WiFi (weak) outdoor\", \"WiFi outdoor slow\".
+
+Fault presets for --faults: none, outage, collapse, rtt-spike,
+stale-estimate, harsh — or a FaultSchedule JSON file.
 
 TELEMETRY (any command except characterize/report):
     --trace <file.jsonl>   write a structured span/metric trace
@@ -308,12 +314,21 @@ fn emulate(args: &Args) -> Result<(), CliError> {
     let field: bool = args.get_or("field", false)?;
     let env = EvalEnv::for_edge(device);
     let ctx = NetworkContext::from_scenario(scenario, 2, seed);
-    let cfg = ExecConfig {
+    let mut cfg = ExecConfig::new(
         requests,
-        mode: if field { Mode::Field } else { Mode::Emulation },
+        if field { Mode::Field } else { Mode::Emulation },
         seed,
-        think_time_ms: 400.0,
-    };
+    );
+    cfg.faults = fault_schedule(args)?;
+    cfg.deadline_ms = args
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError::Usage("invalid --deadline-ms".to_string()))
+        })
+        .transpose()?;
+    cfg.max_retries = args.get_or("max-retries", cfg.max_retries)?;
+    let faulted = !cfg.faults.is_empty();
     let report = execute(&env, &model, &Policy::Tree(&tree), ctx.trace(), &cfg);
     let eval = report.evaluation(&env.reward);
     println!(
@@ -325,12 +340,48 @@ fn emulate(args: &Args) -> Result<(), CliError> {
         report.mean_accuracy() * 100.0,
         eval.reward
     );
+    if faulted {
+        println!(
+            "outcomes: ok {} | retried {} | degraded {} | failed {}",
+            report.outcomes.len()
+                - report.retried_count()
+                - report.degraded_count()
+                - report.failed_count(),
+            report.retried_count(),
+            report.degraded_count(),
+            report.failed_count()
+        );
+    }
     if let Some(out) = args.get("out") {
         let file = std::fs::File::create(out)?;
-        report.write_csv(std::io::BufWriter::new(file))?;
+        if faulted {
+            report.write_csv_with_outcomes(std::io::BufWriter::new(file))?;
+        } else {
+            report.write_csv(std::io::BufWriter::new(file))?;
+        }
         println!("wrote per-request timeline to {out}");
     }
     Ok(())
+}
+
+/// Parses `--faults <preset|file.json>` into a schedule. Absent flag (or
+/// `none`) means no injected faults.
+fn fault_schedule(args: &Args) -> Result<FaultSchedule, CliError> {
+    let Some(v) = args.get("faults") else {
+        return Ok(FaultSchedule::none());
+    };
+    if let Some(s) = FaultSchedule::from_preset(v) {
+        return Ok(s);
+    }
+    if std::path::Path::new(v).exists() {
+        let text = std::fs::read_to_string(v)?;
+        return serde_json::from_str(&text)
+            .map_err(|e| CliError::Usage(format!("invalid fault scenario {v}: {e}")));
+    }
+    Err(CliError::Usage(format!(
+        "unknown fault scenario {v:?} (presets: none, outage, collapse, \
+         rtt-spike, stale-estimate, harsh; or a FaultSchedule JSON file)"
+    )))
 }
 
 fn validate_cmd(args: &Args) -> Result<(), CliError> {
@@ -417,6 +468,25 @@ fn search(args: &Args) -> Result<(), CliError> {
         scene.branch_reward,
         scene.tree.best_branch_reward
     );
+    if let Some(name) = args.get("faults") {
+        let faults = fault_schedule(args)?;
+        let mut ecfg = ExecConfig::emulation(60, seed).with_faults(faults);
+        ecfg.max_retries = args.get_or("max-retries", ecfg.max_retries)?;
+        let report = execute(
+            &scene.env,
+            &scene.workload.model,
+            &Policy::Tree(&scene.tree.tree),
+            &scene.test_trace,
+            &ecfg,
+        );
+        println!(
+            "fault-injected emulation ({name}): mean {:.2} ms | retried {} | degraded {} | failed {}",
+            report.mean_latency_ms(),
+            report.retried_count(),
+            report.degraded_count(),
+            report.failed_count()
+        );
+    }
     Ok(())
 }
 

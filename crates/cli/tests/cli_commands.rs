@@ -147,6 +147,108 @@ fn traced_search_then_report() {
 }
 
 #[test]
+fn emulate_with_fault_presets_and_schedule_files() {
+    let tree_path = tmp("fault-tree.json");
+    run(&[
+        "train",
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--episodes",
+        "10",
+        "--seed",
+        "1",
+        "--out",
+        &tree_path,
+    ])
+    .unwrap();
+    // Preset schedule with degradation knobs; outcome CSV gains a column.
+    let csv_path = tmp("fault-outcomes.csv");
+    run(&[
+        "emulate",
+        "--tree",
+        &tree_path,
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--requests",
+        "25",
+        "--faults",
+        "outage",
+        "--deadline-ms",
+        "120",
+        "--max-retries",
+        "3",
+        "--out",
+        &csv_path,
+    ])
+    .unwrap();
+    let csv = std::fs::read_to_string(&csv_path).unwrap();
+    assert!(csv.starts_with("request,latency_ms,accuracy,outcome\n"));
+    assert_eq!(csv.lines().count(), 26);
+    // A schedule serialized to JSON round-trips through `--faults <file>`.
+    let sched_path = tmp("fault-schedule.json");
+    let schedule = cadmc_netsim::FaultSchedule::canned(cadmc_netsim::FaultKind::Collapse);
+    std::fs::write(&sched_path, serde_json::to_string(&schedule).unwrap()).unwrap();
+    run(&[
+        "emulate",
+        "--tree",
+        &tree_path,
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--requests",
+        "15",
+        "--faults",
+        &sched_path,
+    ])
+    .unwrap();
+    // An unknown preset (and non-existent file) is a usage error.
+    assert!(run(&[
+        "emulate",
+        "--tree",
+        &tree_path,
+        "--model",
+        "tiny",
+        "--device",
+        "phone",
+        "--scenario",
+        "WiFi (weak) indoor",
+        "--faults",
+        "solar-flare",
+    ])
+    .is_err());
+    let _ = std::fs::remove_file(tree_path);
+    let _ = std::fs::remove_file(csv_path);
+    let _ = std::fs::remove_file(sched_path);
+}
+
+#[test]
+fn search_with_faults_runs_degradation_smoke() {
+    run(&[
+        "search",
+        "--model",
+        "tiny",
+        "--episodes",
+        "10",
+        "--seed",
+        "5",
+        "--faults",
+        "canned-outage",
+    ])
+    .unwrap();
+}
+
+#[test]
 fn plan_runs() {
     run(&[
         "plan",

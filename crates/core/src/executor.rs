@@ -14,12 +14,26 @@
 //! plus per-request jitter on compute times — and (ii) "a coarse
 //! estimation of network conditions" — decisions see a smoothed, stale
 //! bandwidth estimate while transfers pay the true instantaneous one.
+//!
+//! ## Fault injection and graceful degradation
+//!
+//! With a non-empty [`cadmc_netsim::FaultSchedule`] in [`ExecConfig`]
+//! the network can also *fail*, not just vary: outages, collapses, RTT
+//! spikes and estimator freezes. The executor then runs a degradation
+//! policy per request: each transfer gets a deadline derived from the
+//! branch's expected transfer latency, a timed-out transfer is retried
+//! with deterministic exponential backoff, and when retries are
+//! exhausted the request falls back to an edge-heavier composition
+//! (validated by [`crate::validate`]) instead of hanging. The per-request
+//! resolution is recorded as a [`RequestOutcome`]. With the default empty
+//! schedule and no explicit deadline, the degradation machinery is fully
+//! bypassed and the executor is bit-identical to the fault-free one.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use cadmc_latency::Mbps;
-use cadmc_netsim::{BandwidthEstimator, BandwidthTrace};
+use cadmc_netsim::{BandwidthEstimator, BandwidthTrace, FaultSchedule};
 use cadmc_nn::ModelSpec;
 use cadmc_telemetry as telemetry;
 
@@ -27,6 +41,7 @@ use crate::candidate::Candidate;
 use crate::env::EvalEnv;
 use crate::reward::{Evaluation, RewardSpec};
 use crate::tree::ModelTree;
+use crate::validate;
 
 /// What drives deployment decisions during execution.
 #[derive(Debug, Clone)]
@@ -47,7 +62,7 @@ pub enum Mode {
 }
 
 /// Execution parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecConfig {
     /// Number of inference requests to stream.
     pub requests: usize,
@@ -59,26 +74,74 @@ pub struct ExecConfig {
     /// it so the run spans the whole trace: back-to-back requests would
     /// otherwise sample only the first seconds of the context.
     pub think_time_ms: f64,
+    /// Scheduled network faults. Empty (the default) means the network
+    /// only varies, never fails, and the degradation policy is bypassed.
+    pub faults: FaultSchedule,
+    /// Explicit per-attempt transfer deadline (ms). `None` derives it
+    /// from the branch's expected transfer latency
+    /// (`DEADLINE_FACTOR × expected`, floored at `MIN_DEADLINE_MS`).
+    pub deadline_ms: Option<f64>,
+    /// Retries after the first timed-out transfer attempt.
+    pub max_retries: u32,
+    /// Base backoff quantum (ms); attempt `n` backs off `2ⁿ ×` this.
+    pub backoff_ms: f64,
 }
 
 impl ExecConfig {
-    /// A standard emulation run (requests spread over a 60 s trace).
-    pub fn emulation(requests: usize, seed: u64) -> Self {
+    /// A run with the given fidelity and default pacing/degradation knobs
+    /// (400 ms think time, no faults, derived deadlines, 2 retries).
+    pub fn new(requests: usize, mode: Mode, seed: u64) -> Self {
         Self {
             requests,
-            mode: Mode::Emulation,
+            mode,
             seed,
             think_time_ms: 400.0,
+            faults: FaultSchedule::none(),
+            deadline_ms: None,
+            max_retries: 2,
+            backoff_ms: 80.0,
         }
+    }
+
+    /// A standard emulation run (requests spread over a 60 s trace).
+    pub fn emulation(requests: usize, seed: u64) -> Self {
+        Self::new(requests, Mode::Emulation, seed)
     }
 
     /// A standard field run (requests spread over a 60 s trace).
     pub fn field(requests: usize, seed: u64) -> Self {
-        Self {
-            requests,
-            mode: Mode::Field,
-            seed,
-            think_time_ms: 400.0,
+        Self::new(requests, Mode::Field, seed)
+    }
+
+    /// The same run under a fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+}
+
+/// How a single request resolved under the degradation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestOutcome {
+    /// Completed on the first attempt (or needed no transfer at all).
+    Ok,
+    /// Completed after this many timed-out transfer attempts.
+    Retried(u32),
+    /// Transfer retries exhausted; completed via an edge-heavier
+    /// fallback composition at degraded latency/accuracy.
+    Degraded,
+    /// No fallback could complete the request.
+    Failed,
+}
+
+impl RequestOutcome {
+    /// Stable label for CSV export and telemetry.
+    pub fn label(self) -> String {
+        match self {
+            RequestOutcome::Ok => "ok".to_string(),
+            RequestOutcome::Retried(n) => format!("retried:{n}"),
+            RequestOutcome::Degraded => "degraded".to_string(),
+            RequestOutcome::Failed => "failed".to_string(),
         }
     }
 }
@@ -90,6 +153,8 @@ pub struct ExecReport {
     pub latencies_ms: Vec<f64>,
     /// Oracle accuracy of the model each request actually ran.
     pub accuracies: Vec<f64>,
+    /// How each request resolved (all `Ok` on the fault-free path).
+    pub outcomes: Vec<RequestOutcome>,
 }
 
 impl ExecReport {
@@ -136,6 +201,49 @@ impl ExecReport {
             writeln!(w, "{i},{l},{a}")?;
         }
         Ok(())
+    }
+
+    /// Like [`ExecReport::write_csv`] with a fourth `outcome` column
+    /// (`ok`, `retried:n`, `degraded`, `failed`) — the format the
+    /// fault-matrix conformance suite compares byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns any write failure.
+    pub fn write_csv_with_outcomes<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        writeln!(w, "request,latency_ms,accuracy,outcome")?;
+        for (i, ((l, a), o)) in self
+            .latencies_ms
+            .iter()
+            .zip(&self.accuracies)
+            .zip(&self.outcomes)
+            .enumerate()
+        {
+            writeln!(w, "{i},{l},{a},{}", o.label())?;
+        }
+        Ok(())
+    }
+
+    fn count_exact(&self, outcome: RequestOutcome) -> usize {
+        self.outcomes.iter().filter(|&&o| o == outcome).count()
+    }
+
+    /// Requests that completed after at least one retry.
+    pub fn retried_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o, RequestOutcome::Retried(_)))
+            .count()
+    }
+
+    /// Requests that completed via the degradation fallback.
+    pub fn degraded_count(&self) -> usize {
+        self.count_exact(RequestOutcome::Degraded)
+    }
+
+    /// Requests no fallback could complete.
+    pub fn failed_count(&self) -> usize {
+        self.count_exact(RequestOutcome::Failed)
     }
 }
 
@@ -188,6 +296,16 @@ fn gauss(rng: &mut StdRng) -> f64 {
 /// Histogram buckets for per-request end-to-end latency (ms).
 const LATENCY_BOUNDS: &[f64] = &[5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0];
 
+/// Derived transfer deadline = this factor × the expected transfer
+/// latency. Chosen above the worst-case field-mode transfer jitter
+/// (≈3.55×, bounded by the Irwin–Hall `gauss`), so a healthy link never
+/// trips the deadline.
+const DEADLINE_FACTOR: f64 = 4.0;
+
+/// Floor on the derived deadline (ms), so tiny transfers on fast links
+/// still get a meaningful wait before being declared failed.
+const MIN_DEADLINE_MS: f64 = 10.0;
+
 /// Streams `cfg.requests` inferences of `policy` against `trace` and
 /// reports per-request latency and accuracy.
 ///
@@ -221,30 +339,393 @@ pub fn execute(
     let mut now = 0.0f64;
     let mut latencies_ms = Vec::with_capacity(cfg.requests);
     let mut accuracies = Vec::with_capacity(cfg.requests);
+    let mut outcomes = Vec::with_capacity(cfg.requests);
+
+    // The degradation policy only arms when something can actually fail
+    // (or the caller pinned a deadline). The disarmed branch is the
+    // original fault-free code path, byte-for-byte: same arithmetic, same
+    // RNG draw sequence.
+    let degrade = !cfg.faults.is_empty() || cfg.deadline_ms.is_some();
 
     for _ in 0..cfg.requests {
-        let (latency, accuracy) = match policy {
-            Policy::Static(candidate) => run_static(
-                env, base, candidate, &mut now, &bw_at, &mut noise,
-            ),
-            Policy::Tree(tree) => run_tree(
-                env,
-                base,
-                tree,
-                &mut now,
-                &bw_at,
-                &mut noise,
-                &mut estimator,
-            ),
+        let (latency, accuracy, outcome) = if degrade {
+            match policy {
+                Policy::Static(candidate) => run_static_degraded(
+                    env, base, candidate, &mut now, &bw_at, &mut noise, cfg,
+                ),
+                Policy::Tree(tree) => run_tree_degraded(
+                    env,
+                    base,
+                    tree,
+                    &mut now,
+                    &bw_at,
+                    &mut noise,
+                    &mut estimator,
+                    cfg,
+                ),
+            }
+        } else {
+            let (l, a) = match policy {
+                Policy::Static(candidate) => {
+                    run_static(env, base, candidate, &mut now, &bw_at, &mut noise)
+                }
+                Policy::Tree(tree) => run_tree(
+                    env,
+                    base,
+                    tree,
+                    &mut now,
+                    &bw_at,
+                    &mut noise,
+                    &mut estimator,
+                ),
+            };
+            (l, a, RequestOutcome::Ok)
         };
         telemetry::hist!("exec.latency_ms", LATENCY_BOUNDS, latency);
         latencies_ms.push(latency);
         accuracies.push(accuracy);
+        outcomes.push(outcome);
         now += cfg.think_time_ms;
     }
     ExecReport {
         latencies_ms,
         accuracies,
+        outcomes,
+    }
+}
+
+/// Resolution of the retry loop around one tensor transfer.
+enum TransferPhase {
+    /// The transfer went through; `elapsed_ms` is the total wall time of
+    /// the phase including earlier timed-out attempts and backoffs.
+    Done { elapsed_ms: f64, retries: u32 },
+    /// Every attempt timed out; `elapsed_ms` covers all waits/backoffs.
+    Exhausted { elapsed_ms: f64 },
+}
+
+/// Per-attempt transfer deadline for a candidate, derived from the
+/// expected transfer latency at the bandwidth the policy *believes* it
+/// has (`cfg.deadline_ms` overrides).
+fn transfer_deadline_ms(
+    env: &EvalEnv,
+    candidate: &Candidate,
+    expected_bw: f64,
+    cfg: &ExecConfig,
+) -> f64 {
+    if let Some(d) = cfg.deadline_ms {
+        return d;
+    }
+    let expected =
+        env.transfer
+            .latency_ms(candidate.transfer_bytes(), Mbps(expected_bw.max(1e-6)));
+    (DEADLINE_FACTOR * expected).max(MIN_DEADLINE_MS)
+}
+
+/// Attempts `candidate`'s tensor transfer up to `1 + retries` times
+/// under the fault schedule. A timed-out attempt costs the full deadline
+/// plus a deterministic exponential backoff (`backoff_ms × 2ⁿ`), so no
+/// attempt ever overruns its deadline by more than one backoff quantum.
+/// Advances `now` by the elapsed wall time.
+#[allow(clippy::too_many_arguments)]
+fn transfer_with_retries(
+    env: &EvalEnv,
+    candidate: &Candidate,
+    deadline_ms: f64,
+    retries: u32,
+    now: &mut f64,
+    bw_at: &impl Fn(f64) -> f64,
+    noise: &mut NoiseModel,
+    cfg: &ExecConfig,
+) -> TransferPhase {
+    let mut elapsed = 0.0;
+    for attempt in 0..=retries {
+        let t = *now;
+        let link_down = cfg.faults.link_down(t);
+        if !link_down {
+            let eff = cfg.faults.effective_bandwidth(t, bw_at(t));
+            let actual = noise
+                .transfer(env.transfer.latency_ms(candidate.transfer_bytes(), Mbps(eff)))
+                + cfg.faults.extra_rtt_ms(t);
+            if actual <= deadline_ms {
+                *now += actual;
+                elapsed += actual;
+                return TransferPhase::Done {
+                    elapsed_ms: elapsed,
+                    retries: attempt,
+                };
+            }
+        }
+        // Timed out: either the uplink is down (nothing moves until the
+        // deadline fires) or the transfer overran its budget and is
+        // abandoned at the deadline.
+        let backoff = if attempt < retries {
+            cfg.backoff_ms * f64::from(1u32 << attempt.min(16))
+        } else {
+            0.0
+        };
+        telemetry::event!(
+            "exec.fault",
+            attempt = attempt,
+            reason = if link_down { "outage" } else { "deadline" },
+            waited_ms = deadline_ms,
+            deadline_ms = deadline_ms,
+            backoff_ms = backoff,
+        );
+        telemetry::counter!("exec.transfer_timeouts", 1);
+        if attempt < retries {
+            telemetry::counter!("exec.retries", 1);
+        }
+        *now += deadline_ms + backoff;
+        elapsed += deadline_ms + backoff;
+    }
+    TransferPhase::Exhausted {
+        elapsed_ms: elapsed,
+    }
+}
+
+/// Static policy under the degradation policy: on transfer exhaustion
+/// the remaining layers run locally — same model, same accuracy, edge-
+/// speed tail latency.
+fn run_static_degraded(
+    env: &EvalEnv,
+    base: &ModelSpec,
+    candidate: &Candidate,
+    now: &mut f64,
+    bw_at: &impl Fn(f64) -> f64,
+    noise: &mut NoiseModel,
+    cfg: &ExecConfig,
+) -> (f64, f64, RequestOutcome) {
+    let m = &candidate.model;
+    let cut = candidate.edge_layers;
+    let mut total = 0.0;
+    let te = noise.compute(env.edge.range_latency_ms(m, 0, cut));
+    total += te;
+    *now += te;
+    let accuracy = env.oracle.evaluate(base, &candidate.actions);
+    if cut >= m.len() {
+        return (total, accuracy, RequestOutcome::Ok);
+    }
+    // The deadline reflects what the static deployment plan believed: the
+    // healthy trace bandwidth at transfer time.
+    let deadline = transfer_deadline_ms(env, candidate, bw_at(*now), cfg);
+    match transfer_with_retries(
+        env, candidate, deadline, cfg.max_retries, now, bw_at, noise, cfg,
+    ) {
+        TransferPhase::Done {
+            elapsed_ms,
+            retries,
+        } => {
+            total += elapsed_ms;
+            let tc = noise.compute(env.cloud.range_latency_ms(m, cut, m.len()));
+            total += tc;
+            *now += tc;
+            let outcome = if retries == 0 {
+                RequestOutcome::Ok
+            } else {
+                RequestOutcome::Retried(retries)
+            };
+            (total, accuracy, outcome)
+        }
+        TransferPhase::Exhausted { elapsed_ms } => {
+            total += elapsed_ms;
+            let tail = noise.compute(env.edge.range_latency_ms(m, cut, m.len()));
+            total += tail;
+            *now += tail;
+            telemetry::event!(
+                "exec.fallback",
+                policy = "static",
+                edge_only = true,
+                edge_layers = m.len(),
+            );
+            telemetry::counter!("exec.fallbacks", 1);
+            (total, accuracy, RequestOutcome::Degraded)
+        }
+    }
+}
+
+/// Tree policy (Alg. 2) under the degradation policy.
+///
+/// The walk itself differs from the fault-free one in a single way: when
+/// the uplink is down or the estimator is frozen, probe refreshes are
+/// *held* — the fork decision trusts the last (now stale) estimate, which
+/// is exactly how a chosen branch's uplink can disappear between the fork
+/// decision and the tensor transfer. On transfer exhaustion the walk
+/// re-forks to the lowest-bandwidth child ([`ModelTree::fallback_paths`]),
+/// preferring an edge-only composition, and every fallback is checked by
+/// [`validate::candidate`] before it may run.
+#[allow(clippy::too_many_arguments)]
+fn run_tree_degraded(
+    env: &EvalEnv,
+    base: &ModelSpec,
+    tree: &ModelTree,
+    now: &mut f64,
+    bw_at: &impl Fn(f64) -> f64,
+    noise: &mut NoiseModel,
+    estimator: &mut BandwidthEstimator,
+    cfg: &ExecConfig,
+) -> (f64, f64, RequestOutcome) {
+    let mut total = 0.0;
+    let mut id = tree.root().expect("cannot execute an empty tree");
+    let mut path = vec![id];
+    loop {
+        if let Some(spec) = tree.node_edge_spec(id) {
+            let te = noise.compute(env.edge.model_latency_ms(&spec));
+            total += te;
+            *now += te;
+        }
+        let node = &tree.nodes()[id];
+        if node.partition_abs.is_some() || node.children.is_empty() {
+            break;
+        }
+        // Alg. 2 line 5: measure current bandwidth, match to a fork. A
+        // probe sees the *faulted* network — except that during an outage
+        // or freeze window no probe completes, so the estimate is held.
+        let t = *now;
+        let eff = cfg.faults.effective_bandwidth(t, bw_at(t));
+        let held = cfg.faults.link_down(t) || cfg.faults.estimator_frozen(t);
+        let est = if held {
+            estimator.observe_held(t, eff)
+        } else {
+            estimator.observe(t, eff)
+        };
+        let k = tree.match_level(est);
+        telemetry::event!(
+            "compose.fork",
+            level = node.level,
+            bandwidth = est,
+            child = k,
+        );
+        id = node.children[k];
+        path.push(id);
+    }
+    let candidate = tree.compose_path(&path);
+    let cut = candidate.edge_layers;
+    let m = &candidate.model;
+    if cut >= m.len() {
+        let accuracy = env.oracle.evaluate(base, &candidate.actions);
+        return (total, accuracy, RequestOutcome::Ok);
+    }
+    // Deadline from the bandwidth the walk believed it had (the possibly
+    // stale estimate that chose this branch). A fork-free walk never
+    // probed, so it believes the healthy trace bandwidth — not the
+    // faulted one, which would be 0 in an outage and blow up the budget.
+    let believed_bw = estimator.current().unwrap_or_else(|| bw_at(*now));
+    let deadline = transfer_deadline_ms(env, &candidate, believed_bw, cfg);
+    match transfer_with_retries(
+        env, &candidate, deadline, cfg.max_retries, now, bw_at, noise, cfg,
+    ) {
+        TransferPhase::Done {
+            elapsed_ms,
+            retries,
+        } => {
+            total += elapsed_ms;
+            let tc = noise.compute(env.cloud.range_latency_ms(m, cut, m.len()));
+            total += tc;
+            *now += tc;
+            let accuracy = env.oracle.evaluate(base, &candidate.actions);
+            let outcome = if retries == 0 {
+                RequestOutcome::Ok
+            } else {
+                RequestOutcome::Retried(retries)
+            };
+            (total, accuracy, outcome)
+        }
+        TransferPhase::Exhausted { elapsed_ms } => {
+            total += elapsed_ms;
+            fallback_tree_request(env, base, tree, &path, total, now, bw_at, noise, cfg)
+        }
+    }
+}
+
+/// The fallback walk after transfer exhaustion: re-fork to the
+/// lowest-bandwidth child, deepest fork first, preferring an edge-only
+/// composition and otherwise the edge-heaviest one. Illegal compositions
+/// (per [`validate::candidate`]) are skipped. A fallback that still
+/// partitions gets one last transfer attempt; if that fails too, the
+/// request is `Failed`.
+#[allow(clippy::too_many_arguments)]
+fn fallback_tree_request(
+    env: &EvalEnv,
+    base: &ModelSpec,
+    tree: &ModelTree,
+    path: &[usize],
+    mut total: f64,
+    now: &mut f64,
+    bw_at: &impl Fn(f64) -> f64,
+    noise: &mut NoiseModel,
+    cfg: &ExecConfig,
+) -> (f64, f64, RequestOutcome) {
+    let mut chosen: Option<(Vec<usize>, Candidate)> = None;
+    for p in tree.fallback_paths(path) {
+        let c = tree.compose_path(&p);
+        // A fallback must never assemble an illegal model.
+        if validate::candidate(base, &c).is_err() {
+            continue;
+        }
+        let edge_only = c.edge_layers == c.model.len();
+        if edge_only {
+            chosen = Some((p, c));
+            break;
+        }
+        let better = match &chosen {
+            Some((_, best)) => c.edge_layers > best.edge_layers,
+            None => true,
+        };
+        if better {
+            chosen = Some((p, c));
+        }
+    }
+    let Some((fb_path, fb)) = chosen else {
+        telemetry::counter!("exec.failed", 1);
+        telemetry::event!("exec.fallback", policy = "tree", resolved = false);
+        return (total, 0.0, RequestOutcome::Failed);
+    };
+    // Blocks up to the re-fork point were already computed; pay only the
+    // new suffix of the fallback branch.
+    let shared = path
+        .iter()
+        .zip(&fb_path)
+        .take_while(|(a, b)| a == b)
+        .count();
+    for &nid in &fb_path[shared..] {
+        if let Some(spec) = tree.node_edge_spec(nid) {
+            let te = noise.compute(env.edge.model_latency_ms(&spec));
+            total += te;
+            *now += te;
+        }
+    }
+    let edge_only = fb.edge_layers == fb.model.len();
+    telemetry::event!(
+        "exec.fallback",
+        policy = "tree",
+        resolved = true,
+        edge_only = edge_only,
+        edge_layers = fb.edge_layers,
+        refork_depth = shared,
+    );
+    telemetry::counter!("exec.fallbacks", 1);
+    let accuracy = env.oracle.evaluate(base, &fb.actions);
+    if edge_only {
+        return (total, accuracy, RequestOutcome::Degraded);
+    }
+    // Last-ditch single transfer attempt for a fallback that still
+    // partitions (the tree may have no edge-only branch at all).
+    let believed_bw = cfg.faults.effective_bandwidth(*now, bw_at(*now));
+    let deadline = transfer_deadline_ms(env, &fb, believed_bw, cfg);
+    match transfer_with_retries(env, &fb, deadline, 0, now, bw_at, noise, cfg) {
+        TransferPhase::Done { elapsed_ms, .. } => {
+            total += elapsed_ms;
+            let m = &fb.model;
+            let tc = noise.compute(env.cloud.range_latency_ms(m, fb.edge_layers, m.len()));
+            total += tc;
+            *now += tc;
+            (total, accuracy, RequestOutcome::Degraded)
+        }
+        TransferPhase::Exhausted { elapsed_ms } => {
+            total += elapsed_ms;
+            telemetry::counter!("exec.failed", 1);
+            (total, 0.0, RequestOutcome::Failed)
+        }
     }
 }
 
@@ -390,13 +871,12 @@ mod tests {
         );
     }
 
-    #[test]
-    fn tree_execution_adapts_to_fluctuation() {
-        // A hand-built 2-level tree: poor fork = stay on edge; good fork =
-        // partition to the cloud. Under an alternating trace it must mix.
-        use crate::tree::{ModelTree, TreeNode};
-        let base = zoo::vgg11_cifar();
-        let env = EvalEnv::phone();
+    /// A hand-built 2-level tree: poor fork (child 0) = stay on edge;
+    /// good fork (child 1) = partition to the cloud. The shape both the
+    /// fluctuation test and the degradation tests rely on — its child 0
+    /// is an **edge-only branch**, so a fallback can always complete.
+    fn two_fork_tree(base: &ModelSpec) -> ModelTree {
+        use crate::tree::TreeNode;
         let mut tree = ModelTree::new(base.clone(), 2, vec![1.0, 30.0]);
         let root = tree.push_node(
             None,
@@ -431,6 +911,14 @@ mod tests {
                 reward: 0.0,
             },
         );
+        tree
+    }
+
+    #[test]
+    fn tree_execution_adapts_to_fluctuation() {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let tree = two_fork_tree(&base);
         // Alternate 0.5 / 60 Mbps every 300 ms so consecutive requests
         // (each a few tens of ms) see both regimes.
         let samples: Vec<f64> = (0..600)
@@ -462,12 +950,18 @@ mod tests {
         );
     }
 
+    fn report_of(latencies_ms: Vec<f64>, accuracies: Vec<f64>) -> ExecReport {
+        let outcomes = vec![RequestOutcome::Ok; latencies_ms.len()];
+        ExecReport {
+            latencies_ms,
+            accuracies,
+            outcomes,
+        }
+    }
+
     #[test]
     fn report_statistics() {
-        let report = ExecReport {
-            latencies_ms: vec![10.0, 20.0, 30.0],
-            accuracies: vec![0.9, 0.9, 0.9],
-        };
+        let report = report_of(vec![10.0, 20.0, 30.0], vec![0.9, 0.9, 0.9]);
         assert!((report.mean_latency_ms() - 20.0).abs() < 1e-9);
         assert!((report.mean_accuracy() - 0.9).abs() < 1e-9);
         assert_eq!(report.p95_latency_ms(), 30.0);
@@ -476,11 +970,28 @@ mod tests {
     }
 
     #[test]
+    fn p95_index_math_at_the_quantile_boundary() {
+        // Convention: index = round((len - 1) × 0.95), matching
+        // `BandwidthTrace::quantile`. Pin the boundary cases.
+        assert_eq!(report_of(vec![], vec![]).p95_latency_ms(), 0.0);
+        assert_eq!(report_of(vec![42.0], vec![0.9]).p95_latency_ms(), 42.0);
+        // 19 elements 1..=19: round(18 × 0.95) = round(17.1) = 17 → 18.
+        let v19: Vec<f64> = (1..=19).map(f64::from).collect();
+        let a19 = vec![0.9; 19];
+        assert_eq!(report_of(v19, a19).p95_latency_ms(), 18.0);
+        // 20 elements 1..=20: round(19 × 0.95) = round(18.05) = 18 → 19.
+        let v20: Vec<f64> = (1..=20).map(f64::from).collect();
+        let a20 = vec![0.9; 20];
+        assert_eq!(report_of(v20, a20).p95_latency_ms(), 19.0);
+        // Order-independence: the index is into the *sorted* latencies.
+        let mut v20r: Vec<f64> = (1..=20).map(f64::from).collect();
+        v20r.reverse();
+        assert_eq!(report_of(v20r, vec![0.9; 20]).p95_latency_ms(), 19.0);
+    }
+
+    #[test]
     fn csv_export_has_one_row_per_request() {
-        let report = ExecReport {
-            latencies_ms: vec![10.0, 20.0],
-            accuracies: vec![0.9, 0.8],
-        };
+        let report = report_of(vec![10.0, 20.0], vec![0.9, 0.8]);
         let mut buf = Vec::new();
         report.write_csv(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
@@ -488,6 +999,132 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], "request,latency_ms,accuracy");
         assert!(lines[1].starts_with("0,10"));
+    }
+
+    #[test]
+    fn csv_with_outcomes_labels_every_row() {
+        let report = ExecReport {
+            latencies_ms: vec![10.0, 20.0, 30.0, 40.0],
+            accuracies: vec![0.9, 0.8, 0.7, 0.0],
+            outcomes: vec![
+                RequestOutcome::Ok,
+                RequestOutcome::Retried(2),
+                RequestOutcome::Degraded,
+                RequestOutcome::Failed,
+            ],
+        };
+        let mut buf = Vec::new();
+        report.write_csv_with_outcomes(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "request,latency_ms,accuracy,outcome");
+        assert!(lines[1].ends_with(",ok"));
+        assert!(lines[2].ends_with(",retried:2"));
+        assert!(lines[3].ends_with(",degraded"));
+        assert!(lines[4].ends_with(",failed"));
+        assert_eq!(report.retried_count(), 1);
+        assert_eq!(report.degraded_count(), 1);
+        assert_eq!(report.failed_count(), 1);
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical_to_fault_free_path() {
+        // An armed degradation policy whose windows never fire must
+        // reproduce the fault-free run exactly — same arithmetic, same
+        // RNG draws — in both fidelity modes and for both policies.
+        use cadmc_netsim::{FaultKind, FaultWindow};
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let c = crate::surgery::plan(&base, &env, Mbps(10.0)).candidate;
+        let tree = two_fork_tree(&base);
+        let trace = Scenario::FourGWeakIndoor.trace(2);
+        // Active schedule, but far beyond any request's timeline.
+        let dormant = FaultSchedule::new(vec![FaultWindow {
+            kind: FaultKind::Outage,
+            start_ms: 1.0e12,
+            duration_ms: 1_000.0,
+            magnitude: 0.0,
+        }]);
+        for mode in [Mode::Emulation, Mode::Field] {
+            for policy in [Policy::Static(&c), Policy::Tree(&tree)] {
+                let plain = ExecConfig::new(40, mode, 5);
+                let armed = ExecConfig::new(40, mode, 5).with_faults(dormant.clone());
+                let a = execute(&env, &base, &policy, &trace, &plain);
+                let b = execute(&env, &base, &policy, &trace, &armed);
+                assert_eq!(a.latencies_ms, b.latencies_ms);
+                assert_eq!(a.accuracies, b.accuracies);
+                assert!(b.outcomes.iter().all(|&o| o == RequestOutcome::Ok));
+            }
+        }
+    }
+
+    #[test]
+    fn canned_outage_degrades_but_never_fails_with_edge_only_branch() {
+        // Steady 60 Mbps, so Alg. 2 always wants the partitioned fork;
+        // during outage windows probes are lost, the held estimate keeps
+        // choosing it, the transfer times out and the fallback walk must
+        // re-fork onto the edge-only child — Degraded, never Failed.
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let tree = two_fork_tree(&base);
+        let trace = flat_trace(60.0);
+        let cfg = ExecConfig::emulation(150, 3).with_faults(FaultSchedule::canned_outage());
+        let report = execute(&env, &base, &Policy::Tree(&tree), &trace, &cfg);
+        assert_eq!(report.failed_count(), 0, "edge-only branch exists");
+        assert!(
+            report.degraded_count() > 0,
+            "outage windows must force fallbacks"
+        );
+        assert_eq!(report.outcomes.len(), 150);
+        // The degraded requests paid for the waits: slower than the
+        // fault-free fast path.
+        let clean = execute(
+            &env,
+            &base,
+            &Policy::Tree(&tree),
+            &trace,
+            &ExecConfig::emulation(150, 3),
+        );
+        assert!(report.mean_latency_ms() > clean.mean_latency_ms());
+    }
+
+    #[test]
+    fn static_policy_degrades_to_local_tail_under_collapse() {
+        use cadmc_netsim::FaultKind;
+        let env = EvalEnv::phone();
+        let base = zoo::vgg11_cifar();
+        let c = crate::surgery::plan(&base, &env, Mbps(10.0)).candidate;
+        assert!(c.edge_layers < c.model.len(), "needs a partitioned plan");
+        let trace = flat_trace(10.0);
+        let cfg = ExecConfig::emulation(150, 3)
+            .with_faults(FaultSchedule::canned(FaultKind::Collapse));
+        let report = execute(&env, &base, &Policy::Static(&c), &trace, &cfg);
+        assert_eq!(report.failed_count(), 0, "static always finishes locally");
+        assert!(report.degraded_count() > 0, "collapse must blow the deadline");
+        // Same model runs either way: accuracy is untouched.
+        let clean = execute(
+            &env,
+            &base,
+            &Policy::Static(&c),
+            &trace,
+            &ExecConfig::emulation(150, 3),
+        );
+        assert_eq!(report.accuracies, clean.accuracies);
+        assert!(report.mean_latency_ms() > clean.mean_latency_ms());
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_per_seed_and_schedule() {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let tree = two_fork_tree(&base);
+        let trace = Scenario::WifiWeakIndoor.trace(4);
+        let run = |seed| {
+            let cfg = ExecConfig::field(30, seed).with_faults(FaultSchedule::canned_outage());
+            execute(&env, &base, &Policy::Tree(&tree), &trace, &cfg)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
     }
 
     #[test]

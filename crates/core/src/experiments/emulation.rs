@@ -42,12 +42,7 @@ pub fn emulation_table(scenes: &[TrainedScene], mode: Mode, requests: usize, see
     scenes
         .iter()
         .map(|s| {
-            let cfg = ExecConfig {
-                requests,
-                mode,
-                seed,
-                think_time_ms: 400.0,
-            };
+            let cfg = ExecConfig::new(requests, mode, seed);
             let base = &s.workload.model;
             // Execute on the held-out trace, never the training one.
             let trace = &s.test_trace;

@@ -79,12 +79,7 @@ pub fn mismatch_matrix(
             )
         })
         .collect::<Result<_, _>>()?;
-    let exec = ExecConfig {
-        requests,
-        mode: Mode::Emulation,
-        seed,
-        think_time_ms: 400.0,
-    };
+    let exec = ExecConfig::new(requests, Mode::Emulation, seed);
     let rewards = scenes
         .iter()
         .map(|trained| {

@@ -1,6 +1,7 @@
 //! Property-based tests of the deployment algebra: random trees compose
-//! into valid deployments, rewards stay bounded, and the surgery min-cut
-//! is never beaten by any chain cut.
+//! into valid deployments, rewards stay bounded, the surgery min-cut
+//! is never beaten by any chain cut, and the executor's degradation
+//! policy survives arbitrary seeded fault schedules.
 
 #![cfg(test)]
 
@@ -9,11 +10,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use cadmc_latency::Mbps;
+use cadmc_netsim::{BandwidthTrace, FaultProcessConfig, FaultSchedule};
 use cadmc_nn::zoo;
+use cadmc_telemetry as telemetry;
 
 use crate::baselines::{random_partition, random_plan};
 use crate::candidate::{Candidate, Partition};
 use crate::env::EvalEnv;
+use crate::executor::{execute, ExecConfig, Mode, Policy, RequestOutcome};
 use crate::surgery;
 use crate::tree::{ModelTree, TreeNode};
 
@@ -148,6 +152,108 @@ proptest! {
                 "cut {p} ({lat:.3} ms) beats min-cut {chosen} ({chosen_lat:.3} ms) at {bw} Mbps"
             );
         }
+    }
+
+    /// The executor never panics under arbitrary seeded fault schedules,
+    /// and every request resolves to some [`RequestOutcome`] — for both
+    /// policies, both fidelity modes, random tree shapes.
+    #[test]
+    fn executor_survives_arbitrary_fault_schedules(
+        seed in 0u64..200,
+        fault_seed in 0u64..200,
+        outage_rate in 0.0f64..0.3,
+        collapse_rate in 0.0f64..0.3,
+        rtt_rate in 0.0f64..0.3,
+        freeze_rate in 0.0f64..0.3,
+        field in proptest::bool::ANY,
+    ) {
+        let cfg = FaultProcessConfig {
+            outage_rate,
+            collapse_rate,
+            rtt_rate,
+            freeze_rate,
+            ..FaultProcessConfig::harsh()
+        };
+        let faults = FaultSchedule::generate(&cfg, 20_000.0, fault_seed);
+        let tree = random_tree(seed, 3, 2);
+        let base = tree.base().clone();
+        let env = EvalEnv::phone();
+        let static_c = surgery::plan(&base, &env, Mbps(8.0)).candidate;
+        let trace = BandwidthTrace::new(100.0, (0..200).map(|i| 2.0 + (i % 7) as f64 * 3.0).collect());
+        let mode = if field { Mode::Field } else { Mode::Emulation };
+        let ecfg = ExecConfig::new(12, mode, seed).with_faults(faults);
+        for policy in [Policy::Static(&static_c), Policy::Tree(&tree)] {
+            let report = execute(&env, &base, &policy, &trace, &ecfg);
+            prop_assert_eq!(report.outcomes.len(), 12);
+            prop_assert_eq!(report.latencies_ms.len(), 12);
+            for (&l, &o) in report.latencies_ms.iter().zip(&report.outcomes) {
+                prop_assert!(l.is_finite() && l > 0.0);
+                // A failed request carries zero accuracy, everything else
+                // a real oracle score; either way it *resolved*.
+                let _ = o;
+            }
+        }
+    }
+
+    /// No transfer attempt ever waits past its deadline by more than one
+    /// backoff quantum: every `exec.fault` event records a wait equal to
+    /// the deadline it was given and a backoff bounded by the policy's
+    /// exponential schedule.
+    #[test]
+    fn deadline_overrun_is_bounded_by_one_backoff_quantum(
+        fault_seed in 0u64..300,
+        deadline in 5.0f64..200.0,
+        max_retries in 0u32..4,
+    ) {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let c = surgery::plan(&base, &env, Mbps(8.0)).candidate;
+        prop_assume!(c.edge_layers < c.model.len());
+        let faults = FaultSchedule::generate(&FaultProcessConfig::harsh(), 20_000.0, fault_seed);
+        prop_assume!(!faults.is_empty());
+        let trace = BandwidthTrace::new(100.0, vec![8.0; 200]);
+        let mut ecfg = ExecConfig::emulation(20, 9).with_faults(faults);
+        ecfg.deadline_ms = Some(deadline);
+        ecfg.max_retries = max_retries;
+        let backoff_cap = ecfg.backoff_ms * f64::from(1u32 << max_retries);
+        let (_, report) = telemetry::testing::with_collector(|| {
+            execute(&env, &base, &Policy::Static(&c), &trace, &ecfg);
+        });
+        for e in report.events.iter().filter(|e| e.name == "exec.fault") {
+            let waited = e.field_f64("waited_ms").expect("exec.fault carries waited_ms");
+            let backoff = e.field_f64("backoff_ms").expect("exec.fault carries backoff_ms");
+            prop_assert!(waited <= deadline + 1e-9, "waited {waited} past deadline {deadline}");
+            prop_assert!(backoff <= backoff_cap + 1e-9, "backoff {backoff} above cap {backoff_cap}");
+        }
+    }
+
+    /// Monotonicity: injecting a fault process never *improves* mean
+    /// latency for the same seed. Scoped to where it is structurally
+    /// guaranteed — static policy, emulation fidelity, flat trace — so
+    /// time-coupling (later requests sampling different trace points)
+    /// cannot flip the comparison.
+    #[test]
+    fn faults_never_improve_mean_latency_on_flat_traces(
+        fault_seed in 0u64..300,
+        bw in 1.0f64..40.0,
+        seed in 0u64..50,
+    ) {
+        let base = zoo::vgg11_cifar();
+        let env = EvalEnv::phone();
+        let c = surgery::plan(&base, &env, Mbps(bw)).candidate;
+        let trace = BandwidthTrace::new(100.0, vec![bw; 200]);
+        let clean_cfg = ExecConfig::emulation(15, seed);
+        let clean = execute(&env, &base, &Policy::Static(&c), &trace, &clean_cfg);
+        let faults = FaultSchedule::generate(&FaultProcessConfig::harsh(), 20_000.0, fault_seed);
+        let faulted_cfg = ExecConfig::emulation(15, seed).with_faults(faults);
+        let faulted = execute(&env, &base, &Policy::Static(&c), &trace, &faulted_cfg);
+        prop_assert!(faulted.outcomes.iter().all(|&o| o != RequestOutcome::Failed));
+        prop_assert!(
+            faulted.mean_latency_ms() >= clean.mean_latency_ms() - 1e-9,
+            "faults improved latency: {} < {}",
+            faulted.mean_latency_ms(),
+            clean.mean_latency_ms()
+        );
     }
 
     /// Random candidates always evaluate to bounded rewards and positive

@@ -232,6 +232,42 @@ impl ModelTree {
             .expect("sanitized plans always compose")
     }
 
+    /// Degradation fallbacks for a failed Alg. 2 walk: alternative
+    /// root→leaf paths obtained by re-forking `path` at each of its fork
+    /// nodes to the **lowest-bandwidth child** (index 0, the
+    /// edge-heaviest subtree) and descending child 0 from there on.
+    /// Ordered deepest re-fork first, so the first entries preserve the
+    /// most already-computed prefix work. Forks where `path` already took
+    /// child 0 are skipped (re-forking would reproduce the failed path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` contains an out-of-range node id.
+    pub fn fallback_paths(&self, path: &[usize]) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        for (i, &id) in path.iter().enumerate().rev() {
+            let node = &self.nodes[id];
+            if node.partition_abs.is_some() || node.children.is_empty() {
+                continue;
+            }
+            let low = node.children[0];
+            if path.get(i + 1) == Some(&low) {
+                continue;
+            }
+            let mut p = path[..=i].to_vec();
+            let mut cur = low;
+            p.push(cur);
+            while self.nodes[cur].partition_abs.is_none()
+                && !self.nodes[cur].children.is_empty()
+            {
+                cur = self.nodes[cur].children[0];
+                p.push(cur);
+            }
+            out.push(p);
+        }
+        out
+    }
+
     /// Materializes the edge-resident part of a node's block: the base
     /// layers from the block start up to the node's partition point (or
     /// the block end), with the node's compression actions applied.

@@ -85,6 +85,36 @@ impl BandwidthEstimator {
         }
     }
 
+    /// Observes like [`BandwidthEstimator::observe`], but with probe
+    /// refreshes *held* (e.g. probe packets lost during an
+    /// estimator-freeze fault): the previous estimate is returned and the
+    /// probe clock does not advance, so the estimate keeps aging. The
+    /// very first observation still initializes the estimate — a frozen
+    /// estimator with no history has nothing stale to return.
+    pub fn observe_held(&mut self, now_ms: f64, true_bandwidth: f64) -> f64 {
+        telemetry::hist!("net.bandwidth_mbps", BANDWIDTH_BOUNDS, true_bandwidth);
+        let est = match self.estimate {
+            None => self.observe_inner(now_ms, true_bandwidth),
+            Some(prev) => prev,
+        };
+        telemetry::gauge!("net.bandwidth_estimate", est);
+        est
+    }
+
+    /// Age of the current estimate at `now_ms`: time since the last probe
+    /// refresh. Infinite before the first observation.
+    pub fn age_ms(&self, now_ms: f64) -> f64 {
+        now_ms - self.last_probe_ms
+    }
+
+    /// Whether the estimate is stale at `now_ms`: older than
+    /// `freeze_window_ms` (or never refreshed at all). A stale estimate
+    /// must not be trusted for a fork decision — Alg. 2 re-measures
+    /// instead.
+    pub fn is_stale(&self, now_ms: f64, freeze_window_ms: f64) -> bool {
+        self.estimate.is_none() || self.age_ms(now_ms) > freeze_window_ms
+    }
+
     /// The current estimate, if any observation happened yet.
     pub fn current(&self) -> Option<f64> {
         self.estimate
@@ -137,5 +167,59 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn rejects_bad_alpha() {
         let _ = BandwidthEstimator::new(0.0, 100.0);
+    }
+
+    #[test]
+    fn fresh_estimator_is_stale_until_first_observation() {
+        let mut e = BandwidthEstimator::field();
+        assert!(e.is_stale(0.0, 1_000.0), "no history means nothing trustworthy");
+        assert_eq!(e.age_ms(0.0), f64::INFINITY);
+        e.observe(0.0, 8.0);
+        assert!(!e.is_stale(0.0, 1_000.0));
+        assert_eq!(e.age_ms(250.0), 250.0);
+    }
+
+    #[test]
+    fn age_exceeding_freeze_window_is_flagged_stale() {
+        let mut e = BandwidthEstimator::field();
+        e.observe(0.0, 8.0);
+        assert!(!e.is_stale(1_000.0, 1_000.0), "age == window is still fresh");
+        assert!(e.is_stale(1_000.1, 1_000.0), "age beyond window is stale");
+    }
+
+    #[test]
+    fn held_observation_returns_stale_estimate_and_keeps_aging() {
+        let mut e = BandwidthEstimator::new(1.0, 0.0);
+        assert_eq!(e.observe(0.0, 4.0), 4.0);
+        // Frozen probes: the true bandwidth collapsed but the estimator
+        // cannot see it, and its age keeps growing.
+        assert_eq!(e.observe_held(500.0, 0.1), 4.0);
+        assert_eq!(e.observe_held(2_500.0, 0.1), 4.0);
+        assert_eq!(e.age_ms(2_500.0), 2_500.0);
+        assert!(e.is_stale(2_500.0, 1_000.0));
+    }
+
+    #[test]
+    fn stale_estimate_forces_a_remeasure_on_thaw() {
+        // Alg. 2's contract: once the estimate is stale, do not trust it —
+        // the next *unheld* observation must re-measure immediately, even
+        // for a slow-probing estimator whose interval hasn't elapsed since
+        // the last successful refresh... which is exactly what happens
+        // here because the probe clock did not advance while held.
+        let mut e = BandwidthEstimator::new(1.0, 500.0);
+        e.observe(0.0, 9.0);
+        assert_eq!(e.observe_held(400.0, 0.2), 9.0);
+        assert!(e.is_stale(600.0, 500.0));
+        // Thawed: age (600 ms) exceeds the probe interval, so the refresh
+        // fires and the decision sees the true (collapsed) bandwidth.
+        assert_eq!(e.observe(600.0, 0.2), 0.2);
+        assert!(!e.is_stale(600.0, 500.0));
+    }
+
+    #[test]
+    fn first_held_observation_initializes() {
+        let mut e = BandwidthEstimator::field();
+        assert_eq!(e.observe_held(0.0, 6.0), 6.0);
+        assert_eq!(e.current(), Some(6.0));
     }
 }

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod estimator;
+mod fault;
 pub mod gilbert;
 pub mod io;
 mod process;
@@ -34,6 +35,7 @@ pub mod stats;
 mod trace;
 
 pub use estimator::BandwidthEstimator;
+pub use fault::{FaultKind, FaultProcessConfig, FaultSchedule, FaultWindow};
 pub use process::{BandwidthProcess, ProcessConfig};
 pub use scenario::Scenario;
 pub use trace::{BandwidthTrace, TraceCursor};

@@ -43,24 +43,14 @@ fn main() {
             base,
             &policy,
             trace,
-            &ExecConfig {
-                requests: 120,
-                mode: Mode::Emulation,
-                seed: 5,
-                think_time_ms: 400.0,
-            },
+            &ExecConfig::new(120, Mode::Emulation, 5),
         );
         let field = execute(
             &scene.env,
             base,
             &policy,
             trace,
-            &ExecConfig {
-                requests: 120,
-                mode: Mode::Field,
-                seed: 5,
-                think_time_ms: 400.0,
-            },
+            &ExecConfig::new(120, Mode::Field, 5),
         );
         println!(
             "{:<22} {:>14.2} {:>14.2} {:>7.1}%",

@@ -224,6 +224,26 @@ pub fn weighted<V>(
     (weight, Box::new(strategy))
 }
 
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{RngExt, StdRng, Strategy};
+
+    /// Uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The strategy generating either boolean with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.random_bool(0.5)
+        }
+    }
+}
+
 pub mod collection {
     //! Collection strategies.
 
@@ -344,6 +364,18 @@ macro_rules! prop_assert {
     ($($t:tt)*) => { ::std::assert!($($t)*) };
 }
 
+/// Skips the current sampled case when the precondition does not hold.
+/// Expands to a `continue` of the per-test sampling loop, so it is only
+/// valid directly inside a [`proptest!`] body (like real proptest).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
 /// Asserts equality (no shrinking: behaves like `assert_eq!`).
 #[macro_export]
 macro_rules! prop_assert_eq {
@@ -361,8 +393,8 @@ pub mod prelude {
 
     pub use crate::collection;
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
-        Strategy, Union,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, Union,
     };
 }
 
@@ -390,6 +422,17 @@ mod tests {
         fn oneof_and_vec(v in collection::vec(prop_oneof![2 => Just(1usize), 1 => Just(7)], 1..6)) {
             prop_assert!(!v.is_empty() && v.len() < 6);
             prop_assert!(v.iter().all(|&x| x == 1 || x == 7));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn bools_hit_both_values_and_assume_skips(b in crate::bool::ANY, n in 0usize..8) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+            prop_assert!(usize::from(b) <= 1);
         }
     }
 }
