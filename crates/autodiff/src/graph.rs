@@ -95,6 +95,37 @@ enum Op {
     AddBroadcastRow(VarId, VarId),
     HCat(VarId, VarId),
     SliceCols(VarId, usize),
+    /// Fused `hcat(x, h) * w + b` (one LSTM gate pre-activation) — one
+    /// node instead of three. `z` caches the concatenated input row for
+    /// the weight gradient. Bit-identical to the HCat → MatMul →
+    /// AddBroadcastRow chain it replaces in both directions.
+    ConcatMatMulBias {
+        x: VarId,
+        h: VarId,
+        w: VarId,
+        b: VarId,
+        z: Matrix,
+    },
+    /// Fused LSTM cell state `σ(gates_f) ∘ c_prev + σ(gates_i) ∘
+    /// tanh(gates_g)` — one node instead of nine. The activated gate
+    /// rows are cached for the backward pass. Gradient contributions
+    /// scatter into disjoint column ranges of `gates`, so collapsing the
+    /// per-gate nodes cannot change any sum.
+    LstmCellState {
+        gates: VarId,
+        c_prev: VarId,
+        i: Matrix,
+        f: Matrix,
+        g: Matrix,
+    },
+    /// Fused LSTM output `σ(gates_o) ∘ tanh(c)` — one node instead of
+    /// four, with both activations cached for the backward pass.
+    LstmOutGate {
+        gates: VarId,
+        c: VarId,
+        o: Matrix,
+        tanh_c: Matrix,
+    },
     MeanAll(VarId),
     SumAll(VarId),
     SoftmaxCrossEntropy {
@@ -344,6 +375,56 @@ impl Graph {
         self.push(v, Op::SliceCols(a, start))
     }
 
+    /// Fused `hcat(x, h) * w + b`, recording a single tape node — the
+    /// LSTM gate pre-activation. Forward values and backward gradients
+    /// are bit-identical to [`hcat`] → [`matmul`] → [`add_broadcast_row`].
+    ///
+    /// [`hcat`]: Graph::hcat
+    /// [`matmul`]: Graph::matmul
+    /// [`add_broadcast_row`]: Graph::add_broadcast_row
+    pub fn concat_matmul_bias(&mut self, x: VarId, h: VarId, w: VarId, b: VarId) -> VarId {
+        let z = self.value(x).hcat(self.value(h));
+        let mut v = z.matmul(self.value(w));
+        v.add_row_broadcast_assign(self.value(b));
+        self.push(v, Op::ConcatMatMulBias { x, h, w, b, z })
+    }
+
+    /// Fused LSTM cell state `σ(f̂) ∘ c_prev + σ(î) ∘ tanh(ĝ)` where
+    /// `î, f̂, ĝ` are the first, second and fourth `hidden`-wide column
+    /// blocks of `gates` (the standard `[i f o g]` packing). One tape
+    /// node, bit-identical to the slice/activation/hadamard/add chain.
+    pub fn lstm_cell_state(&mut self, gates: VarId, c_prev: VarId, hidden: usize) -> VarId {
+        let gv = self.value(gates);
+        let i = gv.slice_cols(0, hidden).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let f = gv.slice_cols(hidden, hidden).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let g = gv.slice_cols(3 * hidden, hidden).map(f32::tanh);
+        // Single pass over the gate blocks; each element is the same
+        // left-associated `(f∘c_prev) + (i∘g)` expression the hadamard →
+        // hadamard → add chain computes, so the bits match.
+        let cp = self.value(c_prev);
+        let mut vdata = Vec::with_capacity(i.rows() * i.cols());
+        for r in 0..i.rows() {
+            for c in 0..i.cols() {
+                vdata.push(f.at(r, c) * cp.at(r, c) + i.at(r, c) * g.at(r, c));
+            }
+        }
+        let v = Matrix::from_vec(i.rows(), i.cols(), vdata);
+        self.push(v, Op::LstmCellState { gates, c_prev, i, f, g })
+    }
+
+    /// Fused LSTM output `σ(ô) ∘ tanh(c)` where `ô` is the third
+    /// `hidden`-wide column block of `gates`. One tape node,
+    /// bit-identical to the slice/sigmoid/tanh/hadamard chain.
+    pub fn lstm_out_gate(&mut self, gates: VarId, c: VarId, hidden: usize) -> VarId {
+        let o = self
+            .value(gates)
+            .slice_cols(2 * hidden, hidden)
+            .map(|x| 1.0 / (1.0 + (-x).exp()));
+        let tanh_c = self.value(c).map(f32::tanh);
+        let v = o.hadamard(&tanh_c);
+        self.push(v, Op::LstmOutGate { gates, c, o, tanh_c })
+    }
+
     /// Mean over all elements, producing a `1x1` value.
     pub fn mean_all(&mut self, a: VarId) -> VarId {
         let v = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
@@ -543,8 +624,8 @@ impl Graph {
                 Op::Scale(a, s) => accumulate(&mut grads, *a, g.scale(*s)),
                 Op::AddScalar(a) => accumulate(&mut grads, *a, g),
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul(&self.value(*b).transpose());
-                    let gb = self.value(*a).transpose().matmul(&g);
+                    let ga = g.matmul_bt(self.value(*b));
+                    let gb = self.value(*a).matmul_at(&g);
                     accumulate(&mut grads, *a, ga);
                     accumulate(&mut grads, *b, gb);
                 }
@@ -588,6 +669,82 @@ impl Graph {
                         }
                     }
                     accumulate(&mut grads, *a, gx);
+                }
+                Op::ConcatMatMulBias { x, h, w, b, z } => {
+                    // Bias and weight gradients exactly as the
+                    // AddBroadcastRow and MatMul arms would produce them;
+                    // the input gradient is sliced out of `g * w^T`
+                    // exactly as the HCat arm would. The slice headed for
+                    // a constant input (the embedded layer features) is
+                    // skipped outright — constants discard gradients.
+                    accumulate(&mut grads, *b, g.sum_rows());
+                    let gw = z.matmul_at(&g);
+                    accumulate(&mut grads, *w, gw);
+                    let wx = self.value(*x).cols();
+                    let wh = self.value(*h).cols();
+                    if matches!(self.nodes[x.0].op, Op::Constant) {
+                        // Only the recurrent slice of `g * w^T` is ever
+                        // consumed, so compute just those columns.
+                        let gh = g.matmul_bt_cols(self.value(*w), wx, wh);
+                        accumulate(&mut grads, *h, gh);
+                    } else {
+                        let gz = g.matmul_bt(self.value(*w));
+                        accumulate(&mut grads, *x, gz.slice_cols(0, wx));
+                        accumulate(&mut grads, *h, gz.slice_cols(wx, wh));
+                    }
+                }
+                Op::LstmCellState {
+                    gates,
+                    c_prev,
+                    i,
+                    f,
+                    g: gate_g,
+                } => {
+                    // Per-element expressions match the decomposed
+                    // hadamard → sigmoid/tanh → slice-scatter chain
+                    // (left-associated products, `+=` into zeros). The
+                    // three gate ranges are disjoint columns of `gates`,
+                    // so fusing their scatters cannot change any sum.
+                    let src = self.value(*gates);
+                    let hidden = i.cols();
+                    let mut gx = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        for c in 0..hidden {
+                            let gv = g.at(r, c);
+                            let iv = i.at(r, c);
+                            let fv = f.at(r, c);
+                            let gg = gate_g.at(r, c);
+                            *gx.at_mut(r, c) += gv * gg * iv * (1.0 - iv);
+                            *gx.at_mut(r, hidden + c) +=
+                                gv * self.value(*c_prev).at(r, c) * fv * (1.0 - fv);
+                            *gx.at_mut(r, 3 * hidden + c) += gv * iv * (1.0 - gg * gg);
+                        }
+                    }
+                    accumulate(&mut grads, *gates, gx);
+                    accumulate(&mut grads, *c_prev, g.hadamard(f));
+                }
+                Op::LstmOutGate {
+                    gates,
+                    c,
+                    o,
+                    tanh_c,
+                } => {
+                    let src = self.value(*gates);
+                    let hidden = o.cols();
+                    let mut gx = Matrix::zeros(src.rows(), src.cols());
+                    for r in 0..g.rows() {
+                        for col in 0..hidden {
+                            let gv = g.at(r, col);
+                            let ov = o.at(r, col);
+                            *gx.at_mut(r, 2 * hidden + col) +=
+                                gv * tanh_c.at(r, col) * ov * (1.0 - ov);
+                        }
+                    }
+                    accumulate(&mut grads, *gates, gx);
+                    let gc = g
+                        .hadamard(o)
+                        .zip_map(tanh_c, |gv, yv| gv * (1.0 - yv * yv));
+                    accumulate(&mut grads, *c, gc);
                 }
                 Op::MeanAll(a) => {
                     let src = self.value(*a);
@@ -841,6 +998,68 @@ fn max_pool_forward(input: &Matrix, geom: ConvGeom) -> (Matrix, Vec<usize>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fused_lstm_ops_match_decomposed_chain_bitwise() {
+        // Build a full two-step LSTM cell chain twice — once with the
+        // fused ops, once with the primitive chain they replace — and
+        // require bit-identical forward values and parameter gradients.
+        let mut params = ParamSet::new();
+        let (input, hidden) = (3, 4);
+        let w_p = params.insert("w", Matrix::seeded_xavier(input + hidden, 4 * hidden, 3));
+        let b_p = params.insert("b", Matrix::seeded_xavier(1, 4 * hidden, 4));
+        let xs = [Matrix::seeded_xavier(1, input, 5), Matrix::seeded_xavier(1, input, 6)];
+
+        let run = |fused: bool| {
+            let mut g = Graph::new();
+            let w = g.param(&params, w_p);
+            let b = g.param(&params, b_p);
+            let mut h = g.constant(Matrix::zeros(1, hidden));
+            let mut c = g.constant(Matrix::zeros(1, hidden));
+            for x_val in &xs {
+                let x = g.constant(x_val.clone());
+                if fused {
+                    let gates = g.concat_matmul_bias(x, h, w, b);
+                    c = g.lstm_cell_state(gates, c, hidden);
+                    h = g.lstm_out_gate(gates, c, hidden);
+                } else {
+                    let z = g.hcat(x, h);
+                    let gates_lin = g.matmul(z, w);
+                    let gates = g.add_broadcast_row(gates_lin, b);
+                    let i_lin = g.slice_cols(gates, 0, hidden);
+                    let f_lin = g.slice_cols(gates, hidden, hidden);
+                    let o_lin = g.slice_cols(gates, 2 * hidden, hidden);
+                    let g_lin = g.slice_cols(gates, 3 * hidden, hidden);
+                    let i = g.sigmoid(i_lin);
+                    let f = g.sigmoid(f_lin);
+                    let o = g.sigmoid(o_lin);
+                    let gg = g.tanh(g_lin);
+                    let fc = g.hadamard(f, c);
+                    let ig = g.hadamard(i, gg);
+                    c = g.add(fc, ig);
+                    let c_tanh = g.tanh(c);
+                    h = g.hadamard(o, c_tanh);
+                }
+            }
+            let hc = g.hcat(h, c);
+            let loss = g.sum_all(hc);
+            let value = g.value(h).clone();
+            (value, g.backward(loss))
+        };
+
+        let (v_fused, g_fused) = run(true);
+        let (v_plain, g_plain) = run(false);
+        for (a, b) in v_fused.data().iter().zip(v_plain.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for p in [w_p, b_p] {
+            let gf = g_fused.get(p).expect("gradient flows");
+            let gp = g_plain.get(p).expect("gradient flows");
+            for (a, b) in gf.data().iter().zip(gp.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
 
     #[test]
     fn add_and_backward() {

@@ -83,40 +83,47 @@ impl LstmCell {
         x: VarId,
         state: (VarId, VarId),
     ) -> (VarId, VarId) {
+        let w = graph.param(params, self.w);
+        let b = graph.param(params, self.b);
+        self.step_with(graph, (w, b), x, state)
+    }
+
+    /// [`step`] with the weight/bias graph nodes supplied by the caller,
+    /// so a sequence run binds each parameter once instead of cloning it
+    /// into the tape at every timestep. Gradients are unchanged: the
+    /// backward pass accumulates per-use contributions in the same
+    /// (reverse-step) order whether they flow through one shared node or
+    /// one node per step.
+    ///
+    /// [`step`]: LstmCell::step
+    fn step_with(
+        &self,
+        graph: &mut Graph,
+        (w, b): (VarId, VarId),
+        x: VarId,
+        state: (VarId, VarId),
+    ) -> (VarId, VarId) {
         assert_eq!(
             graph.value(x).shape(),
             (1, self.input_size),
             "LSTM input shape mismatch"
         );
         let (h_prev, c_prev) = state;
-        let w = graph.param(params, self.w);
-        let b = graph.param(params, self.b);
-        let z = graph.hcat(x, h_prev);
-        let gates_lin = graph.matmul(z, w);
-        let gates = graph.add_broadcast_row(gates_lin, b);
-        let i_lin = graph.slice_cols(gates, 0, self.hidden);
-        let f_lin = graph.slice_cols(gates, self.hidden, self.hidden);
-        let o_lin = graph.slice_cols(gates, 2 * self.hidden, self.hidden);
-        let g_lin = graph.slice_cols(gates, 3 * self.hidden, self.hidden);
-        let i = graph.sigmoid(i_lin);
-        let f = graph.sigmoid(f_lin);
-        let o = graph.sigmoid(o_lin);
-        let g = graph.tanh(g_lin);
-        let fc = graph.hadamard(f, c_prev);
-        let ig = graph.hadamard(i, g);
-        let c = graph.add(fc, ig);
-        let c_tanh = graph.tanh(c);
-        let h = graph.hadamard(o, c_tanh);
+        let gates = graph.concat_matmul_bias(x, h_prev, w, b);
+        let c = graph.lstm_cell_state(gates, c_prev, self.hidden);
+        let h = graph.lstm_out_gate(gates, c, self.hidden);
         (h, c)
     }
 
     /// Runs the cell over a sequence, returning the hidden state after each
     /// step.
     pub fn run(&self, graph: &mut Graph, params: &ParamSet, inputs: &[VarId]) -> Vec<VarId> {
+        let w = graph.param(params, self.w);
+        let b = graph.param(params, self.b);
         let mut state = self.zero_state(graph);
         let mut hs = Vec::with_capacity(inputs.len());
         for &x in inputs {
-            state = self.step(graph, params, x, state);
+            state = self.step_with(graph, (w, b), x, state);
             hs.push(state.0);
         }
         hs

@@ -226,6 +226,108 @@ impl Matrix {
         out
     }
 
+    /// Matrix product `self * other^T` without materializing the
+    /// transpose. Bit-identical to `self.matmul(&other.transpose())`:
+    /// the loop structure and per-element accumulation order (ascending
+    /// `k`, including the exact-zero skip) are the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * other.rows..(i + 1) * other.rows];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d += a * other.data[j * other.cols + k];
+                }
+            }
+        }
+        out
+    }
+
+    /// Columns `[start, start+width)` of `self * other^T`, i.e. the
+    /// product against rows `start..start+width` of `other` only.
+    /// Bit-identical to `self.matmul_bt(other).slice_cols(start, width)`:
+    /// each retained element receives the exact same contribution
+    /// sequence (ascending `k` with the exact-zero skip), and the slice
+    /// is a pure copy. Lets the LSTM backward pass skip the gradient
+    /// columns headed for a constant input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols` or the column range is out of
+    /// bounds.
+    pub fn matmul_bt_cols(&self, other: &Matrix, start: usize, width: usize) -> Matrix {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_bt_cols shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert!(
+            start + width <= other.rows,
+            "matmul_bt_cols column range {start}..{} out of bounds for {} output columns",
+            start + width,
+            other.rows
+        );
+        let mut out = Matrix::zeros(self.rows, width);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let dst = &mut out.data[i * width..(i + 1) * width];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d += a * other.data[(start + j) * other.cols + k];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self^T * other` without materializing the
+    /// transpose. Bit-identical to `self.transpose().matmul(other)` for
+    /// the same reason as [`matmul_bt`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    ///
+    /// [`matmul_bt`]: Matrix::matmul_bt
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_at shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.cols {
+            for k in 0..self.rows {
+                let a = self.data[k * self.cols + i];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let dst = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (d, &b) in dst.iter_mut().zip(orow) {
+                    *d += a * b;
+                }
+            }
+        }
+        out
+    }
+
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -305,6 +407,24 @@ impl Matrix {
             }
         }
         out
+    }
+
+    /// Adds a 1×cols row vector to every row in place. Produces the same
+    /// bits as [`add_row_broadcast`] without the intermediate copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x self.cols`.
+    ///
+    /// [`add_row_broadcast`]: Matrix::add_row_broadcast
+    pub fn add_row_broadcast_assign(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                self.data[r * self.cols + c] += bias.data[c];
+            }
+        }
     }
 
     /// Sum of all elements.
@@ -452,6 +572,42 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = a.matmul(&b);
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn fused_transpose_products_are_bit_identical() {
+        let a = Matrix::seeded_xavier(3, 5, 11);
+        let b = Matrix::seeded_xavier(4, 5, 12);
+        let fused = a.matmul_bt(&b);
+        let reference = a.matmul(&b.transpose());
+        assert_eq!(fused.shape(), (3, 4));
+        for (x, y) in fused.data().iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        let c = Matrix::seeded_xavier(5, 3, 13);
+        let d = Matrix::seeded_xavier(5, 4, 14);
+        let fused = c.matmul_at(&d);
+        let reference = c.transpose().matmul(&d);
+        assert_eq!(fused.shape(), (3, 4));
+        for (x, y) in fused.data().iter().zip(reference.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matmul_bt_cols_matches_full_product_slice_bitwise() {
+        let a = Matrix::seeded_xavier(2, 6, 21);
+        let b = Matrix::seeded_xavier(7, 6, 22);
+        let full = a.matmul_bt(&b);
+        for (start, width) in [(0, 7), (0, 3), (2, 4), (5, 2), (6, 1)] {
+            let cols = a.matmul_bt_cols(&b, start, width);
+            let reference = full.slice_cols(start, width);
+            assert_eq!(cols.shape(), (2, width));
+            for (x, y) in cols.data().iter().zip(reference.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

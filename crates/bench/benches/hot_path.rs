@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks for the episode hot path: the four kernels
+//! the searches spend their time in — delta sampling + memo-keyed
+//! scoring (branch episodes), the O(1) latency kernel vs. its scalar
+//! oracle, fused candidate composition, and memo probes (single and
+//! batched). Companion to the `hot_path` harness binary, which writes
+//! the machine-readable `results/BENCH_hot_path.json`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_compress::CompressionPlan;
+use cadmc_core::branch::optimal_branch;
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::{Candidate, EvalEnv, Partition};
+use cadmc_latency::Mbps;
+use cadmc_nn::zoo;
+
+fn cut_candidates(base: &cadmc_nn::ModelSpec) -> Vec<Candidate> {
+    (0..base.len())
+        .map(|i| {
+            Candidate::compose(
+                base,
+                Partition::AfterLayer(i),
+                &CompressionPlan::identity(base.len()),
+            )
+            .expect("identity plans compose")
+        })
+        .collect()
+}
+
+fn bench_branch_episodes(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let cfg = SearchConfig {
+        episodes: 8,
+        ..SearchConfig::quick(1)
+    };
+    c.bench_function("hot_path/branch_8_episodes_vgg11", |b| {
+        b.iter(|| {
+            let mut controllers = Controllers::new(&cfg);
+            let memo = MemoPool::new();
+            black_box(optimal_branch(
+                &mut controllers,
+                &base,
+                &env,
+                Mbps(10.0),
+                &cfg,
+                &memo,
+            ))
+        })
+    });
+}
+
+fn bench_latency_kernel(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let candidates = cut_candidates(&base);
+    c.bench_function("hot_path/latency_kernel_all_cuts", |b| {
+        b.iter(|| {
+            for cand in &candidates {
+                black_box(env.latency_ms(cand, Mbps(10.0)));
+            }
+        })
+    });
+    c.bench_function("hot_path/latency_scalar_oracle_all_cuts", |b| {
+        b.iter(|| {
+            for cand in &candidates {
+                black_box(env.latency_ms_scalar(cand, Mbps(10.0)));
+            }
+        })
+    });
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let plan = CompressionPlan::identity(base.len());
+    c.bench_function("hot_path/compose_all_cuts", |b| {
+        b.iter(|| {
+            for cut in 0..base.len() {
+                black_box(
+                    Candidate::compose(&base, Partition::AfterLayer(cut), &plan)
+                        .expect("identity plans compose"),
+                );
+            }
+        })
+    });
+}
+
+fn bench_memo_probes(c: &mut Criterion) {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let candidates = cut_candidates(&base);
+    let memo = MemoPool::new();
+    for cand in &candidates {
+        memo.get_or_insert_with(cand, 10.0, || env.evaluate(&base, cand, Mbps(10.0)));
+    }
+    let keys: Vec<u64> = candidates
+        .iter()
+        .map(|cand| MemoPool::key(cand, 10.0))
+        .collect();
+    c.bench_function("hot_path/memo_single_probes", |b| {
+        b.iter(|| {
+            for &k in &keys {
+                black_box(memo.get_key(k));
+            }
+        })
+    });
+    c.bench_function("hot_path/memo_batched_probe", |b| {
+        b.iter(|| black_box(memo.probe_many(&keys)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_branch_episodes,
+    bench_latency_kernel,
+    bench_compose,
+    bench_memo_probes
+);
+criterion_main!(benches);

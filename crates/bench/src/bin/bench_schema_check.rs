@@ -1,0 +1,199 @@
+//! Validates the machine-readable bench reports against their expected
+//! schemas via typed deserialization (every expected field must be
+//! present and well-typed), so a harness refactor that drifts a field
+//! name fails CI instead of silently producing unreadable JSON.
+//!
+//! Usage: `bench_schema_check <hot_path.json> <parallel_search.json>`
+//! (defaults: `results/BENCH_hot_path.json`,
+//! `results/BENCH_parallel_search.json`). Exits non-zero on a missing
+//! file, malformed JSON, unknown/missing fields, or non-finite numbers.
+
+use std::process::ExitCode;
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct HotPathMetrics {
+    branch_episodes_per_sec: f64,
+    tree_episodes_per_sec: f64,
+    memo_lookups_per_sec: f64,
+    compose_per_sec: f64,
+    latency_evals_per_sec: f64,
+}
+
+impl HotPathMetrics {
+    fn values(&self) -> [f64; 5] {
+        [
+            self.branch_episodes_per_sec,
+            self.tree_episodes_per_sec,
+            self.memo_lookups_per_sec,
+            self.compose_per_sec,
+            self.latency_evals_per_sec,
+        ]
+    }
+}
+
+#[derive(Deserialize)]
+struct HotPathSpeedup {
+    branch_episodes: f64,
+    tree_episodes: f64,
+    memo_lookups: f64,
+    compose: f64,
+    latency_evals: f64,
+}
+
+#[derive(Deserialize)]
+struct HotPathReport {
+    host_parallelism: usize,
+    short_mode: bool,
+    episodes: usize,
+    reps: usize,
+    metrics: HotPathMetrics,
+    baseline: Option<HotPathMetrics>,
+    speedup: Option<HotPathSpeedup>,
+    speedup_note: Option<String>,
+}
+
+#[derive(Deserialize)]
+struct WorkerPoint {
+    workers: usize,
+    mean_ms: f64,
+    speedup_vs_serial: Option<f64>,
+}
+
+#[derive(Deserialize)]
+struct ShardPoint {
+    shards: usize,
+    lookups_per_sec: f64,
+}
+
+#[derive(Deserialize)]
+struct ParallelReport {
+    host_parallelism: usize,
+    episodes: usize,
+    reps: usize,
+    tree_search_workers: Vec<WorkerPoint>,
+    memo_pool_shards: Vec<ShardPoint>,
+    note: String,
+    speedup_note: Option<String>,
+}
+
+fn fail(path: &str, msg: &str) -> ExitCode {
+    eprintln!("bench_schema_check: {path}: {msg}");
+    ExitCode::FAILURE
+}
+
+fn check_positive(path: &str, name: &str, v: f64) -> Result<(), ExitCode> {
+    if v.is_finite() && v > 0.0 {
+        Ok(())
+    } else {
+        Err(fail(path, &format!("{name} must be finite and positive, got {v}")))
+    }
+}
+
+fn check_hot_path(path: &str) -> Result<(), ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| fail(path, &e.to_string()))?;
+    let report: HotPathReport =
+        serde_json::from_str(&text).map_err(|e| fail(path, &e.to_string()))?;
+    if report.host_parallelism == 0 || report.episodes == 0 || report.reps == 0 {
+        return Err(fail(path, "host_parallelism, episodes and reps must be non-zero"));
+    }
+    for (name, v) in [
+        "branch_episodes_per_sec",
+        "tree_episodes_per_sec",
+        "memo_lookups_per_sec",
+        "compose_per_sec",
+        "latency_evals_per_sec",
+    ]
+    .into_iter()
+    .zip(report.metrics.values())
+    {
+        check_positive(path, name, v)?;
+    }
+    if let Some(baseline) = &report.baseline {
+        for v in baseline.values() {
+            check_positive(path, "baseline metric", v)?;
+        }
+        if report.speedup.is_none() {
+            return Err(fail(path, "baseline present but speedup missing"));
+        }
+    }
+    if report.speedup.is_some() && report.baseline.is_none() {
+        return Err(fail(path, "speedup present but baseline missing"));
+    }
+    if let Some(s) = &report.speedup {
+        for v in [
+            s.branch_episodes,
+            s.tree_episodes,
+            s.memo_lookups,
+            s.compose,
+            s.latency_evals,
+        ] {
+            check_positive(path, "speedup", v)?;
+        }
+    }
+    let _ = &report.speedup_note;
+    let _ = report.short_mode;
+    Ok(())
+}
+
+fn check_parallel(path: &str) -> Result<(), ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| fail(path, &e.to_string()))?;
+    let report: ParallelReport =
+        serde_json::from_str(&text).map_err(|e| fail(path, &e.to_string()))?;
+    if report.host_parallelism == 0 || report.episodes == 0 || report.reps == 0 {
+        return Err(fail(path, "host_parallelism, episodes and reps must be non-zero"));
+    }
+    if report.tree_search_workers.is_empty() || report.memo_pool_shards.is_empty() {
+        return Err(fail(path, "worker and shard tables must be non-empty"));
+    }
+    for p in &report.tree_search_workers {
+        if p.workers == 0 {
+            return Err(fail(path, "worker count must be non-zero"));
+        }
+        check_positive(path, "mean_ms", p.mean_ms)?;
+        if report.host_parallelism == 1 && p.speedup_vs_serial.is_some() {
+            return Err(fail(
+                path,
+                "single-core host must not publish speedup_vs_serial",
+            ));
+        }
+        if let Some(s) = p.speedup_vs_serial {
+            check_positive(path, "speedup_vs_serial", s)?;
+        }
+    }
+    if report.host_parallelism == 1 && report.speedup_note.is_none() {
+        return Err(fail(path, "single-core host must carry a speedup_note"));
+    }
+    for p in &report.memo_pool_shards {
+        if p.shards == 0 {
+            return Err(fail(path, "shard count must be non-zero"));
+        }
+        check_positive(path, "lookups_per_sec", p.lookups_per_sec)?;
+    }
+    if report.note.is_empty() {
+        return Err(fail(path, "note must explain how to read the numbers"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hot = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_hot_path.json".to_string());
+    let par = args
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "results/BENCH_parallel_search.json".to_string());
+
+    if let Err(code) = check_hot_path(&hot) {
+        return code;
+    }
+    if let Err(code) = check_parallel(&par) {
+        return code;
+    }
+    println!("bench_schema_check: ok ({hot}, {par})");
+    ExitCode::SUCCESS
+}

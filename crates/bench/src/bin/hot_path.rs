@@ -1,0 +1,262 @@
+//! Episode hot-path throughput harness: times the four operations the
+//! search spends its life in — branch episodes, tree episodes, memo
+//! probes and candidate composition — and writes
+//! `results/BENCH_hot_path.json` (override with `CADMC_BENCH_OUT`).
+//!
+//! If a baseline file exists (`results/BENCH_hot_path_before.json`, or
+//! `CADMC_BASELINE`), the report embeds it and publishes per-metric
+//! speedups, so the JSON is self-contained evidence of a perf change on
+//! one host. Knobs: `CADMC_SHORT=1` shrinks every loop for CI smoke
+//! runs; `CADMC_EPISODES` / `CADMC_REPS` override the episode budget.
+
+use std::time::Instant;
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::Parallelism;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::tree_search::tree_search;
+use cadmc_core::{Candidate, EvalEnv, NetworkContext, Partition};
+use cadmc_latency::Mbps;
+use cadmc_netsim::Scenario;
+use cadmc_nn::zoo;
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone, Copy)]
+struct Metrics {
+    branch_episodes_per_sec: f64,
+    tree_episodes_per_sec: f64,
+    memo_lookups_per_sec: f64,
+    compose_per_sec: f64,
+    latency_evals_per_sec: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Speedup {
+    branch_episodes: f64,
+    tree_episodes: f64,
+    memo_lookups: f64,
+    compose: f64,
+    latency_evals: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Report {
+    host_parallelism: usize,
+    short_mode: bool,
+    episodes: usize,
+    reps: usize,
+    metrics: Metrics,
+    baseline: Option<Metrics>,
+    speedup: Option<Speedup>,
+    speedup_note: Option<String>,
+}
+
+fn time_branch(episodes: usize, reps: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let cfg = SearchConfig {
+            episodes,
+            hidden: 8,
+            seed: 11 + rep as u64,
+            parallelism: Parallelism::serial(),
+            ..SearchConfig::default()
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let start = Instant::now();
+        let out = cadmc_core::branch::optimal_branch(
+            &mut controllers,
+            &base,
+            &env,
+            Mbps(10.0),
+            &cfg,
+            &memo,
+        )
+        .expect("valid inputs");
+        total += start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+    }
+    (episodes * reps) as f64 / total
+}
+
+fn time_tree(episodes: usize, reps: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let ctx = NetworkContext::from_scenario(Scenario::WifiWeakIndoor, 2, 7);
+    let mut total = 0.0;
+    for rep in 0..reps {
+        let cfg = SearchConfig {
+            episodes,
+            hidden: 8,
+            seed: 7 + rep as u64,
+            parallelism: Parallelism::serial(),
+            ..SearchConfig::default()
+        };
+        let mut controllers = Controllers::new(&cfg);
+        let memo = MemoPool::new();
+        let start = Instant::now();
+        let out = tree_search(
+            &mut controllers,
+            &base,
+            &env,
+            ctx.levels(),
+            3,
+            &cfg,
+            &memo,
+            false,
+            None,
+        )
+        .expect("valid inputs");
+        total += start.elapsed().as_secs_f64();
+        std::hint::black_box(out);
+    }
+    (episodes * reps) as f64 / total
+}
+
+fn cut_candidates(base: &cadmc_nn::ModelSpec) -> Vec<Candidate> {
+    (0..base.len())
+        .map(|i| {
+            Candidate::compose(
+                base,
+                Partition::AfterLayer(i),
+                &cadmc_compress::CompressionPlan::identity(base.len()),
+            )
+            .expect("identity plans compose")
+        })
+        .collect()
+}
+
+fn time_memo(lookups: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let candidates = cut_candidates(&base);
+    let memo = MemoPool::new();
+    for c in &candidates {
+        memo.get_or_insert_with(c, 10.0, || env.evaluate(&base, c, Mbps(10.0)));
+    }
+    let start = Instant::now();
+    for i in 0..lookups {
+        std::hint::black_box(memo.get(&candidates[i % candidates.len()], 10.0));
+    }
+    lookups as f64 / start.elapsed().as_secs_f64()
+}
+
+fn time_compose(iters: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let plan = cadmc_compress::CompressionPlan::identity(base.len());
+    let start = Instant::now();
+    for i in 0..iters {
+        let cut = i % base.len();
+        std::hint::black_box(
+            Candidate::compose(&base, Partition::AfterLayer(cut), &plan)
+                .expect("identity plans compose"),
+        );
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn time_latency(iters: usize) -> f64 {
+    let base = zoo::vgg11_cifar();
+    let env = EvalEnv::phone();
+    let candidates = cut_candidates(&base);
+    let start = Instant::now();
+    for i in 0..iters {
+        let c = &candidates[i % candidates.len()];
+        std::hint::black_box(env.latency_ms(c, Mbps(10.0)));
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let short = std::env::var("CADMC_SHORT").is_ok_and(|v| v == "1");
+    let episodes: usize = std::env::var("CADMC_EPISODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if short { 10 } else { 40 });
+    let reps: usize = std::env::var("CADMC_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if short { 1 } else { 3 });
+    let micro_iters = if short { 2_000 } else { 50_000 };
+    let host = Parallelism::available().workers;
+
+    eprintln!("timing branch search ({episodes} episodes x {reps} reps)...");
+    let branch = time_branch(episodes, reps);
+    eprintln!("timing tree search ({episodes} episodes x {reps} reps)...");
+    let tree = time_tree(episodes, reps);
+    eprintln!("timing memo probes, compose, latency kernels ({micro_iters} iters)...");
+    let memo = time_memo(micro_iters);
+    let compose = time_compose(micro_iters / 10);
+    let latency = time_latency(micro_iters);
+
+    let metrics = Metrics {
+        branch_episodes_per_sec: branch,
+        tree_episodes_per_sec: tree,
+        memo_lookups_per_sec: memo,
+        compose_per_sec: compose,
+        latency_evals_per_sec: latency,
+    };
+
+    let baseline_path = std::env::var("CADMC_BASELINE")
+        .unwrap_or_else(|_| "results/BENCH_hot_path_before.json".to_string());
+    let baseline: Option<Metrics> = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Report>(&text).ok())
+        .map(|r| r.metrics);
+
+    let speedup = baseline.map(|b| Speedup {
+        branch_episodes: metrics.branch_episodes_per_sec / b.branch_episodes_per_sec,
+        tree_episodes: metrics.tree_episodes_per_sec / b.tree_episodes_per_sec,
+        memo_lookups: metrics.memo_lookups_per_sec / b.memo_lookups_per_sec,
+        compose: metrics.compose_per_sec / b.compose_per_sec,
+        latency_evals: metrics.latency_evals_per_sec / b.latency_evals_per_sec,
+    });
+    let speedup_note = if baseline.is_none() {
+        Some(format!(
+            "no baseline at {baseline_path}; this run records absolute throughput only"
+        ))
+    } else if host == 1 {
+        Some(
+            "single-thread comparison on a 1-core host; multi-worker speedup claims \
+             are not published from this machine"
+                .to_string(),
+        )
+    } else {
+        None
+    };
+
+    let report = Report {
+        host_parallelism: host,
+        short_mode: short,
+        episodes,
+        reps,
+        metrics,
+        baseline,
+        speedup,
+        speedup_note,
+    };
+
+    println!("{:<28} {:>14}", "metric", "per second");
+    println!("{:<28} {:>14.1}", "branch episodes", branch);
+    println!("{:<28} {:>14.1}", "tree episodes", tree);
+    println!("{:<28} {:>14.0}", "memo lookups", memo);
+    println!("{:<28} {:>14.0}", "compose", compose);
+    println!("{:<28} {:>14.0}", "latency evals", latency);
+    if let Some(s) = &report.speedup {
+        println!(
+            "speedup vs baseline: branch {:.2}x, tree {:.2}x, memo {:.2}x, compose {:.2}x, latency {:.2}x",
+            s.branch_episodes, s.tree_episodes, s.memo_lookups, s.compose, s.latency_evals
+        );
+    }
+
+    let out = std::env::var("CADMC_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_hot_path.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    std::fs::write(&out, json).expect("write bench report");
+    eprintln!("wrote {out}");
+}

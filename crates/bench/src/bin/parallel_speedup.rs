@@ -25,7 +25,11 @@ use serde::Serialize;
 struct WorkerPoint {
     workers: usize,
     mean_ms: f64,
-    speedup_vs_serial: f64,
+    /// `None` (serialized as `null`) when the host cannot actually run
+    /// the workers concurrently (host_parallelism == 1): a "speedup"
+    /// there would only measure fan-out overhead, not parallel
+    /// scheduling.
+    speedup_vs_serial: Option<f64>,
 }
 
 #[derive(Serialize)]
@@ -42,6 +46,8 @@ struct Report {
     tree_search_workers: Vec<WorkerPoint>,
     memo_pool_shards: Vec<ShardPoint>,
     note: String,
+    /// Set only on hosts that cannot validate a multi-worker speedup.
+    speedup_note: Option<String>,
 }
 
 fn time_tree_search(workers: usize, episodes: usize, reps: usize) -> f64 {
@@ -129,14 +135,14 @@ fn main() {
     worker_points.push(WorkerPoint {
         workers: 1,
         mean_ms: serial_ms,
-        speedup_vs_serial: 1.0,
+        speedup_vs_serial: (host > 1).then_some(1.0),
     });
     for workers in [2usize, 4, 8] {
         let mean_ms = time_tree_search(workers, episodes, reps);
         worker_points.push(WorkerPoint {
             workers,
             mean_ms,
-            speedup_vs_serial: serial_ms / mean_ms,
+            speedup_vs_serial: (host > 1).then(|| serial_ms / mean_ms),
         });
     }
 
@@ -160,11 +166,23 @@ fn main() {
              speedups are wall-clock only and require as many cores as workers — \
              this run saw {host} core(s)"
         ),
+        speedup_note: (host == 1).then(|| {
+            "single-core host: every worker count shares one CPU, so no speedup \
+             claim is made (speedup_vs_serial omitted); timings measure fan-out \
+             overhead only"
+                .to_string()
+        }),
     };
 
     println!("{:<9} {:>10} {:>9}", "workers", "mean ms", "speedup");
     for p in &report.tree_search_workers {
-        println!("{:<9} {:>10.1} {:>8.2}x", p.workers, p.mean_ms, p.speedup_vs_serial);
+        match p.speedup_vs_serial {
+            Some(s) => println!("{:<9} {:>10.1} {:>8.2}x", p.workers, p.mean_ms, s),
+            None => println!("{:<9} {:>10.1} {:>9}", p.workers, p.mean_ms, "n/a"),
+        }
+    }
+    if let Some(note) = &report.speedup_note {
+        println!("\nnote: {note}");
     }
     println!("\n{:<9} {:>16}", "shards", "lookups/s");
     for p in &report.memo_pool_shards {

@@ -75,6 +75,16 @@ impl CompressionPlan {
         self.actions.iter().all(Option::is_none)
     }
 
+    /// Whether the plan contains an F3 (GAP) action — the one rewrite
+    /// that is not local: it replaces the whole FC head *below* its own
+    /// index, so lower-index actions must be evaluated against the
+    /// rewritten model rather than the original.
+    fn has_gap(&self) -> bool {
+        self.actions
+            .iter()
+            .any(|a| matches!(a, Some(Technique::F3Gap)))
+    }
+
     /// Applies all actions to `spec`.
     ///
     /// Actions are applied right-to-left so that layer indices recorded in
@@ -82,6 +92,15 @@ impl CompressionPlan {
     /// (GAP) rewrite removes a layer that a lower-index action targeted,
     /// that action still refers to its original (conv-side) layer because
     /// F3 only rewrites the FC head at the tail.
+    ///
+    /// Plans without F3 take a single-splice fast path: every other
+    /// rewrite is local (it reads only the target layer and its input
+    /// shape, both untouched by higher-index rewrites), so applicability
+    /// checks and replacement layers computed against the *original* spec
+    /// match the sequential walk exactly, and the output model — layers,
+    /// name chain, shapes — is built in one pass. The sequential walk
+    /// stays available as [`CompressionPlan::apply_sequential`], the
+    /// differential-testing oracle.
     ///
     /// # Errors
     ///
@@ -91,6 +110,61 @@ impl CompressionPlan {
     ///
     /// Panics if the plan length differs from the model's layer count.
     pub fn apply(&self, spec: &ModelSpec) -> Result<ModelSpec, CompressError> {
+        assert_eq!(
+            self.actions.len(),
+            spec.len(),
+            "plan length {} does not match model layers {}",
+            self.actions.len(),
+            spec.len()
+        );
+        if self.has_gap() {
+            return self.apply_sequential(spec);
+        }
+        // Check applicability and collect replacements right-to-left so
+        // the name chain and first-error behavior match the oracle.
+        let mut name = spec.name().to_string();
+        let mut slots: Vec<Option<Vec<cadmc_nn::LayerSpec>>> = vec![None; spec.len()];
+        let mut spliced = false;
+        for idx in (0..self.actions.len()).rev() {
+            if let Some(t) = self.actions[idx] {
+                if !t.applicable(spec, idx) {
+                    return Err(CompressError::NotApplicable {
+                        technique: t,
+                        layer_index: idx,
+                        layer: spec.layers()[idx].encode(),
+                    });
+                }
+                name.push_str(&format!("+{}@{}", t.code(), idx));
+                slots[idx] = Some(t.replacement_layers(spec, idx));
+                spliced = true;
+            }
+        }
+        if !spliced {
+            return Ok(spec.clone());
+        }
+        let mut layers = Vec::with_capacity(spec.len() + 4);
+        for (i, layer) in spec.layers().iter().enumerate() {
+            match slots[i].take() {
+                Some(repl) => layers.extend(repl),
+                None => layers.push(layer.clone()),
+            }
+        }
+        ModelSpec::new(name, spec.input_shape(), layers).map_err(CompressError::from)
+    }
+
+    /// The sequential (one rewrite at a time, right-to-left) reference
+    /// implementation of [`CompressionPlan::apply`]. Kept as the
+    /// differential-testing oracle for the single-splice fast path, and
+    /// used directly for plans containing F3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompressError`] if any action is not applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan length differs from the model's layer count.
+    pub fn apply_sequential(&self, spec: &ModelSpec) -> Result<ModelSpec, CompressError> {
         assert_eq!(
             self.actions.len(),
             spec.len(),
@@ -110,8 +184,32 @@ impl CompressionPlan {
     /// Returns a copy of the plan with inapplicable actions removed
     /// (checked against `spec` right-to-left, mirroring [`apply`]).
     ///
+    /// Plans without F3 check every action against the original spec in
+    /// O(actions) — local rewrites cannot invalidate (or validate) each
+    /// other — instead of rebuilding a probe model per action. Plans with
+    /// F3 fall back to [`CompressionPlan::sanitized_sequential`].
+    ///
     /// [`apply`]: CompressionPlan::apply
     pub fn sanitized(&self, spec: &ModelSpec) -> CompressionPlan {
+        if self.has_gap() {
+            return self.sanitized_sequential(spec);
+        }
+        let mut actions = self.actions.clone();
+        for (idx, slot) in actions.iter_mut().enumerate() {
+            if let Some(t) = *slot {
+                if !t.applicable(spec, idx) {
+                    *slot = None;
+                }
+            }
+        }
+        CompressionPlan { actions }
+    }
+
+    /// Sequential reference implementation of
+    /// [`CompressionPlan::sanitized`]: probes rewrites right-to-left on a
+    /// scratch model, dropping each action that fails. The oracle for the
+    /// fast path, and the real path for F3-bearing plans.
+    pub fn sanitized_sequential(&self, spec: &ModelSpec) -> CompressionPlan {
         let mut actions = self.actions.clone();
         let mut probe = spec.clone();
         for idx in (0..actions.len()).rev() {

@@ -231,19 +231,39 @@ impl Technique {
                     .unwrap_or_else(|| "<out of range>".into()),
             });
         }
-        let layer = spec.layers()[idx].clone();
-        let mut out = match (self, &layer) {
+        if self == Technique::F3Gap {
+            return apply_gap(spec, idx);
+        }
+        let mut out = spec.replace_layer(idx, self.replacement_layers(spec, idx))?;
+        out.set_name(format!("{}+{}@{}", spec.name(), self.code(), idx));
+        Ok(out)
+    }
+
+    /// The layer sequence a *local* (non-F3) rewrite substitutes for layer
+    /// `idx`. Local rewrites read only the target layer and its input
+    /// shape — both unchanged by rewrites at higher indices — which is
+    /// what lets [`crate::CompressionPlan`] splice all replacements into
+    /// the original spec in one pass instead of rebuilding the model per
+    /// action.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for F3 (whose rewrite is not local: it replaces
+    /// the whole FC head below its own index) or when the technique is
+    /// not applicable at `idx` — callers check [`Technique::applicable`]
+    /// first.
+    pub fn replacement_layers(self, spec: &ModelSpec, idx: usize) -> Vec<LayerSpec> {
+        match (self, &spec.layers()[idx]) {
             (Technique::F1Svd, LayerSpec::Fc { out_features }) => {
                 let m = spec.layer_input(idx).len();
                 let k = (m.min(*out_features) / 4).max(1);
-                spec.replace_layer(idx, vec![LayerSpec::fc(k), LayerSpec::fc(*out_features)])?
+                vec![LayerSpec::fc(k), LayerSpec::fc(*out_features)]
             }
             (Technique::F2Ksvd, LayerSpec::Fc { out_features }) => {
                 let m = spec.layer_input(idx).len();
                 let k = (m.min(*out_features) / 6).max(1);
-                spec.replace_layer(idx, vec![LayerSpec::fc(k), LayerSpec::fc(*out_features)])?
+                vec![LayerSpec::fc(k), LayerSpec::fc(*out_features)]
             }
-            (Technique::F3Gap, _) => return apply_gap(spec, idx),
             (
                 Technique::C1MobileNet,
                 &LayerSpec::Conv2d {
@@ -252,17 +272,14 @@ impl Technique {
                     pad,
                     out_channels,
                 },
-            ) => spec.replace_layer(
-                idx,
-                vec![
-                    LayerSpec::DepthwiseConv2d {
-                        kernel,
-                        stride,
-                        pad,
-                    },
-                    LayerSpec::conv(1, 1, 0, out_channels),
-                ],
-            )?,
+            ) => vec![
+                LayerSpec::DepthwiseConv2d {
+                    kernel,
+                    stride,
+                    pad,
+                },
+                LayerSpec::conv(1, 1, 0, out_channels),
+            ],
             (
                 Technique::C2MobileNetV2,
                 &LayerSpec::Conv2d {
@@ -270,26 +287,20 @@ impl Technique {
                     out_channels,
                     ..
                 },
-            ) => spec.replace_layer(
-                idx,
-                vec![LayerSpec::InvertedResidual {
-                    expansion: 2,
-                    stride,
-                    out_channels,
-                }],
-            )?,
+            ) => vec![LayerSpec::InvertedResidual {
+                expansion: 2,
+                stride,
+                out_channels,
+            }],
             (Technique::C3SqueezeNet, &LayerSpec::Conv2d { out_channels, .. }) => {
                 let squeeze = (out_channels / 4).max(1);
                 let expand1 = out_channels / 2;
                 let expand3 = out_channels - expand1;
-                spec.replace_layer(
-                    idx,
-                    vec![LayerSpec::Fire {
-                        squeeze,
-                        expand1,
-                        expand3,
-                    }],
-                )?
+                vec![LayerSpec::Fire {
+                    squeeze,
+                    expand1,
+                    expand3,
+                }]
             }
             (
                 Technique::W1FilterPrune,
@@ -301,12 +312,10 @@ impl Technique {
                 },
             ) => {
                 let kept = crate::prune::kept_count(out_channels, W1_PRUNE_RATIO);
-                spec.replace_layer(idx, vec![LayerSpec::conv(kernel, stride, pad, kept)])?
+                vec![LayerSpec::conv(kernel, stride, pad, kept)]
             }
             _ => unreachable!("applicability was checked above"),
-        };
-        out.set_name(format!("{}+{}@{}", spec.name(), self.code(), idx));
-        Ok(out)
+        }
     }
 
     /// Techniques applicable to layer `idx` of `spec`.

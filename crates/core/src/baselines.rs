@@ -12,6 +12,7 @@ use rand::{RngExt, SeedableRng};
 
 use crate::branch::SearchOutcome;
 use crate::candidate::{Candidate, Partition};
+use crate::delta::DeltaState;
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
 use crate::parallel::{par_map_indexed, Parallelism};
@@ -77,12 +78,21 @@ fn edge_len_of(base: &ModelSpec, p: Partition) -> usize {
     }
 }
 
-fn random_candidate(base: &ModelSpec, rng: &mut StdRng) -> Candidate {
+fn random_proposal(base: &ModelSpec, rng: &mut StdRng) -> (Partition, CompressionPlan) {
     let partition = random_partition(base, rng);
     let plan = random_plan(base, edge_len_of(base, partition), rng);
+    (partition, plan)
+}
+
+#[cfg(test)]
+fn random_candidate(base: &ModelSpec, rng: &mut StdRng) -> Candidate {
+    let (partition, plan) = random_proposal(base, rng);
     Candidate::compose(base, partition, &plan).expect("random plans are applicable")
 }
 
+/// Proposals stay as (partition, plan) decisions so the episode loop can
+/// probe the memo by delta key and only compose candidates on misses or
+/// improvements — the same deferral the RL hot path uses.
 #[allow(clippy::too_many_arguments)]
 fn run_search(
     base: &ModelSpec,
@@ -92,7 +102,7 @@ fn run_search(
     seed: u64,
     memo: &MemoPool,
     par: Parallelism,
-    propose: impl Fn(&mut StdRng, Option<&Candidate>) -> Candidate + Sync,
+    propose: impl Fn(&mut StdRng, Option<&Candidate>) -> (Partition, CompressionPlan) + Sync,
 ) -> Result<SearchOutcome, ValidateError> {
     validate::model_spec(base)?;
     validate::bandwidth(bandwidth.0)?;
@@ -119,20 +129,30 @@ fn run_search(
             let episode = batch_start + offset;
             let episode_span = telemetry::span!("baseline.episode", episode = episode);
             let mut rng = StdRng::seed_from_u64(seed ^ episode as u64);
-            let candidate = propose(&mut rng, anchor.as_ref());
-            let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
-                env.evaluate(base, &candidate, bandwidth)
+            let (partition, plan) = propose(&mut rng, anchor.as_ref());
+            let delta = DeltaState::from_plan(base, partition, &plan);
+            let key = delta.eval_key(bandwidth.0);
+            let eval = memo.get_key(key).unwrap_or_else(|| {
+                let candidate = delta
+                    .materialize()
+                    .expect("random plans are applicable");
+                let e = env.evaluate(base, &candidate, bandwidth);
+                memo.insert_key(key, e);
+                e
             });
             episode_span.record("reward", eval.reward);
-            (candidate, eval)
+            (delta, eval)
         });
-        for (candidate, eval) in rollouts {
+        for (delta, eval) in rollouts {
             episode_rewards.push(eval.reward);
             let replace = match &best {
                 Some((_, be)) => eval.reward > be.reward,
                 None => true,
             };
             if replace {
+                let candidate = delta
+                    .materialize()
+                    .expect("random plans are applicable");
                 improvers.push((candidate.clone(), eval));
                 best = Some((candidate, eval));
             }
@@ -165,7 +185,7 @@ pub fn random_search(
     par: Parallelism,
 ) -> Result<SearchOutcome, ValidateError> {
     run_search(base, env, bandwidth, episodes, seed, memo, par, |rng, _| {
-        random_candidate(base, rng)
+        random_proposal(base, rng)
     })
 }
 
@@ -205,13 +225,13 @@ pub fn epsilon_greedy_search(
         par,
         |rng, best| match best {
             Some(b) if rng.random_range(0.0..1.0) >= epsilon => mutate(base, b, rng),
-            _ => random_candidate(base, rng),
+            _ => random_proposal(base, rng),
         },
     )
 }
 
 /// One local move in the (partition × compression) space.
-fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> Candidate {
+fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> (Partition, CompressionPlan) {
     let mut partition = current.partition;
     // Rebuild the plan from the candidate's recorded actions.
     let mut plan = CompressionPlan::identity(base.len());
@@ -243,14 +263,14 @@ fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> Candidate 
             plan.set(i, fresh.get(i));
         }
     }
-    // Clamp the plan to the edge region and sanitize conflicts the
-    // mutation may have introduced (e.g. a second F3).
+    // Clamp the plan to the edge region; conflicts the mutation may have
+    // introduced (e.g. a second F3) are dropped when the plan composes —
+    // `Candidate::compose` sanitizes, so proposals stay total.
     let edge_len = edge_len_of(base, partition);
     for i in edge_len..base.len() {
         plan.set(i, None);
     }
-    let plan = plan.sanitized(base);
-    Candidate::compose(base, partition, &plan).expect("sanitized plan composes")
+    (partition, plan)
 }
 
 #[cfg(test)]
@@ -302,7 +322,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut c = random_candidate(&base, &mut rng);
         for _ in 0..50 {
-            c = mutate(&base, &c, &mut rng);
+            let (partition, plan) = mutate(&base, &c, &mut rng);
+            c = Candidate::compose(&base, partition, &plan).expect("mutations compose");
             assert_eq!(c.model.output_shape(), base.output_shape());
         }
     }

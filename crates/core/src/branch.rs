@@ -14,10 +14,9 @@ use cadmc_telemetry as telemetry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use cadmc_compress::CompressionPlan;
-
-use crate::candidate::{Candidate, Partition};
+use crate::candidate::Candidate;
 use crate::controller::EpisodeTape;
+use crate::delta::{DeltaState, EdgePrefixes};
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
 use crate::parallel::par_map_indexed;
@@ -54,19 +53,23 @@ impl SearchOutcome {
     }
 }
 
-/// Samples one (partition, compression) episode and composes the candidate.
+/// Samples one (partition, compression) episode as a [`DeltaState`] —
+/// decisions only, no candidate composition.
 ///
-/// Returns the tape (for the policy update) alongside the candidate.
-/// With probability `explore_epsilon` the partition is drawn uniformly
+/// Returns the tape (for the policy update) alongside the delta. With
+/// probability `explore_epsilon` the partition is drawn uniformly
 /// (off-policy, no log-probability recorded) instead of from the policy.
-pub fn sample_candidate(
+/// `prefixes` supplies the edge prefix specs the compression controller
+/// conditions on (built once per search).
+pub fn sample_delta<'a>(
     controllers: &Controllers,
-    base: &ModelSpec,
+    base: &'a ModelSpec,
+    prefixes: &EdgePrefixes,
     bandwidth: f64,
     rng: &mut StdRng,
     force_no_partition: f64,
     explore_epsilon: f64,
-) -> (EpisodeTape, Candidate) {
+) -> (EpisodeTape, DeltaState<'a>) {
     use rand::RngExt;
     let mut tape = EpisodeTape::new();
     let partition = if explore_epsilon > 0.0 && rng.random_range(0.0..1.0) < explore_epsilon {
@@ -82,26 +85,48 @@ pub fn sample_candidate(
         );
         to_partition(action, base)
     };
-    let mut full_plan = CompressionPlan::identity(base.len());
-    let edge_len = match partition {
-        Partition::AllEdge => base.len(),
-        Partition::AllCloud => 0,
-        Partition::AfterLayer(i) => i + 1,
-    };
+    let mut delta = DeltaState::new(base, partition);
+    let edge_len = partition.edge_len(base.len());
     if edge_len > 0 {
-        let edge_spec = base.slice(0, edge_len).expect("valid prefix slice");
         let edge_plan = controllers.compression.sample(
             &mut tape,
             &controllers.params,
-            &edge_spec,
+            prefixes.get(edge_len),
             bandwidth,
             rng,
         );
         for (i, a) in edge_plan.actions().iter().enumerate() {
-            full_plan.set(i, *a);
+            if let Some(t) = *a {
+                delta.push_action(i, t);
+            }
         }
     }
-    let candidate = Candidate::compose(base, partition, &full_plan)
+    (tape, delta)
+}
+
+/// Samples one (partition, compression) episode and composes the
+/// candidate — [`sample_delta`] plus materialization, for callers that
+/// want the composed model unconditionally.
+pub fn sample_candidate(
+    controllers: &Controllers,
+    base: &ModelSpec,
+    bandwidth: f64,
+    rng: &mut StdRng,
+    force_no_partition: f64,
+    explore_epsilon: f64,
+) -> (EpisodeTape, Candidate) {
+    let prefixes = EdgePrefixes::new(base);
+    let (tape, delta) = sample_delta(
+        controllers,
+        base,
+        &prefixes,
+        bandwidth,
+        rng,
+        force_no_partition,
+        explore_epsilon,
+    );
+    let candidate = delta
+        .materialize()
         .expect("sampled plans are applicable by construction");
     (tape, candidate)
 }
@@ -145,12 +170,16 @@ pub fn optimal_branch(
     let mut best: Option<(Candidate, Evaluation)> = None;
     let mut improvers: Vec<(Candidate, Evaluation)> = Vec::new();
 
+    // Built once, shared read-only by every rollout worker: the edge
+    // prefixes the compression controller conditions on.
+    let prefixes = EdgePrefixes::new(base);
     let batch_size = cfg.rollout_batch.max(1);
     let mut batch_start = 0;
     while batch_start < cfg.episodes {
         let batch_end = (batch_start + batch_size).min(cfg.episodes);
         let rollouts = {
             let shared: &Controllers = controllers;
+            let prefixes = &prefixes;
             par_map_indexed(
                 batch_end - batch_start,
                 cfg.parallelism.workers,
@@ -159,24 +188,32 @@ pub fn optimal_branch(
                     let episode_span = telemetry::span!("branch.episode", episode = episode);
                     let mut rng =
                         StdRng::seed_from_u64(cfg.seed ^ BRANCH_SALT ^ episode as u64);
-                    let (tape, candidate) = sample_candidate(
+                    let (tape, delta) = sample_delta(
                         shared,
                         base,
+                        prefixes,
                         bandwidth.0,
                         &mut rng,
                         0.0,
                         cfg.explore_epsilon,
                     );
-                    let eval = memo.get_or_insert_with(&candidate, bandwidth.0, || {
+                    // Probe by the delta's key; compose only on a miss.
+                    let key = delta.eval_key(bandwidth.0);
+                    let eval = memo.get_key(key).unwrap_or_else(|| {
                         let _eval_span = telemetry::span!("eval.candidate");
-                        env.evaluate(base, &candidate, bandwidth)
+                        let candidate = delta
+                            .materialize()
+                            .expect("sampled plans are applicable by construction");
+                        let e = env.evaluate(base, &candidate, bandwidth);
+                        memo.insert_key(key, e);
+                        e
                     });
                     episode_span.record("reward", eval.reward);
-                    (tape, candidate, eval)
+                    (tape, delta, eval)
                 },
             )
         };
-        for (tape, candidate, eval) in rollouts {
+        for (tape, delta, eval) in rollouts {
             episode_rewards.push(eval.reward);
             telemetry::hist!("branch.reward", REWARD_BOUNDS, eval.reward);
             let replace = match &best {
@@ -184,6 +221,12 @@ pub fn optimal_branch(
                 None => true,
             };
             if replace {
+                // Materialization is deterministic, so re-composing the
+                // (rare) improvers here gives byte-identical results to
+                // the old compose-every-episode loop.
+                let candidate = delta
+                    .materialize()
+                    .expect("sampled plans are applicable by construction");
                 improvers.push((candidate.clone(), eval));
                 best = Some((candidate, eval));
             }

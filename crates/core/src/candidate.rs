@@ -1,11 +1,13 @@
 //! Deployment candidates: a base DNN transformed by a partition choice and
 //! a compression plan, composed into a single deployable model.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
 use cadmc_accuracy::AppliedAction;
-use cadmc_compress::{CompressError, CompressionPlan};
-use cadmc_nn::ModelSpec;
+use cadmc_compress::{CompressError, CompressionPlan, Technique};
+use cadmc_nn::{LayerSpec, ModelSpec};
 
 /// Where the edge→cloud handoff happens, in *base-model* layer indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -19,6 +21,25 @@ pub enum Partition {
     AfterLayer(usize),
 }
 
+impl Partition {
+    /// Number of leading *base* layers that run on the edge under this
+    /// partition, for a model with `n_layers` layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `AfterLayer` cut index is out of range.
+    pub fn edge_len(self, n_layers: usize) -> usize {
+        match self {
+            Partition::AllEdge => n_layers,
+            Partition::AllCloud => 0,
+            Partition::AfterLayer(i) => {
+                assert!(i < n_layers, "cut index out of range");
+                i + 1
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for Partition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -26,6 +47,46 @@ impl std::fmt::Display for Partition {
             Partition::AllCloud => write!(f, "all-cloud"),
             Partition::AfterLayer(i) => write!(f, "cut@{i}"),
         }
+    }
+}
+
+/// Lazily-computed derived quantities of a [`Candidate`]. Like
+/// [`ModelSpec`]'s internal cache: a pure function of the candidate,
+/// invisible to equality and serialization, rebuilt on demand. Candidates
+/// are treated as immutable once composed — every construction site goes
+/// through [`Candidate::compose`] or builds the cache fresh.
+#[derive(Debug, Default)]
+#[doc(hidden)]
+pub struct CandidateCache {
+    transfer_bytes: OnceLock<u64>,
+}
+
+impl Clone for CandidateCache {
+    fn clone(&self) -> Self {
+        let out = Self::default();
+        if let Some(&b) = self.transfer_bytes.get() {
+            let _ = out.transfer_bytes.set(b);
+        }
+        out
+    }
+}
+
+// The cache carries no information beyond what the candidate determines.
+impl PartialEq for CandidateCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for CandidateCache {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for CandidateCache {
+    fn deserialize(_: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self::default())
     }
 }
 
@@ -44,6 +105,10 @@ pub struct Candidate {
     pub partition: Partition,
     /// The compression actions, in base coordinates.
     pub actions: Vec<AppliedAction>,
+    /// Memoized derived quantities (serialized as null, rebuilt on
+    /// demand). Construct with `Default::default()`.
+    #[doc(hidden)]
+    pub cache: CandidateCache,
 }
 
 impl Candidate {
@@ -66,14 +131,7 @@ impl Candidate {
         plan: &CompressionPlan,
     ) -> Result<Candidate, CompressError> {
         assert_eq!(plan.len(), base.len(), "plan must cover the base model");
-        let edge_len = match partition {
-            Partition::AllEdge => base.len(),
-            Partition::AllCloud => 0,
-            Partition::AfterLayer(i) => {
-                assert!(i < base.len(), "cut index out of range");
-                i + 1
-            }
-        };
+        let edge_len = partition.edge_len(base.len());
         if edge_len == 0 {
             // Everything on the cloud: no compression happens at all.
             return Ok(Candidate {
@@ -81,6 +139,95 @@ impl Candidate {
                 edge_layers: 0,
                 partition,
                 actions: Vec::new(),
+                cache: CandidateCache::default(),
+            });
+        }
+        let edge_actions = &plan.actions()[..edge_len];
+        if edge_actions
+            .iter()
+            .any(|a| matches!(a, Some(Technique::F3Gap)))
+        {
+            // F3 rewrites the FC head *below* its own index, so lower
+            // actions must see the rewritten model — only the sequential
+            // walk gets that right.
+            return Self::compose_sequential(base, partition, plan);
+        }
+        // Fused fast path: every remaining rewrite is local, so
+        // applicability and replacement layers checked against `base`
+        // match what the slice/sanitize/apply/concat pipeline would
+        // compute (layers and shapes before the cut are identical in the
+        // edge slice), and the whole composed model is built with a
+        // single shape-inference pass. Byte-identical output — including
+        // the `base[0..e]+CODE@i` name chain — is pinned by differential
+        // tests against `compose_sequential`.
+        let mut name = format!("{}[0..{edge_len}]", base.name());
+        let mut slots: Vec<Option<Vec<LayerSpec>>> = vec![None; edge_len];
+        let mut edge_layers = edge_len;
+        for idx in (0..edge_len).rev() {
+            if let Some(t) = edge_actions[idx] {
+                if t.applicable(base, idx) {
+                    name.push_str(&format!("+{}@{}", t.code(), idx));
+                    let repl = t.replacement_layers(base, idx);
+                    edge_layers += repl.len() - 1;
+                    slots[idx] = Some(repl);
+                }
+            }
+        }
+        let mut actions = Vec::new();
+        let mut layers = Vec::with_capacity(base.len() + 4);
+        for (i, slot) in slots.iter_mut().enumerate() {
+            // A filled slot always corresponds to a kept action.
+            if let (Some(repl), Some(technique)) = (slot.take(), edge_actions[i]) {
+                layers.extend(repl);
+                actions.push(AppliedAction {
+                    layer_index: i,
+                    technique,
+                });
+            } else {
+                layers.push(base.layers()[i].clone());
+            }
+        }
+        layers.extend(base.layers()[edge_len..].iter().cloned());
+        let model =
+            ModelSpec::new(name, base.input_shape(), layers).map_err(CompressError::Shape)?;
+        Ok(Candidate {
+            model,
+            edge_layers,
+            partition,
+            actions,
+            cache: CandidateCache::default(),
+        })
+    }
+
+    /// Sequential reference implementation of [`Candidate::compose`]:
+    /// slice the edge prefix, sanitize and apply the truncated plan one
+    /// rewrite at a time, then concatenate the untouched cloud tail. The
+    /// differential-testing oracle for the fused fast path, and the real
+    /// path whenever the edge plan contains F3.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CompressError`] if an action within the edge region is
+    /// not applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan length does not match `base.len()` or the cut
+    /// index is out of range.
+    pub fn compose_sequential(
+        base: &ModelSpec,
+        partition: Partition,
+        plan: &CompressionPlan,
+    ) -> Result<Candidate, CompressError> {
+        assert_eq!(plan.len(), base.len(), "plan must cover the base model");
+        let edge_len = partition.edge_len(base.len());
+        if edge_len == 0 {
+            return Ok(Candidate {
+                model: base.clone(),
+                edge_layers: 0,
+                partition,
+                actions: Vec::new(),
+                cache: CandidateCache::default(),
             });
         }
         let edge_spec = base.slice(0, edge_len).map_err(CompressError::Shape)?;
@@ -89,8 +236,8 @@ impl Candidate {
         // the 1×1 conv an F3 rewrite would have introduced. Sanitize the
         // truncated plan so composition is total over truncations.
         let edge_plan = CompressionPlan::from_actions(plan.actions()[..edge_len].to_vec())
-            .sanitized(&edge_spec);
-        let compressed_edge = edge_plan.apply(&edge_spec)?;
+            .sanitized_sequential(&edge_spec);
+        let compressed_edge = edge_plan.apply_sequential(&edge_spec)?;
         let actions: Vec<AppliedAction> = edge_plan.actions()
             .iter()
             .enumerate()
@@ -112,6 +259,7 @@ impl Candidate {
             edge_layers: compressed_edge.len(),
             partition,
             actions,
+            cache: CandidateCache::default(),
         })
     }
 
@@ -123,19 +271,24 @@ impl Candidate {
             edge_layers: base.len(),
             partition: Partition::AllEdge,
             actions: Vec::new(),
+            cache: CandidateCache::default(),
         }
     }
 
     /// Bytes transferred at the handoff (0 when everything runs on the
     /// edge; the raw input size when everything runs on the cloud).
+    /// Memoized alongside the model's MACC/hash caches: the executor's
+    /// deadline math asks for this on every simulated request.
     pub fn transfer_bytes(&self) -> u64 {
-        if self.edge_layers == self.model.len() {
-            0
-        } else if self.edge_layers == 0 {
-            self.model.input_bytes()
-        } else {
-            self.model.cut_bytes_after(self.edge_layers - 1)
-        }
+        *self.cache.transfer_bytes.get_or_init(|| {
+            if self.edge_layers == self.model.len() {
+                0
+            } else if self.edge_layers == 0 {
+                self.model.input_bytes()
+            } else {
+                self.model.cut_bytes_after(self.edge_layers - 1)
+            }
+        })
     }
 
     /// Whether any compression action was taken.

@@ -59,6 +59,23 @@ impl EvalEnv {
         te + tt + tc
     }
 
+    /// Differential-testing oracle for [`latency_ms`]: the same Eq. 3 sum
+    /// computed by the per-layer scalar walk instead of the O(1)
+    /// prefix-sum kernels. The kernel path must agree to 0 ULP (see the
+    /// workspace proptests).
+    ///
+    /// [`latency_ms`]: EvalEnv::latency_ms
+    pub fn latency_ms_scalar(&self, candidate: &Candidate, bandwidth: Mbps) -> f64 {
+        let m = &candidate.model;
+        let cut = candidate.edge_layers;
+        let te = self.edge.range_latency_ms_scalar(m, 0, cut);
+        let tt = self
+            .transfer
+            .latency_ms(candidate.transfer_bytes(), bandwidth);
+        let tc = self.cloud.range_latency_ms_scalar(m, cut, m.len());
+        te + tt + tc
+    }
+
     /// Full evaluation of a candidate (accuracy from the oracle over the
     /// candidate's recorded actions on `base`).
     pub fn evaluate(&self, base: &ModelSpec, candidate: &Candidate, bandwidth: Mbps) -> Evaluation {

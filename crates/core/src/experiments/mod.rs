@@ -229,7 +229,7 @@ executed(a).total_cmp(&executed(b))
     // valid model tree; keep it if it executes better than the searched
     // one (the searched tree should normally win through adaptation).
     let rigid = crate::tree_search::rigid_tree(
-        &workload.model,
+        &std::sync::Arc::new(workload.model.clone()),
         &env,
         ctx.levels(),
         N_BLOCKS,

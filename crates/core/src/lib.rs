@@ -31,6 +31,7 @@ pub mod branch;
 mod candidate;
 mod context;
 pub mod controller;
+pub mod delta;
 pub mod engine;
 mod env;
 pub mod executor;

@@ -18,6 +18,8 @@
 //! faithful explicit formulation, used by tests and by anyone wanting to
 //! plug in a different search strategy.
 
+use std::sync::{Arc, OnceLock};
+
 use cadmc_compress::{CompressError, Technique};
 use cadmc_nn::ModelSpec;
 
@@ -25,21 +27,74 @@ use crate::candidate::Partition;
 
 /// An MDP state: the (possibly already transformed) model plus its
 /// placement configuration.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Represented as a *delta* over the immutable base spec: the shared
+/// `Arc` base, the ordered compression steps taken so far, and the
+/// partition decision. A transition therefore allocates O(changed
+/// layers) — a partition step shares every `Arc` and clones nothing —
+/// instead of cloning the whole model. The materialized model is cached
+/// per state (and shared by clones) so `model()` stays cheap.
+#[derive(Debug, Clone)]
 pub struct State {
-    /// The current model structure.
-    pub model: ModelSpec,
+    /// The untransformed base model, shared by every state of an episode.
+    base: Arc<ModelSpec>,
+    /// Compression steps applied so far, in order. Each `(layer,
+    /// technique)` indexes the model *as it stood* when the step was
+    /// taken (techniques can change the layer count).
+    steps: Vec<(usize, Technique)>,
     /// The partition decision, once taken.
-    pub partition: Option<Partition>,
+    partition: Option<Partition>,
+    /// Materialized model for `steps` (set eagerly by [`transition`];
+    /// shared across clones). Empty-step states read `base` directly.
+    cache: Arc<OnceLock<ModelSpec>>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.partition == other.partition && self.model() == other.model()
+    }
 }
 
 impl State {
     /// The initial state: an unpartitioned, uncompressed base model.
-    pub fn initial(base: ModelSpec) -> Self {
+    pub fn initial(base: impl Into<Arc<ModelSpec>>) -> Self {
         Self {
-            model: base,
+            base: base.into(),
+            steps: Vec::new(),
             partition: None,
+            cache: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The current model structure (materialized lazily from the delta).
+    pub fn model(&self) -> &ModelSpec {
+        if self.steps.is_empty() {
+            &self.base
+        } else {
+            self.cache.get_or_init(|| self.replay())
+        }
+    }
+
+    /// The partition decision, once taken.
+    pub fn partition(&self) -> Option<Partition> {
+        self.partition
+    }
+
+    /// The compression steps taken so far (the state's action delta).
+    pub fn steps(&self) -> &[(usize, Technique)] {
+        &self.steps
+    }
+
+    /// Re-applies `steps` to the base. Only reached if a state with
+    /// steps was built without its cache (transitions fill it eagerly).
+    fn replay(&self) -> ModelSpec {
+        let mut m = ModelSpec::clone(&self.base);
+        for &(layer, technique) in &self.steps {
+            m = technique
+                .apply(&m, layer)
+                .expect("recorded steps replay deterministically");
+        }
+        m
     }
 
     /// The paper's string encoding of the state (Eq. 1 per layer).
@@ -48,7 +103,7 @@ impl State {
             None => "unplaced".to_string(),
             Some(p) => p.to_string(),
         };
-        format!("{} [{placement}]", self.model.encode())
+        format!("{} [{placement}]", self.model().encode())
     }
 
     /// Whether both decision stages are complete (partition taken).
@@ -119,15 +174,19 @@ pub fn transition(state: &State, action: Action) -> Result<State, TransitionErro
             if state.partition.is_some() {
                 return Err(TransitionError::AlreadyPartitioned);
             }
+            // O(1): every Arc is shared with the parent; the steps vec is
+            // the only per-state allocation.
             Ok(State {
-                model: state.model.clone(),
+                base: Arc::clone(&state.base),
+                steps: state.steps.clone(),
                 partition: Some(p),
+                cache: Arc::clone(&state.cache),
             })
         }
         Action::Compress { layer, technique } => {
             if let Some(p) = state.partition {
                 let edge_len = match p {
-                    Partition::AllEdge => state.model.len(),
+                    Partition::AllEdge => state.model().len(),
                     Partition::AllCloud => 0,
                     Partition::AfterLayer(i) => i + 1,
                 };
@@ -135,10 +194,17 @@ pub fn transition(state: &State, action: Action) -> Result<State, TransitionErro
                     return Err(TransitionError::BeyondCut { layer });
                 }
             }
-            let model = technique.apply(&state.model, layer)?;
+            // One rewrite on the parent's materialized model; the result
+            // pre-fills the child's cache so it never replays the chain.
+            let model = technique.apply(state.model(), layer)?;
+            let mut steps = Vec::with_capacity(state.steps.len() + 1);
+            steps.extend_from_slice(&state.steps);
+            steps.push((layer, technique));
             Ok(State {
-                model,
+                base: Arc::clone(&state.base),
+                steps,
                 partition: state.partition,
+                cache: Arc::new(OnceLock::from(model)),
             })
         }
     }
@@ -148,18 +214,19 @@ pub fn transition(state: &State, action: Action) -> Result<State, TransitionErro
 /// controllers sample from.
 pub fn valid_actions(state: &State) -> Vec<Action> {
     let mut out = Vec::new();
+    let model = state.model();
     if state.partition.is_none() {
         out.push(Action::Partition(Partition::AllCloud));
-        out.extend((0..state.model.len() - 1).map(|i| Action::Partition(Partition::AfterLayer(i))));
+        out.extend((0..model.len() - 1).map(|i| Action::Partition(Partition::AfterLayer(i))));
         out.push(Action::Partition(Partition::AllEdge));
     }
     let edge_len = match state.partition {
-        None | Some(Partition::AllEdge) => state.model.len(),
+        None | Some(Partition::AllEdge) => model.len(),
         Some(Partition::AllCloud) => 0,
         Some(Partition::AfterLayer(i)) => i + 1,
     };
     for layer in 0..edge_len {
-        for technique in Technique::applicable_at(&state.model, layer) {
+        for technique in Technique::applicable_at(model, layer) {
             out.push(Action::Compress { layer, technique });
         }
     }
@@ -228,6 +295,33 @@ mod tests {
         assert!(s.encode().contains("unplaced"));
         let s2 = transition(&s, Action::Partition(Partition::AllCloud)).unwrap();
         assert!(s2.encode().contains("all-cloud"));
+    }
+
+    #[test]
+    fn partition_transition_shares_the_model_allocation() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let s2 = transition(&s, Action::Partition(Partition::AllEdge)).unwrap();
+        // The delta representation makes partitioning O(1): both states
+        // read the same base allocation.
+        assert!(std::ptr::eq(s.model(), s2.model()));
+    }
+
+    #[test]
+    fn compress_transition_materializes_one_rewrite() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let a = Action::Compress {
+            layer: 2,
+            technique: Technique::C1MobileNet,
+        };
+        let s2 = transition(&s, a).unwrap();
+        assert_eq!(s2.steps(), &[(2, Technique::C1MobileNet)]);
+        assert_eq!(
+            s2.model(),
+            &Technique::C1MobileNet.apply(s.model(), 2).unwrap()
+        );
+        // A later partition shares the materialized model allocation.
+        let s3 = transition(&s2, Action::Partition(Partition::AllEdge)).unwrap();
+        assert!(std::ptr::eq(s2.model(), s3.model()));
     }
 
     #[test]

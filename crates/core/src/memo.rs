@@ -25,8 +25,13 @@ use crate::reward::Evaluation;
 /// small enough that `len()` stays cheap.
 pub const DEFAULT_SHARDS: usize = 16;
 
-/// One lock stripe: the entry map plus its lock-free counters.
+/// One lock stripe: the entry map plus its lock-free counters. Aligned to
+/// a cache line so adjacent shards' mutexes and counters never share one —
+/// with 16 shards packed in a `Vec`, unpadded counters put four shards'
+/// atomics on the same line and every `fetch_add` invalidates neighbors
+/// (false sharing).
 #[derive(Debug, Default)]
+#[repr(align(64))]
 struct Shard {
     map: Mutex<HashMap<u64, Evaluation>>,
     hits: AtomicUsize,
@@ -142,7 +147,17 @@ impl MemoPool {
         bandwidth_mbps: f64,
         compute: impl FnOnce() -> Evaluation,
     ) -> Evaluation {
-        let key = Self::key(candidate, bandwidth_mbps);
+        self.get_or_insert_key_with(Self::key(candidate, bandwidth_mbps), compute)
+    }
+
+    /// Key-addressed form of [`MemoPool::get_or_insert_with`], for callers
+    /// that derive the key without composing a candidate (the delta-state
+    /// hot path).
+    pub fn get_or_insert_key_with(
+        &self,
+        key: u64,
+        compute: impl FnOnce() -> Evaluation,
+    ) -> Evaluation {
         let shard = self.shard(key);
         {
             let map = Self::lock(shard);
@@ -153,6 +168,19 @@ impl MemoPool {
         }
         let e = compute();
         shard.misses.fetch_add(1, Ordering::Relaxed);
+        self.insert_entry(key, e);
+        e
+    }
+
+    /// Stores an evaluation under a key (capacity eviction applies). Does
+    /// not touch the hit/miss counters — pair with [`MemoPool::get_key`]
+    /// or [`MemoPool::probe_many`], which already counted the miss.
+    pub fn insert_key(&self, key: u64, e: Evaluation) {
+        self.insert_entry(key, e);
+    }
+
+    fn insert_entry(&self, key: u64, e: Evaluation) {
+        let shard = self.shard(key);
         let mut map = Self::lock(shard);
         if let Some(cap) = self.capacity_per_shard {
             if map.len() >= cap && !map.contains_key(&key) {
@@ -161,13 +189,18 @@ impl MemoPool {
             }
         }
         map.insert(key, e);
-        e
     }
 
     /// Cached evaluation for a candidate, if present (no compute, counts
     /// as a hit or miss).
     pub fn get(&self, candidate: &Candidate, bandwidth_mbps: f64) -> Option<Evaluation> {
         let key = Self::key(candidate, bandwidth_mbps);
+        self.get_key(key)
+    }
+
+    /// Cached evaluation under a key, if present (counts as a hit or
+    /// miss).
+    pub fn get_key(&self, key: u64) -> Option<Evaluation> {
         let shard = self.shard(key);
         let found = Self::lock(shard).get(&key).copied();
         match found {
@@ -175,6 +208,47 @@ impl MemoPool {
             None => shard.misses.fetch_add(1, Ordering::Relaxed),
         };
         found
+    }
+
+    /// Batched probe for an expansion front: looks up every key, locking
+    /// each touched shard exactly once (probes are grouped by shard) and
+    /// updating its counters with one `fetch_add` per shard instead of
+    /// one per key. Equivalent to calling [`MemoPool::get_key`] per key —
+    /// pinned by the batched-vs-single equivalence test.
+    pub fn probe_many(&self, keys: &[u64]) -> Vec<Option<Evaluation>> {
+        let mut out = vec![None; keys.len()];
+        // Group key positions by shard. Sorting a small index vec beats
+        // allocating one bucket per shard for typical front sizes.
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| self.shard_for(keys[i]));
+        let mut pos = 0;
+        while pos < order.len() {
+            let shard_idx = self.shard_for(keys[order[pos]]);
+            let shard = &self.shards[shard_idx];
+            let mut hits = 0;
+            let mut misses = 0;
+            {
+                let map = Self::lock(shard);
+                while pos < order.len() && self.shard_for(keys[order[pos]]) == shard_idx {
+                    let i = order[pos];
+                    match map.get(&keys[i]) {
+                        Some(&e) => {
+                            out[i] = Some(e);
+                            hits += 1;
+                        }
+                        None => misses += 1,
+                    }
+                    pos += 1;
+                }
+            }
+            if hits > 0 {
+                shard.hits.fetch_add(hits, Ordering::Relaxed);
+            }
+            if misses > 0 {
+                shard.misses.fetch_add(misses, Ordering::Relaxed);
+            }
+        }
+        out
     }
 
     /// Number of cache hits so far (summed over shards).
@@ -452,6 +526,55 @@ mod tests {
             .filter(|e| e.name == "memo.shard")
             .count();
         assert_eq!(shard_events, 2);
+    }
+
+    #[test]
+    fn batched_probe_matches_single_probes() {
+        // probe_many must agree with per-key get_key on both values and
+        // counter deltas, across shard counts (including the degenerate
+        // single shard) and duplicate keys within one batch.
+        let spec = RewardSpec::default();
+        for shards in [1, 4, 16] {
+            let single = MemoPool::with_shards(shards);
+            let batched = MemoPool::with_shards(shards);
+            let keys: Vec<u64> = (0..64u64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .collect();
+            for (n, &k) in keys.iter().enumerate().filter(|(n, _)| n % 3 != 0) {
+                let e = Evaluation::new(0.9, 10.0 + n as f64, &spec);
+                single.insert_key(k, e);
+                batched.insert_key(k, e);
+            }
+            let mut probe: Vec<u64> = keys.clone();
+            probe.extend_from_slice(&keys[..8]); // duplicates
+            let got = batched.probe_many(&probe);
+            let want: Vec<Option<Evaluation>> =
+                probe.iter().map(|&k| single.get_key(k)).collect();
+            assert_eq!(got, want, "{shards} shards");
+            assert_eq!(batched.hits(), single.hits(), "{shards} shards");
+            assert_eq!(batched.misses(), single.misses(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn probe_many_of_empty_front_is_empty() {
+        let pool = MemoPool::new();
+        assert!(pool.probe_many(&[]).is_empty());
+        assert_eq!(pool.hits() + pool.misses(), 0);
+    }
+
+    #[test]
+    fn key_api_interoperates_with_candidate_api() {
+        let pool = MemoPool::new();
+        let base = zoo::vgg11_cifar();
+        let c = Candidate::base_all_edge(&base);
+        let spec = RewardSpec::default();
+        let key = MemoPool::key(&c, 10.0);
+        assert_eq!(pool.get_key(key), None);
+        let e = pool.get_or_insert_with(&c, 10.0, || Evaluation::new(0.9, 50.0, &spec));
+        assert_eq!(pool.get_key(key), Some(e));
+        let via_key = pool.get_or_insert_key_with(key, || unreachable!("must hit"));
+        assert_eq!(via_key, e);
     }
 
     #[test]

@@ -256,6 +256,56 @@ proptest! {
         );
     }
 
+    /// The O(1) prefix-sum latency kernel agrees with the per-layer
+    /// scalar walk to 0 ULP — bit-identical floats — for arbitrary
+    /// compressed candidates, cut points and bandwidths.
+    #[test]
+    fn latency_kernel_matches_scalar_oracle_exactly(seed in 0u64..500, bw in 0.05f64..500.0) {
+        let base = match seed % 3 {
+            0 => zoo::vgg11_cifar(),
+            1 => zoo::alexnet_cifar(),
+            _ => zoo::tiny_cnn(),
+        };
+        let env = if seed % 2 == 0 { EvalEnv::phone() } else { EvalEnv::tx2() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let partition = random_partition(&base, &mut rng);
+        let edge_len = partition.edge_len(base.len());
+        let plan = random_plan(&base, edge_len, &mut rng);
+        let c = Candidate::compose(&base, partition, &plan).expect("random plan composes");
+        let kernel = env.latency_ms(&c, Mbps(bw));
+        let scalar = env.latency_ms_scalar(&c, Mbps(bw));
+        prop_assert_eq!(
+            kernel.to_bits(),
+            scalar.to_bits(),
+            "kernel {} != scalar {}",
+            kernel,
+            scalar
+        );
+    }
+
+    /// The fused single-splice compose fast path is indistinguishable
+    /// from the sequential rewrite oracle: same model (including layer
+    /// names, hence structural hash), partition bookkeeping and recorded
+    /// actions, for arbitrary plans and cuts.
+    #[test]
+    fn compose_fast_path_matches_sequential_oracle(seed in 0u64..500) {
+        let base = match seed % 3 {
+            0 => zoo::vgg11_cifar(),
+            1 => zoo::alexnet_cifar(),
+            _ => zoo::tiny_cnn(),
+        };
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xc0a7);
+        let partition = random_partition(&base, &mut rng);
+        let edge_len = partition.edge_len(base.len());
+        let plan = random_plan(&base, edge_len, &mut rng);
+        let fast = Candidate::compose(&base, partition, &plan).expect("random plan composes");
+        let slow =
+            Candidate::compose_sequential(&base, partition, &plan).expect("random plan composes");
+        prop_assert_eq!(&fast, &slow);
+        prop_assert_eq!(fast.model.structural_hash(), slow.model.structural_hash());
+        prop_assert_eq!(fast.transfer_bytes(), slow.transfer_bytes());
+    }
+
     /// Random candidates always evaluate to bounded rewards and positive
     /// latencies, at any bandwidth.
     #[test]

@@ -35,21 +35,27 @@ pub fn partition_options(base: &ModelSpec) -> Vec<Partition> {
 }
 
 /// Optimal partition by exhaustive scan over chain cuts (ground truth for
-/// chain models).
+/// chain models). Each cut is costed in O(1) straight from the base's
+/// prefix-sum tables — no candidate is composed — so the whole scan is
+/// O(L) and bit-identical to evaluating composed identity candidates.
 pub fn optimal_partition_scan(base: &ModelSpec, env: &EvalEnv, bandwidth: Mbps) -> Partition {
-    let plan = cadmc_compress::CompressionPlan::identity(base.len());
+    let len = base.len();
+    let latency_at = |edge_len: usize| -> f64 {
+        let bytes = if edge_len == len {
+            0
+        } else if edge_len == 0 {
+            base.input_bytes()
+        } else {
+            base.cut_bytes_after(edge_len - 1)
+        };
+        env.edge.range_latency_ms(base, 0, edge_len)
+            + env.transfer.latency_ms(bytes, bandwidth)
+            + env.cloud.range_latency_ms(base, edge_len, len)
+    };
     partition_options(base)
         .into_iter()
         .min_by(|&a, &b| {
-            let la = env.latency_ms(
-                &Candidate::compose(base, a, &plan).expect("identity plan composes"),
-                bandwidth,
-            );
-            let lb = env.latency_ms(
-                &Candidate::compose(base, b, &plan).expect("identity plan composes"),
-                bandwidth,
-            );
-            la.total_cmp(&lb)
+            latency_at(a.edge_len(len)).total_cmp(&latency_at(b.edge_len(len)))
         })
         .expect("at least one partition option")
 }

@@ -10,6 +10,7 @@
 //! path composes a complete DNN (each root→leaf branch is a valid model).
 
 use std::ops::Range;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -50,10 +51,12 @@ pub struct TreeNode {
     pub reward: f64,
 }
 
-/// A context-aware model tree over a base DNN.
+/// A context-aware model tree over a base DNN. The base spec is held
+/// behind an [`Arc`]: tree construction per search episode then costs one
+/// reference-count bump instead of a deep model clone.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelTree {
-    base: ModelSpec,
+    base: Arc<ModelSpec>,
     block_ranges: Vec<Range<usize>>,
     levels: Vec<f64>,
     nodes: Vec<TreeNode>,
@@ -61,14 +64,21 @@ pub struct ModelTree {
 
 impl ModelTree {
     /// Creates an empty tree skeleton for `base` split into
-    /// `bandwidth_levels.len()`-forked blocks.
+    /// `bandwidth_levels.len()`-forked blocks. Accepts an owned spec or a
+    /// pre-shared `Arc<ModelSpec>` (the episode hot path passes the
+    /// latter).
     ///
     /// # Panics
     ///
     /// Panics if `n_blocks` is zero or exceeds the layer count, or if no
     /// bandwidth levels are given.
-    pub fn new(base: ModelSpec, n_blocks: usize, bandwidth_levels: Vec<f64>) -> Self {
+    pub fn new(
+        base: impl Into<Arc<ModelSpec>>,
+        n_blocks: usize,
+        bandwidth_levels: Vec<f64>,
+    ) -> Self {
         assert!(!bandwidth_levels.is_empty(), "need at least one bandwidth level");
+        let base = base.into();
         let block_ranges = base.block_ranges(n_blocks);
         Self {
             base,

@@ -15,6 +15,8 @@
 //! bandwidth level plus an explicitly grafted boost tree), and the
 //! candidate memo pool.
 
+use std::sync::Arc;
+
 use cadmc_accuracy::AppliedAction;
 use cadmc_latency::Mbps;
 use cadmc_netsim::BandwidthTrace;
@@ -25,8 +27,9 @@ use rand::SeedableRng;
 
 use crate::branch::optimal_branch;
 use crate::executor::{execute, ExecConfig, Policy};
-use crate::candidate::Partition;
+use crate::candidate::{Candidate, Partition};
 use crate::controller::{EpisodeTape, HeadState, PartitionAction};
+use crate::delta::DeltaState;
 use crate::env::EvalEnv;
 use crate::memo::MemoPool;
 use crate::parallel::{par_map, par_map_indexed};
@@ -83,8 +86,18 @@ pub fn tree_search(
         blocks = n_blocks,
         boost = boost,
     );
-    let mut best: Option<(ModelTree, f64)> = None;
+    // Invariant: the best-so-far tree is always the most recently pushed
+    // finalist (every improver is pushed when it sets the new best), so
+    // no separate best copy is kept — improvers move into the pool.
+    let mut best_score = f64::NEG_INFINITY;
     let mut finalists: Vec<ModelTree> = Vec::new();
+
+    // Built once, shared read-only by every episode: the Arc'd base spec
+    // (each episode's `ModelTree` now shares it instead of cloning all
+    // layers) and the per-level block prefix slices the controllers
+    // condition on.
+    let base_arc: Arc<ModelSpec> = Arc::new(base.clone());
+    let slices = BlockSlices::new(base, n_blocks);
 
     if boost {
         let _boost_span = telemetry::span!("tree.boost", levels = levels.len());
@@ -112,12 +125,11 @@ pub fn tree_search(
         // the returned tree never executes worse than the best constant-
         // bandwidth branch.
         for cand in &branch_candidates {
-            finalists.push(rigid_tree(base, env, levels, n_blocks, cand, memo));
+            finalists.push(rigid_tree(&base_arc, env, levels, n_blocks, cand, memo));
         }
-        let boosted = boost_tree(base, env, levels, n_blocks, &branch_candidates, memo);
-        let score = boosted.mean_branch_reward();
-        finalists.push(boosted.clone());
-        best = Some((boosted, score));
+        let boosted = boost_tree(&base_arc, env, levels, n_blocks, &branch_candidates, memo);
+        best_score = boosted.mean_branch_reward();
+        finalists.push(boosted);
     }
 
     // Episodes roll out in batches of `cfg.rollout_batch` from frozen
@@ -133,6 +145,8 @@ pub fn tree_search(
         let batch_end = (batch_start + batch_size).min(cfg.episodes);
         let rollouts = {
             let shared: &Controllers = controllers;
+            let base_arc = &base_arc;
+            let slices = &slices;
             par_map_indexed(
                 batch_end - batch_start,
                 cfg.parallelism.workers,
@@ -142,7 +156,8 @@ pub fn tree_search(
                     let mut rng =
                         StdRng::seed_from_u64(cfg.seed ^ TREE_SALT ^ episode as u64);
                     let (mut tree, tapes) = generate_tree(
-                        shared, base, env, levels, n_blocks, cfg, episode, &mut rng, memo,
+                        shared, base_arc, slices, env, levels, n_blocks, cfg, episode,
+                        &mut rng, memo,
                     );
                     tree.backward_estimate_with(cfg.backward_rule);
                     episode_span.record("score", tree.mean_branch_reward());
@@ -162,20 +177,15 @@ pub fn tree_search(
             let score = tree.mean_branch_reward();
             telemetry::hist!("tree.score", crate::branch::REWARD_BOUNDS, score);
             episode_scores.push(score);
-            let replace = match &best {
-                Some((_, s)) => score > *s,
-                None => true,
-            };
-            if replace {
-                finalists.push(tree.clone());
-                best = Some((tree, score));
+            if score > best_score {
+                best_score = score;
+                finalists.push(tree);
             }
         }
         batch_start = batch_end;
     }
 
-    let (mut tree, _) = best.expect("episodes >= 1 was validated");
-    if let Some(trace) = selection_trace {
+    let tree = if let Some(trace) = selection_trace {
         let _rerank_span = telemetry::span!("tree.rerank", finalists = finalists.len());
         // Re-rank the finalists by replayed execution; keep the seeded
         // rigid/boost trees plus the last few RL improvers to bound cost.
@@ -191,13 +201,18 @@ pub fn tree_search(
             report.evaluation(&env.reward).reward
         });
         let mut best_exec = f64::NEG_INFINITY;
-        for (cand, &r) in finalists.iter().zip(&exec_rewards) {
+        let mut winner = finalists.len() - 1;
+        for (i, &r) in exec_rewards.iter().enumerate() {
             if r > best_exec {
                 best_exec = r;
-                tree = cand.clone();
+                winner = i;
             }
         }
-    }
+        finalists.swap_remove(winner)
+    } else {
+        // The invariant above puts the internal best at the tail.
+        finalists.pop().expect("episodes >= 1 was validated")
+    };
     let best_branch_reward = tree
         .best_branch()
         .map(|(path, _)| tree.nodes()[*path.last().expect("non-empty")].reward)
@@ -210,13 +225,129 @@ pub fn tree_search(
     })
 }
 
+/// Per-level block prefix slices, built once per search and shared
+/// read-only by every episode: `edge(level, c)` is
+/// `base.slice(range.start, range.start + c)` without the per-node
+/// slice reallocation the old per-episode path paid.
+struct BlockSlices {
+    per_level: Vec<Vec<ModelSpec>>,
+}
+
+impl BlockSlices {
+    fn new(base: &ModelSpec, n_blocks: usize) -> Self {
+        let per_level = base
+            .block_ranges(n_blocks)
+            .iter()
+            .map(|r| {
+                (r.start + 1..=r.end)
+                    .map(|end| base.slice(r.start, end).expect("valid block slice"))
+                    .collect()
+            })
+            .collect();
+        Self { per_level }
+    }
+
+    /// The whole block at `level`.
+    fn block(&self, level: usize) -> &ModelSpec {
+        let v = &self.per_level[level];
+        &v[v.len() - 1]
+    }
+
+    /// The first `len` layers of the block at `level` (`len >= 1`).
+    fn edge(&self, level: usize, len: usize) -> &ModelSpec {
+        &self.per_level[level][len - 1]
+    }
+}
+
+/// Derives the branch decision delta for a root→leaf path: the partition
+/// from the first cut on the path plus every action strictly below it —
+/// no model composition. Matches [`ModelTree::compose_path`], whose
+/// composition drops at-or-beyond-cut actions the same way.
+fn path_delta<'a>(tree: &'a ModelTree, path: &[usize]) -> DeltaState<'a> {
+    let mut cut: Option<usize> = None;
+    for &id in path {
+        if let Some(abs) = tree.nodes()[id].partition_abs {
+            cut = Some(abs);
+            break;
+        }
+    }
+    let base = tree.base();
+    let partition = match cut {
+        Some(0) => Partition::AllCloud,
+        Some(abs) => Partition::AfterLayer(abs - 1),
+        None => Partition::AllEdge,
+    };
+    let mut delta = DeltaState::new(base, partition);
+    let edge_len = partition.edge_len(base.len());
+    for &id in path {
+        let node = &tree.nodes()[id];
+        for a in &node.actions {
+            // Compression never applies at or beyond the cut.
+            if a.layer_index < edge_len {
+                delta.push_action(a.layer_index, a.technique);
+            }
+        }
+        if node.partition_abs.is_some() {
+            break;
+        }
+    }
+    delta
+}
+
+/// Scores a branch delta at one bandwidth: probe the memo by key,
+/// compose + evaluate only on a miss.
+fn score_delta(
+    delta: &DeltaState<'_>,
+    bw: f64,
+    env: &EvalEnv,
+    base: &ModelSpec,
+    memo: &MemoPool,
+) -> f64 {
+    let key = delta.eval_key(bw);
+    memo.get_key(key)
+        .unwrap_or_else(|| {
+            let candidate = delta.materialize().expect("tree paths compose");
+            let e = env.evaluate(base, &candidate, Mbps(bw));
+            memo.insert_key(key, e);
+            e
+        })
+        .reward
+}
+
+/// Scores a branch delta as the mean over `levels`: one batched memo
+/// probe for the whole front, composing at most once across all misses.
+fn score_delta_mean(
+    delta: &DeltaState<'_>,
+    levels: &[f64],
+    env: &EvalEnv,
+    base: &ModelSpec,
+    memo: &MemoPool,
+) -> f64 {
+    let keys: Vec<u64> = levels.iter().map(|&bw| delta.eval_key(bw)).collect();
+    let probed = memo.probe_many(&keys);
+    let mut candidate: Option<Candidate> = None;
+    let mut sum = 0.0;
+    for ((&bw, &key), hit) in levels.iter().zip(&keys).zip(probed) {
+        let e = hit.unwrap_or_else(|| {
+            let c = candidate
+                .get_or_insert_with(|| delta.materialize().expect("tree paths compose"));
+            let e = env.evaluate(base, c, Mbps(bw));
+            memo.insert_key(key, e);
+            e
+        });
+        sum += e.reward;
+    }
+    sum / levels.len() as f64
+}
+
 /// Forward generation of one episode's tree. Returns the tree (leaf
 /// rewards filled in, interior rewards zero) and one tape per node,
 /// indexed by node id.
 #[allow(clippy::too_many_arguments)]
 fn generate_tree(
     controllers: &Controllers,
-    base: &ModelSpec,
+    base: &Arc<ModelSpec>,
+    slices: &BlockSlices,
     env: &EvalEnv,
     levels: &[f64],
     n_blocks: usize,
@@ -225,7 +356,7 @@ fn generate_tree(
     rng: &mut StdRng,
     memo: &MemoPool,
 ) -> (ModelTree, Vec<EpisodeTape>) {
-    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    let mut tree = ModelTree::new(Arc::clone(base), n_blocks, levels.to_vec());
     let mut tapes: Vec<EpisodeTape> = Vec::new();
     let mut parents: Vec<Option<usize>> = Vec::new();
     let mut head_states: Vec<HeadState> = Vec::new();
@@ -244,13 +375,13 @@ fn generate_tree(
             levels[fork]
         };
         let range = tree.block_range(level);
-        let block = base.slice(range.start, range.end).expect("valid block slice");
+        let block = slices.block(level);
         let mut tape = EpisodeTape::new();
         let force = cfg.force_no_partition(episode, level + 1, n_blocks);
         let action = controllers.partition.sample(
             &mut tape,
             &controllers.params,
-            &block,
+            block,
             bw,
             rng,
             force,
@@ -262,13 +393,11 @@ fn generate_tree(
         let mut head_state = parent.map_or_else(HeadState::default, |p| head_states[p]);
         let mut actions: Vec<AppliedAction> = Vec::new();
         if compress_len > 0 {
-            let edge_block = base
-                .slice(range.start, range.start + compress_len)
-                .expect("valid block slice");
+            let edge_block = slices.edge(level, compress_len);
             let plan = controllers.compression.sample_with_state(
                 &mut tape,
                 &controllers.params,
-                &edge_block,
+                edge_block,
                 bw,
                 rng,
                 &mut head_state,
@@ -296,8 +425,9 @@ fn generate_tree(
 
         let is_leaf = partition_abs.is_some() || level + 1 == n_blocks;
         if is_leaf {
-            // Reconstruct the path and score the composed branch at this
-            // node's conditioning bandwidth.
+            // Reconstruct the path and score the branch — by its decision
+            // delta's key, composing only on a memo miss — at this node's
+            // conditioning bandwidth.
             let mut path = vec![id];
             let mut cur = parent;
             while let Some(p) = cur {
@@ -305,25 +435,13 @@ fn generate_tree(
                 cur = parents[p];
             }
             path.reverse();
-            let candidate = tree.compose_path(&path);
+            let delta = path_delta(&tree, &path);
             // A root-level leaf (the whole tree is one branch) must be
             // judged across all levels, not at a single bandwidth.
             let reward = if parent.is_none() {
-                levels
-                    .iter()
-                    .map(|&l| {
-                        memo.get_or_insert_with(&candidate, l, || {
-                            env.evaluate(base, &candidate, Mbps(l))
-                        })
-                        .reward
-                    })
-                    .sum::<f64>()
-                    / levels.len() as f64
+                score_delta_mean(&delta, levels, env, base, memo)
             } else {
-                memo.get_or_insert_with(&candidate, bw, || {
-                    env.evaluate(base, &candidate, Mbps(bw))
-                })
-                .reward
+                score_delta(&delta, bw, env, base, memo)
             };
             tree.node_mut(id).reward = reward;
         } else {
@@ -340,14 +458,14 @@ fn generate_tree(
 /// its block, with a cut inside an earlier block carried at the first
 /// opportunity. Executing it is equivalent to the static candidate.
 pub fn rigid_tree(
-    base: &ModelSpec,
+    base: &Arc<ModelSpec>,
     env: &EvalEnv,
     levels: &[f64],
     n_blocks: usize,
     cand: &crate::candidate::Candidate,
     memo: &MemoPool,
 ) -> ModelTree {
-    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    let mut tree = ModelTree::new(Arc::clone(base), n_blocks, levels.to_vec());
     let cut_abs = match cand.partition {
         Partition::AllEdge => None,
         Partition::AllCloud => Some(0),
@@ -419,14 +537,14 @@ fn tree_range(base: &ModelSpec, n_blocks: usize, level: usize) -> std::ops::Rang
 /// start of block 1, since a shared non-partitioned root cannot partition
 /// per-fork).
 fn boost_tree(
-    base: &ModelSpec,
+    base: &Arc<ModelSpec>,
     env: &EvalEnv,
     levels: &[f64],
     n_blocks: usize,
     branch_candidates: &[crate::candidate::Candidate],
     memo: &MemoPool,
 ) -> ModelTree {
-    let mut tree = ModelTree::new(base.clone(), n_blocks, levels.to_vec());
+    let mut tree = ModelTree::new(Arc::clone(base), n_blocks, levels.to_vec());
     // Root from the branch with the highest reward at its own level.
     let root_src = branch_candidates
         .iter()
@@ -549,36 +667,58 @@ fn complete_tree(tree: &mut ModelTree, env: &EvalEnv, memo: &MemoPool) {
     // Score every leaf at the bandwidth of the fork that reaches it; a
     // root-only path (the tree degenerated to one branch) is scored as the
     // mean over all K levels so rigid trees are not judged at a single
-    // optimistic bandwidth.
-    let branches = tree.branches();
-    for path in branches {
-        let leaf = *path.last().expect("non-empty branch");
-        let candidate = tree.compose_path(&path);
-        let reward = if path.len() >= 2 {
-            let parent = path[path.len() - 2];
-            let fork = tree.nodes()[parent]
-                .children
-                .iter()
-                .position(|&c| c == leaf)
-                .expect("leaf is its parent's child");
-            let bw = tree.levels()[fork];
-            memo.get_or_insert_with(&candidate, bw, || {
-                env.evaluate(tree.base(), &candidate, Mbps(bw))
+    // optimistic bandwidth. The whole expansion front is probed against
+    // the memo in one batch (one lock per touched shard), and a branch is
+    // composed only when one of its bandwidths misses.
+    let scored: Vec<(usize, f64)> = {
+        let branches = tree.branches();
+        let levels: Vec<f64> = tree.levels().to_vec();
+        let base = tree.base();
+        let mut jobs: Vec<(usize, DeltaState<'_>, Vec<f64>)> =
+            Vec::with_capacity(branches.len());
+        let mut starts: Vec<usize> = Vec::with_capacity(branches.len());
+        let mut keys: Vec<u64> = Vec::new();
+        for path in &branches {
+            let leaf = *path.last().expect("non-empty branch");
+            let delta = path_delta(tree, path);
+            let bws: Vec<f64> = if path.len() >= 2 {
+                let parent = path[path.len() - 2];
+                let fork = tree.nodes()[parent]
+                    .children
+                    .iter()
+                    .position(|&c| c == leaf)
+                    .expect("leaf is its parent's child");
+                vec![levels[fork]]
+            } else {
+                levels.clone()
+            };
+            starts.push(keys.len());
+            keys.extend(bws.iter().map(|&bw| delta.eval_key(bw)));
+            jobs.push((leaf, delta, bws));
+        }
+        let probed = memo.probe_many(&keys);
+        jobs.into_iter()
+            .zip(starts)
+            .map(|((leaf, delta, bws), start)| {
+                let mut candidate: Option<Candidate> = None;
+                let mut sum = 0.0;
+                for (j, &bw) in bws.iter().enumerate() {
+                    let key = keys[start + j];
+                    let e = probed[start + j].unwrap_or_else(|| {
+                        let c = candidate.get_or_insert_with(|| {
+                            delta.materialize().expect("tree paths compose")
+                        });
+                        let e = env.evaluate(base, c, Mbps(bw));
+                        memo.insert_key(key, e);
+                        e
+                    });
+                    sum += e.reward;
+                }
+                (leaf, sum / bws.len() as f64)
             })
-            .reward
-        } else {
-            let levels = tree.levels().to_vec();
-            levels
-                .iter()
-                .map(|&bw| {
-                    memo.get_or_insert_with(&candidate, bw, || {
-                        env.evaluate(tree.base(), &candidate, Mbps(bw))
-                    })
-                    .reward
-                })
-                .sum::<f64>()
-                / levels.len() as f64
-        };
+            .collect()
+    };
+    for (leaf, reward) in scored {
         tree.node_mut(leaf).reward = reward;
     }
 }

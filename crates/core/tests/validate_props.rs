@@ -165,6 +165,7 @@ proptest! {
             partition: Partition::AfterLayer(base.len() + extra),
             edge_layers: base.len(),
             actions: Vec::new(),
+            cache: Default::default(),
         };
         match validate::candidate(&base, &cand) {
             Err(ValidateError::CutOutOfRange { cut, layers }) => {

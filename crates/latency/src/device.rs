@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cadmc_nn::{LayerSpec, ModelSpec, Shape};
+use cadmc_nn::{ClassSums, LayerSpec, ModelSpec, Shape};
 
 /// The three evaluation platforms of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -67,14 +67,6 @@ pub struct DeviceProfile {
     pub fc_coeff: f64,
 }
 
-fn kernel_bucket(kernel: usize) -> usize {
-    match kernel {
-        0..=1 => 0,
-        2..=3 => 1,
-        4..=5 => 2,
-        _ => 3,
-    }
-}
 
 impl DeviceProfile {
     /// The Xiaomi MI 6X profile (Table 1 calibration).
@@ -126,18 +118,43 @@ impl DeviceProfile {
         self.platform
     }
 
+    /// The ms/MACC coefficient per latency cost class, indexed by
+    /// [`LayerSpec::cost_class`]: conv kernel buckets (k=1,3,5,7+), then
+    /// depthwise, then fully-connected. Composites share the 3×3 conv
+    /// class as representative.
+    pub fn class_coeffs(&self) -> [f64; LayerSpec::NUM_COST_CLASSES] {
+        [
+            self.conv_coeff[0],
+            self.conv_coeff[1],
+            self.conv_coeff[2],
+            self.conv_coeff[3],
+            self.dw_coeff,
+            self.fc_coeff,
+        ]
+    }
+
     /// The ms/MACC coefficient this profile applies to `layer`.
     pub fn coeff_for(&self, layer: &LayerSpec) -> f64 {
-        match layer {
-            LayerSpec::Conv2d { kernel, .. } => self.conv_coeff[kernel_bucket(*kernel)],
-            LayerSpec::DepthwiseConv2d { .. } => self.dw_coeff,
-            LayerSpec::Fc { .. } => self.fc_coeff,
-            // Composites use the 3x3 conv coefficient as representative.
-            LayerSpec::Fire { .. }
-            | LayerSpec::InvertedResidual { .. }
-            | LayerSpec::Residual { .. } => self.conv_coeff[1],
-            _ => 0.0,
+        layer
+            .cost_class()
+            .map_or(0.0, |c| self.class_coeffs()[c])
+    }
+
+    /// Latency (ms) of a layer range described by its grouped cost totals.
+    ///
+    /// This is the *canonical* evaluation order of the latency model:
+    /// per-layer overhead times the weighted-layer count, plus one
+    /// coefficient · MACC-total term per cost class, accumulated in class
+    /// order. Both the O(1) prefix-sum kernel and the scalar oracle funnel
+    /// through this one expression, so they agree to 0 ULP — the integer
+    /// sums they feed in are exact.
+    pub fn latency_of_sums(&self, sums: &ClassSums) -> f64 {
+        let coeffs = self.class_coeffs();
+        let mut acc = self.layer_overhead_ms * sums.weighted_layers as f64;
+        for (coeff, maccs) in coeffs.iter().zip(sums.maccs) {
+            acc += coeff * maccs as f64;
         }
+        acc
     }
 
     /// Estimated latency of one layer (ms) given its input shape. Cheap
@@ -152,21 +169,30 @@ impl DeviceProfile {
 
     /// Estimated latency of a whole model (ms).
     pub fn model_latency_ms(&self, model: &ModelSpec) -> f64 {
-        (0..model.len())
-            .map(|i| self.layer_latency_ms(&model.layers()[i], model.layer_input(i)))
-            .sum()
+        self.range_latency_ms(model, 0, model.len())
     }
 
-    /// Estimated latency of the layer range `[start, end)` of `model` (ms).
+    /// Estimated latency of the layer range `[start, end)` of `model` (ms)
+    /// in O(1), from the model's cost-class prefix sums.
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
     pub fn range_latency_ms(&self, model: &ModelSpec, start: usize, end: usize) -> f64 {
-        assert!(start <= end && end <= model.len(), "bad layer range");
-        (start..end)
-            .map(|i| self.layer_latency_ms(&model.layers()[i], model.layer_input(i)))
-            .sum()
+        self.latency_of_sums(&model.class_sums(start, end))
+    }
+
+    /// Scalar differential-testing oracle for
+    /// [`DeviceProfile::range_latency_ms`]: accumulates the grouped cost
+    /// totals with a per-layer walk instead of the prefix table, then
+    /// applies the same canonical float expression. Agrees with the O(1)
+    /// kernel to 0 ULP for every valid spec and range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn range_latency_ms_scalar(&self, model: &ModelSpec, start: usize, end: usize) -> f64 {
+        self.latency_of_sums(&model.class_sums_scalar(start, end))
     }
 }
 

@@ -555,6 +555,42 @@ impl LayerSpec {
         }
     }
 
+    /// Number of distinct latency cost classes (see [`LayerSpec::cost_class`]).
+    pub const NUM_COST_CLASSES: usize = 6;
+
+    /// Latency cost class of this layer, or `None` for zero-cost layers.
+    ///
+    /// Device latency models charge every compute-bearing layer a fixed
+    /// per-layer overhead plus a per-MACC coefficient that depends only on
+    /// this class — conv layers bucketed by kernel size (classes 0–3),
+    /// depthwise convs (4) and fully-connected layers (5). Composite
+    /// blocks (Fire / inverted-residual / residual) are dominated by 3×3
+    /// convolutions and share the 3×3 conv class. Because the coefficient
+    /// is constant within a class, a device's latency over any layer range
+    /// reduces to six MACC sums plus a weighted-layer count — which is
+    /// what makes prefix-sum latency kernels exact rather than
+    /// approximate.
+    pub fn cost_class(&self) -> Option<usize> {
+        match self {
+            LayerSpec::Conv2d { kernel, .. } => Some(match kernel {
+                0..=1 => 0,
+                2..=3 => 1,
+                4..=5 => 2,
+                _ => 3,
+            }),
+            LayerSpec::DepthwiseConv2d { .. } => Some(4),
+            LayerSpec::Fc { .. } => Some(5),
+            LayerSpec::Fire { .. }
+            | LayerSpec::InvertedResidual { .. }
+            | LayerSpec::Residual { .. } => Some(1),
+            LayerSpec::MaxPool2d { .. }
+            | LayerSpec::GlobalAvgPool
+            | LayerSpec::Flatten
+            | LayerSpec::BatchNorm
+            | LayerSpec::Dropout => None,
+        }
+    }
+
     /// Whether this layer carries trainable weight (a compression target).
     pub fn is_weighted(&self) -> bool {
         matches!(

@@ -38,4 +38,4 @@ pub mod trainer;
 pub mod zoo;
 
 pub use layer::{LayerSpec, Shape, ShapeError};
-pub use model::ModelSpec;
+pub use model::{ClassSums, ModelSpec};

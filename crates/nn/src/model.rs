@@ -18,6 +18,9 @@ struct ModelCache {
     hash: OnceLock<u64>,
     /// `(per-layer MACCs, their sum)`.
     maccs: OnceLock<(Vec<u64>, u64)>,
+    /// Cost-class prefix sums, `layers.len() + 1` entries; entry `i`
+    /// covers layers `[0, i)`.
+    class_prefix: OnceLock<Vec<ClassSums>>,
 }
 
 impl Clone for ModelCache {
@@ -29,7 +32,53 @@ impl Clone for ModelCache {
         if let Some(m) = self.maccs.get() {
             let _ = out.maccs.set(m.clone());
         }
+        if let Some(p) = self.class_prefix.get() {
+            let _ = out.class_prefix.set(p.clone());
+        }
         out
+    }
+}
+
+/// Grouped cost totals for a contiguous layer range: how many layers in
+/// the range carry nonzero MACCs, and the MACC total per latency cost
+/// class (see [`LayerSpec::cost_class`]).
+///
+/// Device latency over a range is an exact function of these integers —
+/// `overhead · weighted_layers + Σ_class coeff[class] · maccs[class]` —
+/// so differences of prefix sums reproduce a scalar walk bit-for-bit:
+/// integer sums are associative, and the final float expression is
+/// evaluated in one fixed order either way.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClassSums {
+    /// Number of layers in the range with nonzero MACC cost (each pays
+    /// the device's per-layer overhead once).
+    pub weighted_layers: u64,
+    /// Total MACCs per cost class.
+    pub maccs: [u64; LayerSpec::NUM_COST_CLASSES],
+}
+
+impl ClassSums {
+    /// Accumulates one layer's contribution.
+    fn add_layer(&mut self, class: Option<usize>, maccs: u64) {
+        if maccs == 0 {
+            return;
+        }
+        self.weighted_layers += 1;
+        // A layer with nonzero MACCs always has a cost class; the
+        // fallback keeps the sum total-preserving even if a future layer
+        // kind forgets to declare one.
+        let class = class.unwrap_or(1);
+        self.maccs[class] += maccs;
+    }
+
+    /// The range `[start, end)` as a difference of two prefixes
+    /// (`self` covers `[0, end)`, `earlier` covers `[0, start)`).
+    fn minus(mut self, earlier: &ClassSums) -> ClassSums {
+        self.weighted_layers -= earlier.weighted_layers;
+        for (m, e) in self.maccs.iter_mut().zip(earlier.maccs) {
+            *m -= e;
+        }
+        self
     }
 }
 
@@ -189,6 +238,48 @@ impl ModelSpec {
     /// Total MACCs of the model (Eqs. 4–5 summed over layers).
     pub fn total_maccs(&self) -> u64 {
         self.maccs().1
+    }
+
+    /// Cost-class prefix sums (`len() + 1` entries), built once per spec.
+    fn class_prefix(&self) -> &[ClassSums] {
+        self.cache.class_prefix.get_or_init(|| {
+            let mut prefix = Vec::with_capacity(self.layers.len() + 1);
+            let mut acc = ClassSums::default();
+            prefix.push(acc);
+            for (i, layer) in self.layers.iter().enumerate() {
+                acc.add_layer(layer.cost_class(), self.layer_maccs(i));
+                prefix.push(acc);
+            }
+            prefix
+        })
+    }
+
+    /// Grouped cost totals of layers `[start, end)` in O(1) via prefix-sum
+    /// difference. An empty range yields the zero sums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn class_sums(&self, start: usize, end: usize) -> ClassSums {
+        assert!(start <= end && end <= self.layers.len(), "bad class-sum range");
+        let prefix = self.class_prefix();
+        prefix[end].minus(&prefix[start])
+    }
+
+    /// Scalar oracle for [`ModelSpec::class_sums`]: walks the range layer
+    /// by layer. Exists for differential testing — the prefix-sum path
+    /// must agree with this to 0 ULP downstream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn class_sums_scalar(&self, start: usize, end: usize) -> ClassSums {
+        assert!(start <= end && end <= self.layers.len(), "bad class-sum range");
+        let mut acc = ClassSums::default();
+        for i in start..end {
+            acc.add_layer(self.layers[i].cost_class(), self.layer_maccs(i));
+        }
+        acc
     }
 
     /// Total trainable parameters.

@@ -1,6 +1,6 @@
 //! Custom source-level static analysis for the cadmc workspace.
 //!
-//! `cargo xtask lint` runs four lightweight lints over first-party library
+//! `cargo xtask lint` runs six lightweight lints over first-party library
 //! code (no external parser — a masking tokenizer plus line scanning, so
 //! the pass works in the vendored-offline build):
 //!
@@ -25,6 +25,12 @@
 //!   non-newline forms) in first-party library crates. Libraries report
 //!   through the telemetry layer (`cadmc-telemetry` spans, metrics and
 //!   sinks); only the CLI and bench binaries own stdout/stderr.
+//! - **L6 hot-path model clone**: forbids wholesale `.clone()` of a
+//!   `ModelSpec`/`ModelTree` in the search hot-path files (the L2 set).
+//!   Episode loops must share the base spec via `Arc` and carry per-state
+//!   deltas; a full-model clone per step is exactly the allocation storm
+//!   the delta-state design removed. Justified one-time promotions go in
+//!   `lint.allow`.
 //!
 //! The scanner masks comments and string literals (preserving line
 //! structure), skips `#[cfg(test)]` items by brace tracking, and skips
@@ -38,7 +44,7 @@ use std::path::{Path, PathBuf};
 /// ground.
 pub const MAX_ALLOWLIST_ENTRIES: usize = 25;
 
-/// The five lint classes.
+/// The six lint classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// Panic-hygiene: no `unwrap`/`expect`/`panic!` in library code.
@@ -51,6 +57,8 @@ pub enum Lint {
     L4FloatEq,
     /// No `println!`/`eprintln!` in first-party library crates.
     L5PrintInLib,
+    /// No wholesale `ModelSpec`/`ModelTree` clones in search hot paths.
+    L6HotClone,
 }
 
 impl Lint {
@@ -62,10 +70,11 @@ impl Lint {
             Lint::L3Nondeterminism => "L3",
             Lint::L4FloatEq => "L4",
             Lint::L5PrintInLib => "L5",
+            Lint::L6HotClone => "L6",
         }
     }
 
-    /// Parses a lint code (`"L1"`..`"L4"`).
+    /// Parses a lint code (`"L1"`..`"L6"`).
     pub fn from_code(code: &str) -> Option<Lint> {
         match code {
             "L1" => Some(Lint::L1PanicSite),
@@ -73,6 +82,7 @@ impl Lint {
             "L3" => Some(Lint::L3Nondeterminism),
             "L4" => Some(Lint::L4FloatEq),
             "L5" => Some(Lint::L5PrintInLib),
+            "L6" => Some(Lint::L6HotClone),
             _ => None,
         }
     }
@@ -86,6 +96,9 @@ impl Lint {
             Lint::L4FloatEq => "exact float equality comparison",
             Lint::L5PrintInLib => {
                 "print to stdout/stderr in library code (report via cadmc-telemetry instead)"
+            }
+            Lint::L6HotClone => {
+                "deep model clone in a search hot path (share via Arc or carry a delta instead)"
             }
         }
     }
@@ -511,6 +524,9 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
     }
 
     let map_idents = if l2 { map_bindings(&masked_lines) } else { Vec::new() };
+    // L6 shares L2's hot-path scope: the files where a per-episode model
+    // clone would silently reintroduce the allocation storm.
+    let spec_idents = if l2 { spec_bindings(&masked_lines) } else { Vec::new() };
 
     for (i, line) in masked_lines.iter().enumerate() {
         if in_test.get(i).copied().unwrap_or(false) {
@@ -530,6 +546,9 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
         }
         if l5 && has_print_site(line) {
             push(Lint::L5PrintInLib, i);
+        }
+        if l2 && clones_model(line, &spec_idents) {
+            push(Lint::L6HotClone, i);
         }
     }
     out
@@ -619,6 +638,105 @@ fn ident_before(line: &str, pos: usize) -> Option<String> {
     } else {
         Some(word)
     }
+}
+
+/// L6 deep-clone target types: model-carrying values whose wholesale
+/// `.clone()` inside a search loop undoes the shared-base/delta design.
+const L6_CLONE_TYPES: [&str; 2] = ["ModelSpec", "ModelTree"];
+
+/// Extracts identifiers bound to an [`L6_CLONE_TYPES`] type in this file:
+/// `name: ModelSpec` / `name: &ModelTree` (field, param or let) and
+/// `name = ModelSpec::...` constructions. `Arc<ModelSpec>` bindings are
+/// deliberately *not* tracked — cloning the `Arc` is the fix, not the
+/// problem.
+fn spec_bindings(masked_lines: &[&str]) -> Vec<String> {
+    let mut idents = Vec::new();
+    for line in masked_lines {
+        if !L6_CLONE_TYPES.iter().any(|t| line.contains(t)) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        // `name : ModelSpec` / `name : &mut ModelTree`.
+        for (pos, _) in line.match_indices(':') {
+            if bytes.get(pos + 1) == Some(&b':') || (pos > 0 && bytes[pos - 1] == b':') {
+                continue; // a `::` path, not a type ascription
+            }
+            let after = line[pos + 1..].trim_start();
+            let after = after.strip_prefix('&').unwrap_or(after);
+            let after = after.strip_prefix("mut ").unwrap_or(after);
+            let is_target = L6_CLONE_TYPES.iter().any(|t| {
+                after.strip_prefix(t).is_some_and(|rest| {
+                    rest.chars()
+                        .next()
+                        .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_' && c != '<')
+                })
+            });
+            if is_target {
+                if let Some(name) = ident_just_before(line, pos) {
+                    idents.push(name);
+                }
+            }
+        }
+        // `name = ModelSpec::new(..)` / `= ModelTree::new(..)`.
+        for (pos, _) in line.match_indices('=') {
+            if pos > 0 && matches!(bytes[pos - 1], b'=' | b'!' | b'<' | b'>') {
+                continue;
+            }
+            if bytes.get(pos + 1) == Some(&b'=') {
+                continue;
+            }
+            let after = line[pos + 1..].trim_start();
+            if L6_CLONE_TYPES
+                .iter()
+                .any(|t| after.strip_prefix(t).is_some_and(|r| r.starts_with("::")))
+            {
+                if let Some(name) = ident_before(line, pos) {
+                    idents.push(name);
+                }
+            }
+        }
+    }
+    idents.sort();
+    idents.dedup();
+    idents
+}
+
+/// The identifier whose last character sits immediately before byte
+/// `pos` (after trailing whitespace), with no `:`-splitting — right for
+/// type-ascription positions where the line holds several `name: Type`
+/// pairs.
+fn ident_just_before(line: &str, pos: usize) -> Option<String> {
+    let head = line[..pos].trim_end();
+    let word: String = head
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if word.is_empty() || word.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(word)
+    }
+}
+
+/// L6: wholesale `.clone()` of a model-carrying value — a tracked
+/// binding, or the `.model.clone()` / `.base.clone()` field forms the
+/// search types expose their specs through.
+fn clones_model(line: &str, spec_idents: &[String]) -> bool {
+    if line.contains(".model.clone()") || line.contains(".base.clone()") {
+        return true;
+    }
+    spec_idents.iter().any(|ident| {
+        line.match_indices(&format!("{ident}.clone()")).any(|(pos, _)| {
+            pos == 0 || {
+                let b = line.as_bytes()[pos - 1];
+                !(b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+            }
+        })
+    })
 }
 
 const ITER_METHODS: [&str; 8] = [

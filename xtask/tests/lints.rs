@@ -220,6 +220,63 @@ fn l5_ignores_prints_in_docs_and_strings() {
     assert!(lints_of("crates/nn/src/zoo.rs", src).is_empty());
 }
 
+// --- L6: hot-path model clone ------------------------------------------
+
+#[test]
+fn l6_fires_on_clone_of_tracked_spec_binding() {
+    let src = "fn f(base: &ModelSpec) -> ModelSpec {\n    base.clone()\n}\n";
+    let found = lints_of("crates/core/src/tree_search.rs", src);
+    assert!(found.contains(&Lint::L6HotClone), "{found:?}");
+}
+
+#[test]
+fn l6_fires_on_tree_constructor_binding_and_field_forms() {
+    let src = "fn f(s: &State) {\n\
+                   let tree = ModelTree::new(spec, 3);\n\
+                   let a = tree.clone();\n\
+                   let b = s.model.clone();\n\
+                   let c = s.base.clone();\n\
+               }\n";
+    let found = lints_of("crates/core/src/mdp.rs", src);
+    assert_eq!(
+        found.iter().filter(|&&l| l == Lint::L6HotClone).count(),
+        3,
+        "{found:?}"
+    );
+}
+
+#[test]
+fn l6_does_not_track_arc_or_vec_wrapped_bindings() {
+    // Cloning an Arc<ModelSpec> is the cheap share we *want*; Vec<ModelTree>
+    // is a container, not a deep model copy.
+    let src = "fn f(base: &Arc<ModelSpec>, pool: &Vec<ModelTree>) {\n\
+                   let a = base.clone();\n\
+                   let b = pool.clone();\n\
+               }\n";
+    assert!(lints_of("crates/core/src/tree_search.rs", src).is_empty());
+}
+
+#[test]
+fn l6_scoped_to_hot_path_files() {
+    let src = "fn f(base: &ModelSpec) -> ModelSpec {\n    base.clone()\n}\n";
+    assert!(lints_of("crates/core/src/experiments/mod.rs", src).is_empty());
+    assert!(lints_of("crates/core/src/tree.rs", src).is_empty());
+}
+
+#[test]
+fn l6_suppressed_by_allowlist_entry() {
+    let allow = parse_allowlist(
+        "L6|tree_search.rs|Arc::new(base.clone())|one-time promotion per search\n",
+    )
+    .expect("valid allowlist");
+    let src = "fn f(base: &ModelSpec) {\n    let shared = Arc::new(base.clone());\n}\n";
+    let raw = scan_source("crates/core/src/tree_search.rs", src);
+    assert_eq!(raw.len(), 1);
+    let report = apply_allowlist(raw, &allow);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+}
+
 // --- masking and test exemption ---------------------------------------
 
 #[test]
