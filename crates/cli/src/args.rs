@@ -3,6 +3,10 @@
 
 use std::collections::HashMap;
 
+/// Flags that take no value: present means `"true"`. A following token
+/// that is not another flag is still treated as a positional.
+const VALUELESS: &[&str] = &["json"];
+
 /// Parsed invocation: a subcommand plus positionals and `--key value`
 /// flags. Commands that take no positionals reject them at dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,6 +72,10 @@ impl Args {
                 positionals.push(token);
                 continue;
             };
+            if VALUELESS.contains(&key) {
+                flags.insert(key.to_string(), "true".to_string());
+                continue;
+            }
             let value = iter
                 .next()
                 .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
@@ -150,6 +158,15 @@ mod tests {
         let a = parse(&["report", "run.jsonl"]).unwrap();
         assert_eq!(a.positionals(), ["run.jsonl"]);
         assert!(matches!(parse(&["--flag"]), Err(ArgsError::Unexpected(_))));
+    }
+
+    #[test]
+    fn valueless_flags_do_not_eat_positionals() {
+        let a = parse(&["check", "--json", "model.ir"]).unwrap();
+        assert_eq!(a.get("json"), Some("true"));
+        assert_eq!(a.positionals(), ["model.ir"]);
+        let a = parse(&["check", "model.ir", "--json"]).unwrap();
+        assert_eq!(a.get("json"), Some("true"));
     }
 
     #[test]

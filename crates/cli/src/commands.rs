@@ -52,9 +52,19 @@ COMMANDS:
     validate        audit a saved model tree (or a named model) against
                     every model-graph invariant
                       --tree <file> | --model <name>
+    check           statically analyze an IR source file: syntax, shape
+                    inference, chain/partition legality, lints
+                      cadmc check <file.ir> [--json]
+    emit-ir         write a named model as canonical IR text
+                      --model <name> [--out <file>]
+                      [--blocks N] [--levels a,b,...]
     export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
                       --scenario <name> --out <file> [--seed N]
     help            this text
+
+Anywhere a --model flag takes a zoo name (vgg11, vgg16, alexnet,
+mobilenet, squeezenet, tiny), a path to a checked IR file (*.ir) is
+accepted too.
 
 Scenario names are the paper's: \"4G (weak) indoor\", \"4G indoor static\",
 \"4G indoor slow\", \"4G outdoor quick\", \"WiFi (weak) indoor\",
@@ -76,7 +86,7 @@ TELEMETRY (any command except characterize/report):
 /// Returns a [`CliError`] for unknown commands, bad flags, invalid
 /// inputs or failing I/O.
 pub fn run(args: &Args) -> Result<(), CliError> {
-    if args.command != "report" {
+    if !matches!(args.command.as_str(), "report" | "check") {
         if let Some(extra) = args.positionals().first() {
             return Err(CliError::Usage(format!("unexpected argument {extra:?}")));
         }
@@ -100,6 +110,8 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
         "search" => search(args),
         "report" => report_cmd(args),
         "validate" => validate_cmd(args),
+        "check" => check_cmd(args),
+        "emit-ir" => emit_ir_cmd(args),
         "export-trace" => export_trace(args),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (try `cadmc help`)"
@@ -140,6 +152,9 @@ fn telemetry_setup(args: &Args) -> Result<Option<TelemetryHandle>, CliError> {
 }
 
 fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
+    if name.ends_with(".ir") {
+        return Ok(load_ir_model(name)?.into_spec());
+    }
     Ok(match name.to_ascii_lowercase().as_str() {
         "vgg11" => zoo::vgg11_cifar(),
         "vgg16" => zoo::vgg16_cifar(),
@@ -149,6 +164,106 @@ fn model_by_name(name: &str) -> Result<ModelSpec, CliError> {
         "tiny" => zoo::tiny_cnn(),
         other => return Err(CliError::Usage(format!("unknown model {other:?}"))),
     })
+}
+
+/// Loads and statically checks an IR source file. Diagnostics (including
+/// warnings on an otherwise clean file) render to stderr in rustc style;
+/// any error-severity finding aborts with [`CliError::IrCheck`].
+fn load_ir_model(path: &str) -> Result<cadmc_ir::CheckedModel, CliError> {
+    let src = std::fs::read_to_string(path)?;
+    let out = cadmc_ir::check_source(&src);
+    if !out.diagnostics.is_empty() {
+        eprint!("{}", out.render_text(path, &src));
+    }
+    match out.model {
+        Some(model) => Ok(model),
+        None => Err(CliError::IrCheck {
+            file: path.to_string(),
+            errors: out
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == cadmc_ir::Severity::Error)
+                .count(),
+        }),
+    }
+}
+
+/// `cadmc check <file.ir> [--json]`: run the full static-analysis
+/// pipeline and render every diagnostic (text or JSON lines).
+fn check_cmd(args: &Args) -> Result<(), CliError> {
+    let path = args
+        .positionals()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| {
+            CliError::Usage("check needs an IR file: cadmc check <file.ir>".to_string())
+        })?;
+    let json: bool = args.get_or("json", false)?;
+    let src = std::fs::read_to_string(path)?;
+    let out = cadmc_ir::check_source(&src);
+    if json {
+        print!("{}", out.render_json(path, &src));
+    } else {
+        print!("{}", out.render_text(path, &src));
+    }
+    match out.model {
+        Some(model) => {
+            if !json {
+                let spec = model.spec();
+                println!(
+                    "ok: {path} — model {} ({} layers, input {:?}, hash {:016x})",
+                    spec.name(),
+                    spec.len(),
+                    spec.input_shape(),
+                    model.ir_hash()
+                );
+            }
+            Ok(())
+        }
+        None => Err(CliError::IrCheck {
+            file: path.to_string(),
+            errors: out
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == cadmc_ir::Severity::Error)
+                .count(),
+        }),
+    }
+}
+
+/// `cadmc emit-ir --model <name> [--out file] [--blocks N] [--levels a,b]`:
+/// canonical IR emission of a zoo model (or re-emission of an IR file).
+fn emit_ir_cmd(args: &Args) -> Result<(), CliError> {
+    let model = model_by_name(args.require("model")?)?;
+    let blocks: Option<usize> = match args.get("blocks") {
+        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(
+            "invalid --blocks".to_string(),
+        ))?),
+        None => None,
+    };
+    let levels: Option<Vec<f64>> = match args.get("levels") {
+        Some(v) => Some(
+            v.split(',')
+                .map(|p| p.trim().parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| CliError::Usage("invalid --levels".to_string()))?,
+        ),
+        None => None,
+    };
+    let text = cadmc_ir::emit_with(&model, blocks, levels.as_deref());
+    match args.get("out") {
+        Some(out) => {
+            std::fs::write(out, &text)?;
+            println!(
+                "wrote {} ({} bytes, hash {:016x})",
+                out,
+                text.len(),
+                cadmc_ir::ir_hash(&model, blocks, levels.as_deref())
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
 }
 
 fn device_by_name(name: &str) -> Result<Platform, CliError> {

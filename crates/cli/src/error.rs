@@ -29,6 +29,14 @@ pub enum CliError {
     Telemetry(TelemetryError),
     /// Other filesystem failure (report/trace output files).
     Io(std::io::Error),
+    /// An IR source file failed `cadmc check` (diagnostics were already
+    /// rendered to stdout; this carries only the error count).
+    IrCheck {
+        /// The checked file.
+        file: String,
+        /// Number of error-severity diagnostics.
+        errors: usize,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -42,6 +50,11 @@ impl std::fmt::Display for CliError {
             CliError::Schema(e) => write!(f, "invalid trace: {e}"),
             CliError::Telemetry(e) => write!(f, "{e}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::IrCheck { file, errors } => write!(
+                f,
+                "{file}: check failed with {errors} error{}",
+                if *errors == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -57,6 +70,7 @@ impl std::error::Error for CliError {
             CliError::Schema(e) => Some(e),
             CliError::Telemetry(e) => Some(e),
             CliError::Io(e) => Some(e),
+            CliError::IrCheck { .. } => None,
         }
     }
 }

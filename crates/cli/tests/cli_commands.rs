@@ -263,3 +263,51 @@ fn plan_runs() {
     ])
     .unwrap();
 }
+
+#[test]
+fn emit_ir_check_round_trip() {
+    let ir_path = tmp("tiny.ir");
+    run(&["emit-ir", "--model", "tiny", "--out", &ir_path]).unwrap();
+    // The emitted file checks clean, in both render modes.
+    run(&["check", &ir_path]).unwrap();
+    run(&["check", &ir_path, "--json"]).unwrap();
+    // Every subcommand taking --model accepts the IR file directly.
+    run(&[
+        "plan",
+        "--model",
+        &ir_path,
+        "--device",
+        "phone",
+        "--bandwidth",
+        "10",
+        "--episodes",
+        "5",
+    ])
+    .unwrap();
+    let _ = std::fs::remove_file(&ir_path);
+}
+
+#[test]
+fn check_rejects_malformed_ir() {
+    let bad_path = tmp("bad.ir");
+    std::fs::write(
+        &bad_path,
+        "model bad {\n  input (3, 8, 8)\n  layer c = conv(k=9, s=1, p=0, out=4) @class(3)\n}\n",
+    )
+    .unwrap();
+    assert!(run(&["check", &bad_path]).is_err());
+    // A failing IR file aborts any consuming subcommand too.
+    assert!(run(&[
+        "plan",
+        "--model",
+        &bad_path,
+        "--device",
+        "phone",
+        "--bandwidth",
+        "10"
+    ])
+    .is_err());
+    assert!(run(&["check", "/nonexistent-model.ir"]).is_err());
+    assert!(run(&["check"]).is_err());
+    let _ = std::fs::remove_file(&bad_path);
+}

@@ -190,6 +190,102 @@ fn hot_key_hammering_is_consistent() {
 }
 
 #[test]
+fn concurrent_batched_probes_match_single_probes() {
+    // Readers hammer `probe_many` with seeded, duplicate-containing
+    // batches while writers race `insert_key` on the same universe. A
+    // batched probe must be indistinguishable from per-key `get_key`:
+    // every `Some` carries the key's one true evaluation, result order
+    // matches key order, and no per-shard counter update is lost.
+    let (seeds, readers, writers, batches, keys) = if light_mode() {
+        (2u64, 3, 2, 20, 12)
+    } else {
+        (6u64, 6, 3, 200, 48)
+    };
+    let eval_of = |k: usize| {
+        Evaluation::new(
+            0.5 + (k as f64) * 1e-3,
+            10.0 + k as f64,
+            &RewardSpec::default(),
+        )
+    };
+    for seed in 300..300 + seeds {
+        let pool = Arc::new(MemoPool::with_shards(8));
+        let probes = Arc::new(AtomicUsize::new(0));
+        let barrier = Arc::new(Barrier::new(readers + writers));
+        let mut handles = Vec::new();
+        for w in 0..writers {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x77a1_u64.wrapping_add(w as u64));
+                barrier.wait();
+                // Interleave inserts with yields so probes race both
+                // empty and populated shards.
+                let mut order: Vec<usize> = (0..keys).collect();
+                for i in (1..order.len()).rev() {
+                    order.swap(i, rng.random_range(0..=i));
+                }
+                for k in order {
+                    pool.insert_key(k as u64, eval_of(k));
+                    if rng.random_range(0..3usize) == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for r in 0..readers {
+            let pool = Arc::clone(&pool);
+            let probes = Arc::clone(&probes);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xbead ^ (r as u64) << 8);
+                barrier.wait();
+                for _ in 0..batches {
+                    let n = rng.random_range(0..=keys + 4);
+                    let batch: Vec<u64> = (0..n)
+                        .map(|_| rng.random_range(0..keys) as u64)
+                        .collect();
+                    let out = pool.probe_many(&batch);
+                    assert_eq!(out.len(), batch.len(), "seed {seed}: result order lost");
+                    probes.fetch_add(batch.len(), Ordering::Relaxed);
+                    for (k, slot) in batch.iter().zip(&out) {
+                        if let Some(e) = slot {
+                            let want = eval_of(*k as usize);
+                            assert!(
+                                e.reward.to_bits() == want.reward.to_bits(),
+                                "seed {seed}: key {k} probed a torn or foreign value"
+                            );
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("probe stress worker panicked");
+        }
+        assert_eq!(
+            pool.hits() + pool.misses(),
+            probes.load(Ordering::Relaxed),
+            "seed {seed}: batched counter updates lost"
+        );
+        assert_eq!(pool.len(), keys, "seed {seed}: writers must fill the universe");
+        // Quiesced equivalence: one batched probe over the whole universe
+        // agrees with per-key single probes, entry for entry.
+        let universe: Vec<u64> = (0..keys as u64).collect();
+        let batched = pool.probe_many(&universe);
+        for (k, slot) in universe.iter().zip(&batched) {
+            let single = pool.get_key(*k);
+            assert_eq!(
+                slot.map(|e| e.reward.to_bits()),
+                single.map(|e| e.reward.to_bits()),
+                "seed {seed}: batched and single probe disagree on key {k}"
+            );
+            assert!(slot.is_some(), "seed {seed}: key {k} missing after all writers joined");
+        }
+    }
+}
+
+#[test]
 fn schedules_differ_but_results_do_not() {
     // Different seeds produce different interleavings (different
     // hit/miss splits are fine) but the final cache contents must be the

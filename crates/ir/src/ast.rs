@@ -1,0 +1,181 @@
+//! Graph AST produced by the parser: a literal representation of the
+//! source with spans preserved, before any semantic checking. The
+//! analyzer (`analyze`) lowers this into a checked `ModelSpec`.
+
+use crate::diag::Span;
+
+/// A dimension reference: either a literal or a `dim` name, resolved by
+/// the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimRef {
+    /// Literal value or named dim.
+    pub value: DimValue,
+    /// Source location of the reference.
+    pub span: Span,
+}
+
+/// Payload of a [`DimRef`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimValue {
+    /// A literal integer (already bounded by the lexer).
+    Lit(u64),
+    /// A named dim declared with `dim NAME = value`.
+    Name(String),
+}
+
+/// `dim NAME = value` — a named dimension constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimDecl {
+    /// Constant name.
+    pub name: String,
+    /// Constant value.
+    pub value: u64,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `input (c, h, w)` — the model's input shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputDecl {
+    /// Channel count.
+    pub c: DimRef,
+    /// Height.
+    pub h: DimRef,
+    /// Width.
+    pub w: DimRef,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A layer operation as written in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpAst {
+    /// `conv(k=, s=, p=, out=)`
+    Conv {
+        /// Kernel size.
+        k: DimRef,
+        /// Stride.
+        s: DimRef,
+        /// Padding.
+        p: DimRef,
+        /// Output channels.
+        out: DimRef,
+    },
+    /// `dwconv(k=, s=, p=)`
+    DwConv {
+        /// Kernel size.
+        k: DimRef,
+        /// Stride.
+        s: DimRef,
+        /// Padding.
+        p: DimRef,
+    },
+    /// `maxpool(k=, s=)`
+    MaxPool {
+        /// Kernel size.
+        k: DimRef,
+        /// Stride.
+        s: DimRef,
+    },
+    /// `gap`
+    Gap,
+    /// `flatten`
+    Flatten,
+    /// `fc(out=)`
+    Fc {
+        /// Output features.
+        out: DimRef,
+    },
+    /// `batchnorm`
+    BatchNorm,
+    /// `dropout`
+    Dropout,
+    /// `fire(squeeze=, e1=, e3=)`
+    Fire {
+        /// Squeeze channels.
+        squeeze: DimRef,
+        /// 1x1 expand channels.
+        e1: DimRef,
+        /// 3x3 expand channels.
+        e3: DimRef,
+    },
+    /// `invres(expand=, s=, out=)`
+    InvRes {
+        /// Expansion factor.
+        expand: DimRef,
+        /// Stride.
+        s: DimRef,
+        /// Output channels.
+        out: DimRef,
+    },
+    /// `residual(project=(out, s))? { body... }`
+    Residual {
+        /// Optional 1x1 projection `(out_channels, stride)`.
+        projection: Option<(DimRef, DimRef)>,
+        /// The body layers.
+        body: Vec<LayerDecl>,
+    },
+}
+
+/// `layer NAME = op [@class(n)] [{ body }]`
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerDecl {
+    /// Layer name (globally unique, referenced by edges/skips).
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// The operation.
+    pub op: OpAst,
+    /// Optional `@class(n)` cost-class annotation.
+    pub class_ann: Option<(u64, Span)>,
+    /// Span of the whole declaration (excluding a residual body).
+    pub span: Span,
+}
+
+/// `edge a -> b` — explicit chain successor declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeDecl {
+    /// Source layer name.
+    pub from: String,
+    /// Destination layer name.
+    pub to: String,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// `skip a -> b [project(out=, s=)]` — fold chain region `a..=b` into a
+/// residual block with an optional 1x1 projection on the shortcut.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipDecl {
+    /// First layer of the skipped region.
+    pub from: String,
+    /// Last layer of the skipped region.
+    pub to: String,
+    /// Optional projection `(out_channels, stride)`.
+    pub projection: Option<(DimRef, DimRef)>,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A parsed `model` unit: everything the source declares, unchecked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelAst {
+    /// Model name (identifier or quoted string).
+    pub name: String,
+    /// Span of the name token.
+    pub name_span: Span,
+    /// Optional `@blocks(n)` annotation.
+    pub blocks: Option<(u64, Span)>,
+    /// Optional `@levels(b0, b1, ...)` annotation.
+    pub levels: Option<(Vec<f64>, Span)>,
+    /// Named dimension constants, in declaration order.
+    pub dims: Vec<DimDecl>,
+    /// Input declarations (the analyzer requires exactly one).
+    pub inputs: Vec<InputDecl>,
+    /// Top-level layers, in declaration order.
+    pub layers: Vec<LayerDecl>,
+    /// Explicit chain edges.
+    pub edges: Vec<EdgeDecl>,
+    /// Skip edges to fold into residual blocks.
+    pub skips: Vec<SkipDecl>,
+}

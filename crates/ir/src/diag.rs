@@ -1,0 +1,449 @@
+//! Span-carrying diagnostics with stable error codes and two renderers:
+//! a rustc-style text form for humans and a JSON-lines form for tooling.
+//!
+//! Code families (see DESIGN.md §13 for the full catalog):
+//! - `IR0xx` — lexical / syntactic errors
+//! - `IR1xx` — shape-inference errors over the full graph
+//! - `IR2xx` — DAG / partition-legality errors (reusing `core::validate`)
+//! - `IR3xx` — lints: unreachable layers, dead branches, cost overflow,
+//!   cost-class annotation problems
+
+/// A half-open byte range `[start, end)` into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// A zero-width span at `pos` (used for end-of-file diagnostics).
+    pub fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Diagnostic severity. Errors block [`crate::CheckOutcome::model`];
+/// warnings are reported but still yield a checked model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// The source cannot be turned into a valid model.
+    Error,
+    /// Suspicious but legal structure.
+    Warning,
+}
+
+impl Severity {
+    /// Lowercase name as rendered in diagnostics ("error" / "warning").
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// Stable diagnostic codes. The numeric part never changes meaning once
+/// shipped; renderers print the `IRnnn` form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // each variant is documented by `description()`
+pub enum Code {
+    // IR0xx — syntax
+    InvalidChar,     // IR001
+    UnexpectedToken, // IR002
+    UnexpectedEof,   // IR003
+    UnknownOp,       // IR004
+    BadParam,        // IR005
+    IntOutOfRange,   // IR006
+    DuplicateName,   // IR007
+    UnknownName,     // IR008
+    BadInputDecl,    // IR009
+    // IR1xx — shape inference
+    ShapeInference,    // IR101
+    EmptyModel,        // IR102
+    IllegalHyperParam, // IR103
+    // IR2xx — DAG / partition legality
+    EdgeCycle,         // IR201
+    NotAChain,         // IR202
+    IllegalSkip,       // IR203
+    SkipShapeMismatch, // IR204
+    CoreValidation,    // IR205
+    BadLevels,         // IR206
+    // IR3xx — lints
+    UnreachableLayer,  // IR301
+    DeadBranch,        // IR302
+    CostOverflow,      // IR303
+    MissingCostClass,  // IR304
+    CostClassMismatch, // IR305
+}
+
+/// Every code, in catalog order (used by the golden-corpus coverage test).
+pub const ALL_CODES: [Code; 23] = [
+    Code::InvalidChar,
+    Code::UnexpectedToken,
+    Code::UnexpectedEof,
+    Code::UnknownOp,
+    Code::BadParam,
+    Code::IntOutOfRange,
+    Code::DuplicateName,
+    Code::UnknownName,
+    Code::BadInputDecl,
+    Code::ShapeInference,
+    Code::EmptyModel,
+    Code::IllegalHyperParam,
+    Code::EdgeCycle,
+    Code::NotAChain,
+    Code::IllegalSkip,
+    Code::SkipShapeMismatch,
+    Code::CoreValidation,
+    Code::BadLevels,
+    Code::UnreachableLayer,
+    Code::DeadBranch,
+    Code::CostOverflow,
+    Code::MissingCostClass,
+    Code::CostClassMismatch,
+];
+
+impl Code {
+    /// The stable `IRnnn` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::InvalidChar => "IR001",
+            Code::UnexpectedToken => "IR002",
+            Code::UnexpectedEof => "IR003",
+            Code::UnknownOp => "IR004",
+            Code::BadParam => "IR005",
+            Code::IntOutOfRange => "IR006",
+            Code::DuplicateName => "IR007",
+            Code::UnknownName => "IR008",
+            Code::BadInputDecl => "IR009",
+            Code::ShapeInference => "IR101",
+            Code::EmptyModel => "IR102",
+            Code::IllegalHyperParam => "IR103",
+            Code::EdgeCycle => "IR201",
+            Code::NotAChain => "IR202",
+            Code::IllegalSkip => "IR203",
+            Code::SkipShapeMismatch => "IR204",
+            Code::CoreValidation => "IR205",
+            Code::BadLevels => "IR206",
+            Code::UnreachableLayer => "IR301",
+            Code::DeadBranch => "IR302",
+            Code::CostOverflow => "IR303",
+            Code::MissingCostClass => "IR304",
+            Code::CostClassMismatch => "IR305",
+        }
+    }
+
+    /// One-line catalog description (DESIGN.md §13).
+    pub fn description(self) -> &'static str {
+        match self {
+            Code::InvalidChar => "character is not part of the IR alphabet",
+            Code::UnexpectedToken => "token not valid at this position",
+            Code::UnexpectedEof => "source ended inside an unfinished construct",
+            Code::UnknownOp => "operation name is not in the layer vocabulary",
+            Code::BadParam => "unknown, duplicate or missing operation parameter",
+            Code::IntOutOfRange => "integer literal exceeds the analyzable range",
+            Code::DuplicateName => "layer or dim name declared twice",
+            Code::UnknownName => "reference to an undeclared dim or layer",
+            Code::BadInputDecl => "input shape missing or declared twice",
+            Code::ShapeInference => "layer is incompatible with its inferred input shape",
+            Code::EmptyModel => "model has no layers",
+            Code::IllegalHyperParam => "hyper-parameter outside its legal range",
+            Code::EdgeCycle => "edge declarations form a cycle",
+            Code::NotAChain => "edge declarations do not form a single chain",
+            Code::IllegalSkip => "skip edge is backward, overlapping or off-chain",
+            Code::SkipShapeMismatch => "skip join shapes disagree and no projection fixes them",
+            Code::CoreValidation => "checked graph rejected by the core validator",
+            Code::BadLevels => "bandwidth levels annotation is not a valid ladder",
+            Code::UnreachableLayer => "layer is not reachable from the chain head",
+            Code::DeadBranch => "residual body performs no computation",
+            Code::CostOverflow => "MACC/transfer-byte computation overflows 64 bits",
+            Code::MissingCostClass => "compute-bearing layer has no cost-class annotation",
+            Code::CostClassMismatch => "cost-class annotation disagrees with the inferred class",
+        }
+    }
+
+    /// Default severity for this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::UnreachableLayer | Code::DeadBranch | Code::MissingCostClass => {
+                Severity::Warning
+            }
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// A single finding: code, severity, source span and rendered message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code identifying the finding class.
+    pub code: Code,
+    /// Error or warning (defaults to [`Code::severity`]).
+    pub severity: Severity,
+    /// Source bytes the finding points at.
+    pub span: Span,
+    /// Human-readable explanation with concrete values.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// Precomputed line table: byte offsets of each line start, so span →
+/// (line, col) resolution is O(log n) per diagnostic.
+#[derive(Debug)]
+struct LineTable {
+    starts: Vec<usize>,
+}
+
+impl LineTable {
+    fn new(src: &str) -> Self {
+        let mut starts = vec![0usize];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineTable { starts }
+    }
+
+    /// 1-based (line, col) of a byte offset; col counts characters.
+    fn locate(&self, src: &str, pos: usize) -> (usize, usize) {
+        let pos = pos.min(src.len());
+        let line_idx = match self.starts.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        let line_start = self.starts.get(line_idx).copied().unwrap_or(0);
+        let col = src
+            .get(line_start..pos)
+            .map(|s| s.chars().count())
+            .unwrap_or(0);
+        (line_idx + 1, col + 1)
+    }
+
+    /// The full text of 1-based line `line`, without its newline.
+    fn line_text<'s>(&self, src: &'s str, line: usize) -> &'s str {
+        let start = match self.starts.get(line.saturating_sub(1)) {
+            Some(&s) => s,
+            None => return "",
+        };
+        let end = self
+            .starts
+            .get(line)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(src.len());
+        src.get(start..end.max(start)).unwrap_or("")
+    }
+}
+
+/// Sorts diagnostics into the deterministic reporting order:
+/// by span start, then code, then message.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.span.start, a.span.end, a.code, a.message.as_str()).cmp(&(
+            b.span.start,
+            b.span.end,
+            b.code,
+            b.message.as_str(),
+        ))
+    });
+}
+
+/// Renders diagnostics in rustc style:
+///
+/// ```text
+/// error[IR101]: kernel 5 larger than padded input 4x4
+///  --> model.ir:7:3
+///   |
+/// 7 |   layer l3 = conv(k=5, s=1, p=0, out=8)
+///   |   ^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^^
+/// ```
+pub fn render_text(file: &str, src: &str, diags: &[Diagnostic]) -> String {
+    let table = LineTable::new(src);
+    let mut out = String::new();
+    for d in diags {
+        let (line, col) = table.locate(src, d.span.start);
+        let text = table.line_text(src, line);
+        let gutter = line.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!(
+            "{}[{}]: {}\n{} --> {}:{}:{}\n{}  |\n{} | {}\n{}  | ",
+            d.severity.as_str(),
+            d.code.as_str(),
+            d.message,
+            pad,
+            file,
+            line,
+            col,
+            pad,
+            gutter,
+            text,
+            pad,
+        ));
+        // Caret run: clamp the span to this line; at least one caret.
+        let line_chars = text.chars().count();
+        let start_col = (col - 1).min(line_chars);
+        let (end_line, end_col) = table.locate(src, d.span.end);
+        let span_chars = if end_line == line {
+            (end_col - 1).saturating_sub(start_col)
+        } else {
+            line_chars.saturating_sub(start_col)
+        };
+        out.push_str(&" ".repeat(start_col));
+        out.push_str(&"^".repeat(span_chars.max(1)));
+        out.push('\n');
+    }
+    if !diags.is_empty() {
+        let errors = diags
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        let warnings = diags.len() - errors;
+        let mut parts = Vec::new();
+        if errors > 0 {
+            parts.push(format!(
+                "{errors} error{}",
+                if errors == 1 { "" } else { "s" }
+            ));
+        }
+        if warnings > 0 {
+            parts.push(format!(
+                "{warnings} warning{}",
+                if warnings == 1 { "" } else { "s" }
+            ));
+        }
+        out.push_str(&format!("{}: {}\n", file, parts.join(", ")));
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as JSON lines (one object per diagnostic), for
+/// `cadmc check --json`. Machine-stable: fields never reorder.
+pub fn render_json(file: &str, src: &str, diags: &[Diagnostic]) -> String {
+    let table = LineTable::new(src);
+    let mut out = String::new();
+    for d in diags {
+        let (line, col) = table.locate(src, d.span.start);
+        let (end_line, end_col) = table.locate(src, d.span.end);
+        out.push_str(&format!(
+            concat!(
+                "{{\"file\":\"{}\",\"code\":\"{}\",\"severity\":\"{}\",",
+                "\"line\":{},\"col\":{},\"end_line\":{},\"end_col\":{},",
+                "\"message\":\"{}\"}}\n"
+            ),
+            json_escape(file),
+            d.code.as_str(),
+            d.severity.as_str(),
+            line,
+            col,
+            end_line,
+            end_col,
+            json_escape(&d.message),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in ALL_CODES {
+            let s = c.as_str();
+            assert!(s.starts_with("IR") && s.len() == 5, "bad code {s}");
+            assert!(seen.insert(s), "duplicate code {s}");
+            assert!(!c.description().is_empty());
+        }
+    }
+
+    #[test]
+    fn locate_handles_multibyte_and_eof() {
+        let src = "ab\nλ x\n";
+        let t = LineTable::new(src);
+        assert_eq!(t.locate(src, 0), (1, 1));
+        assert_eq!(t.locate(src, 3), (2, 1));
+        // λ is 2 bytes; the x sits at char column 3.
+        assert_eq!(t.locate(src, 6), (2, 3));
+        assert_eq!(t.locate(src, src.len() + 10), (3, 1));
+    }
+
+    #[test]
+    fn text_rendering_pins_format() {
+        let src = "model M {\n  layer a = conv()\n}\n";
+        let start = src.find("conv").unwrap_or(0);
+        let d = Diagnostic::new(
+            Code::BadParam,
+            Span::new(start, start + 4),
+            "missing parameter `k`",
+        );
+        let rendered = render_text("m.ir", src, &[d]);
+        assert!(rendered.contains("error[IR005]: missing parameter `k`"));
+        assert!(rendered.contains(" --> m.ir:2:13"));
+        assert!(rendered.contains("2 |   layer a = conv()"));
+        assert!(rendered.contains("^^^^"));
+        assert!(rendered.ends_with("m.ir: 1 error\n"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_orders_fields() {
+        let src = "x \"q\"\n";
+        let d = Diagnostic::new(Code::InvalidChar, Span::new(2, 5), "bad \"quote\"");
+        let json = render_json("a\\b.ir", src, &[d]);
+        assert_eq!(
+            json,
+            "{\"file\":\"a\\\\b.ir\",\"code\":\"IR001\",\"severity\":\"error\",\
+             \"line\":1,\"col\":3,\"end_line\":1,\"end_col\":6,\
+             \"message\":\"bad \\\"quote\\\"\"}\n"
+        );
+    }
+}

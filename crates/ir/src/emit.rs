@@ -1,0 +1,176 @@
+//! Canonical IR emission: `ModelSpec` → IR text. Emission is the
+//! *canonical form* — parsing the output and re-emitting is byte-identical
+//! (pinned by the zoo round-trip suite), which is what makes the emitted
+//! text a stable hashing surface for the tree-cache key.
+
+use cadmc_nn::{LayerSpec, ModelSpec};
+
+/// Types that can render themselves as canonical IR text.
+pub trait EmitIr {
+    /// Canonical IR emission of `self`.
+    fn emit_ir(&self) -> String;
+}
+
+impl EmitIr for ModelSpec {
+    fn emit_ir(&self) -> String {
+        emit_model(self)
+    }
+}
+
+/// Emits a model with no scheduling annotations.
+pub fn emit_model(spec: &ModelSpec) -> String {
+    emit_with(spec, None, None)
+}
+
+/// Emits a model with optional `@blocks` / `@levels` annotations — the
+/// full checked surface, and the exact byte stream the IR hash covers.
+pub fn emit_with(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>) -> String {
+    let mut out = String::new();
+    out.push_str("model ");
+    out.push_str(&emit_name(spec.name()));
+    if let Some(b) = blocks {
+        out.push_str(&format!(" @blocks({b})"));
+    }
+    if let Some(ls) = levels {
+        let parts: Vec<String> = ls.iter().map(|l| format!("{l}")).collect();
+        out.push_str(&format!(" @levels({})", parts.join(", ")));
+    }
+    out.push_str(" {\n");
+    let input = spec.input_shape();
+    out.push_str(&format!("  input ({}, {}, {})\n", input.c, input.h, input.w));
+    for (i, layer) in spec.layers().iter().enumerate() {
+        emit_layer(&mut out, &format!("l{i}"), layer, 1);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// A name is emitted bare when it lexes back as a single identifier;
+/// anything else round-trips through a quoted string.
+fn emit_name(name: &str) -> String {
+    let ident_ok = !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if ident_ok {
+        name.to_string()
+    } else {
+        let mut quoted = String::with_capacity(name.len() + 2);
+        quoted.push('"');
+        for c in name.chars() {
+            match c {
+                '"' => quoted.push_str("\\\""),
+                '\\' => quoted.push_str("\\\\"),
+                '\n' => quoted.push_str("\\n"),
+                '\t' => quoted.push_str("\\t"),
+                c => quoted.push(c),
+            }
+        }
+        quoted.push('"');
+        quoted
+    }
+}
+
+fn emit_layer(out: &mut String, name: &str, layer: &LayerSpec, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let head = match *layer {
+        LayerSpec::Conv2d {
+            kernel,
+            stride,
+            pad,
+            out_channels,
+        } => format!("conv(k={kernel}, s={stride}, p={pad}, out={out_channels})"),
+        LayerSpec::DepthwiseConv2d {
+            kernel,
+            stride,
+            pad,
+        } => format!("dwconv(k={kernel}, s={stride}, p={pad})"),
+        LayerSpec::MaxPool2d { kernel, stride } => format!("maxpool(k={kernel}, s={stride})"),
+        LayerSpec::GlobalAvgPool => "gap".to_string(),
+        LayerSpec::Flatten => "flatten".to_string(),
+        LayerSpec::Fc { out_features } => format!("fc(out={out_features})"),
+        LayerSpec::BatchNorm => "batchnorm".to_string(),
+        LayerSpec::Dropout => "dropout".to_string(),
+        LayerSpec::Fire {
+            squeeze,
+            expand1,
+            expand3,
+        } => format!("fire(squeeze={squeeze}, e1={expand1}, e3={expand3})"),
+        LayerSpec::InvertedResidual {
+            expansion,
+            stride,
+            out_channels,
+        } => format!("invres(expand={expansion}, s={stride}, out={out_channels})"),
+        LayerSpec::Residual {
+            projection: Some((out_c, stride)),
+            ..
+        } => format!("residual(project=({out_c}, {stride}))"),
+        LayerSpec::Residual {
+            projection: None, ..
+        } => "residual".to_string(),
+    };
+    out.push_str(&format!("{indent}layer {name} = {head}"));
+    if let Some(class) = layer.cost_class() {
+        out.push_str(&format!(" @class({class})"));
+    }
+    if let LayerSpec::Residual { ref body, .. } = *layer {
+        out.push_str(" {\n");
+        for (j, inner) in body.iter().enumerate() {
+            emit_layer(out, &format!("{name}_{j}"), inner, depth + 1);
+        }
+        out.push_str(&format!("{indent}}}\n"));
+    } else {
+        out.push('\n');
+    }
+}
+
+/// FNV-1a over the canonical emission: the structural IR hash. Stable
+/// across platforms and runs (unlike `DefaultHasher`'s SipHash keys this
+/// is fully specified), so it can key on-disk tree caches.
+pub fn ir_hash(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>) -> u64 {
+    fnv1a64(emit_with(spec, blocks, levels).as_bytes())
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn emission_is_deterministic_and_hash_separates_models() {
+        let a = zoo::tiny_cnn();
+        assert_eq!(emit_model(&a), emit_model(&a));
+        let b = zoo::vgg11_cifar();
+        assert_ne!(ir_hash(&a, None, None), ir_hash(&b, None, None));
+        // Annotations are part of the hashed surface.
+        assert_ne!(ir_hash(&a, None, None), ir_hash(&a, Some(3), None));
+    }
+
+    #[test]
+    fn names_that_are_not_idents_are_quoted() {
+        assert_eq!(emit_name("VGG11"), "VGG11");
+        assert_eq!(emit_name("VGG11[0..3]"), "\"VGG11[0..3]\"");
+        assert_eq!(emit_name("a\"b"), "\"a\\\"b\"");
+        assert_eq!(emit_name(""), "\"\"");
+        assert_eq!(emit_name("9lives"), "\"9lives\"");
+    }
+
+    #[test]
+    fn residual_models_emit_nested_bodies() {
+        let text = emit_model(&zoo::resnet18_cifar());
+        assert!(text.contains("residual(project=("));
+        assert!(text.contains("layer l2_0 = "));
+        assert!(text.contains("@class(1) {\n"));
+    }
+}

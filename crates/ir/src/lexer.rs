@@ -1,0 +1,305 @@
+//! Hand-rolled lexer for the model IR. Produces a flat token stream with
+//! byte spans; every failure is a span-carrying [`Diagnostic`], never a
+//! panic — arbitrary bytes must lex or diagnose (see the fuzz proptest).
+
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Integer literals above this bound are rejected at lex time (IR006).
+/// The cap keeps every downstream shape/cost computation comfortably
+/// inside checked 128-bit arithmetic.
+pub const MAX_INT: u64 = 1 << 24;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token class and payload.
+    pub kind: TokenKind,
+    /// Source bytes the token occupies.
+    pub span: Span,
+}
+
+/// Token classes of the IR alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `[A-Za-z_][A-Za-z0-9_]*`
+    Ident(String),
+    /// Unsigned decimal integer, already range-checked against [`MAX_INT`].
+    Int(u64),
+    /// Decimal float (`digits.digits`).
+    Float(f64),
+    /// Double-quoted string with `\\ \" \n \t` escapes.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Eq,
+    /// `,`
+    Comma,
+    /// `->`
+    Arrow,
+    /// `@`
+    At,
+    /// Virtual end-of-input token (zero-width span).
+    Eof,
+}
+
+impl TokenKind {
+    /// Short display name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::LBrace => "`{`".to_string(),
+            TokenKind::RBrace => "`}`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::Eq => "`=`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Arrow => "`->`".to_string(),
+            TokenKind::At => "`@`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// Lexes `src` into tokens (terminated by [`TokenKind::Eof`]). Returns
+/// the first lexical error as a diagnostic.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'{' => {
+                tokens.push(tok(TokenKind::LBrace, i, i + 1));
+                i += 1;
+            }
+            b'}' => {
+                tokens.push(tok(TokenKind::RBrace, i, i + 1));
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(tok(TokenKind::LParen, i, i + 1));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(tok(TokenKind::RParen, i, i + 1));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(tok(TokenKind::Eq, i, i + 1));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(tok(TokenKind::Comma, i, i + 1));
+                i += 1;
+            }
+            b'@' => {
+                tokens.push(tok(TokenKind::At, i, i + 1));
+                i += 1;
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(tok(TokenKind::Arrow, i, i + 2));
+                    i += 2;
+                } else {
+                    return Err(Diagnostic::new(
+                        Code::InvalidChar,
+                        Span::new(i, i + 1),
+                        "stray `-`; the only dash token is the edge arrow `->`",
+                    ));
+                }
+            }
+            b'"' => {
+                let (t, next) = lex_string(src, i)?;
+                tokens.push(t);
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let (t, next) = lex_number(src, i)?;
+                tokens.push(t);
+                i = next;
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = src.get(start..i).unwrap_or("").to_string();
+                tokens.push(tok(TokenKind::Ident(text), start, i));
+            }
+            _ => {
+                // Report the whole UTF-8 character, not a lone byte.
+                let ch_len = src
+                    .get(i..)
+                    .and_then(|s| s.chars().next())
+                    .map(|c| c.len_utf8())
+                    .unwrap_or(1);
+                let shown = src.get(i..i + ch_len).unwrap_or("?");
+                return Err(Diagnostic::new(
+                    Code::InvalidChar,
+                    Span::new(i, i + ch_len),
+                    format!("invalid character `{shown}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(tok(TokenKind::Eof, src.len(), src.len()));
+    Ok(tokens)
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span::new(start, end),
+    }
+}
+
+fn lex_string(src: &str, start: usize) -> Result<(Token, usize), Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                return Ok((tok(TokenKind::Str(out), start, i + 1), i + 1));
+            }
+            b'\\' => {
+                let esc = bytes.get(i + 1).copied();
+                match esc {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    _ => {
+                        return Err(Diagnostic::new(
+                            Code::InvalidChar,
+                            Span::new(i, (i + 2).min(bytes.len())),
+                            "invalid escape; only \\\" \\\\ \\n \\t are recognized",
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            b'\n' => {
+                return Err(Diagnostic::new(
+                    Code::UnexpectedEof,
+                    Span::new(start, i),
+                    "string literal is not closed before end of line",
+                ));
+            }
+            _ => {
+                let ch_len = src
+                    .get(i..)
+                    .and_then(|s| s.chars().next())
+                    .map(|c| c.len_utf8())
+                    .unwrap_or(1);
+                if let Some(piece) = src.get(i..i + ch_len) {
+                    out.push_str(piece);
+                }
+                i += ch_len;
+            }
+        }
+    }
+    Err(Diagnostic::new(
+        Code::UnexpectedEof,
+        Span::new(start, src.len()),
+        "string literal is not closed before end of input",
+    ))
+}
+
+fn lex_number(src: &str, start: usize) -> Result<(Token, usize), Diagnostic> {
+    let bytes = src.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+    }
+    let is_float = bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+    if is_float {
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+        }
+        let text = src.get(start..i).unwrap_or("0");
+        let value: f64 = text.parse().unwrap_or(0.0);
+        if !value.is_finite() || value > MAX_INT as f64 {
+            return Err(Diagnostic::new(
+                Code::IntOutOfRange,
+                Span::new(start, i),
+                format!("literal `{text}` exceeds the maximum of {MAX_INT}"),
+            ));
+        }
+        return Ok((tok(TokenKind::Float(value), start, i), i));
+    }
+    let text = src.get(start..i).unwrap_or("0");
+    match text.parse::<u64>() {
+        Ok(v) if v <= MAX_INT => Ok((tok(TokenKind::Int(v), start, i), i)),
+        _ => Err(Diagnostic::new(
+            Code::IntOutOfRange,
+            Span::new(start, i),
+            format!("integer `{text}` exceeds the maximum of {MAX_INT}"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_full_alphabet() {
+        let got = kinds("model M @blocks(3) { layer a = conv(k=3) a -> b } # c");
+        assert!(got.contains(&TokenKind::Ident("model".into())));
+        assert!(got.contains(&TokenKind::At));
+        assert!(got.contains(&TokenKind::Int(3)));
+        assert!(got.contains(&TokenKind::Arrow));
+        assert_eq!(got.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn floats_and_strings() {
+        assert_eq!(
+            kinds("2.5 \"a\\\"b\""),
+            vec![
+                TokenKind::Float(2.5),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_bad_chars() {
+        assert_eq!(lex("99999999999").unwrap_err().code, Code::IntOutOfRange);
+        assert_eq!(lex("16777217").unwrap_err().code, Code::IntOutOfRange);
+        assert_eq!(lex("$").unwrap_err().code, Code::InvalidChar);
+        assert_eq!(lex("\"open").unwrap_err().code, Code::UnexpectedEof);
+        assert_eq!(lex("a - b").unwrap_err().code, Code::InvalidChar);
+    }
+
+    #[test]
+    fn multibyte_input_never_splits_chars() {
+        assert_eq!(lex("λ").unwrap_err().code, Code::InvalidChar);
+        let err = lex("模型").unwrap_err();
+        assert_eq!(err.span.end - err.span.start, 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Never-panic property: `check_source` must lex, parse and analyze
+//! *arbitrary* input — raw bytes and grammar-adjacent token soup alike —
+//! without panicking. Every failure mode is a diagnostic, not an unwind.
+
+use proptest::prelude::*;
+
+/// Vocabulary-biased fragments: far more likely than raw bytes to get
+/// deep into the parser and analyzer before failing.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("model".to_string()),
+        Just("dim".to_string()),
+        Just("input".to_string()),
+        Just("layer".to_string()),
+        Just("edge".to_string()),
+        Just("skip".to_string()),
+        Just("conv".to_string()),
+        Just("dwconv".to_string()),
+        Just("maxpool".to_string()),
+        Just("gap".to_string()),
+        Just("flatten".to_string()),
+        Just("fc".to_string()),
+        Just("batchnorm".to_string()),
+        Just("dropout".to_string()),
+        Just("fire".to_string()),
+        Just("invres".to_string()),
+        Just("residual".to_string()),
+        Just("project".to_string()),
+        Just("@class".to_string()),
+        Just("@blocks".to_string()),
+        Just("@levels".to_string()),
+        Just("->".to_string()),
+        Just("=".to_string()),
+        Just(",".to_string()),
+        Just("(".to_string()),
+        Just(")".to_string()),
+        Just("{".to_string()),
+        Just("}".to_string()),
+        Just("\"".to_string()),
+        Just("#".to_string()),
+        Just("\n".to_string()),
+        Just("k".to_string()),
+        Just("s".to_string()),
+        Just("p".to_string()),
+        Just("out".to_string()),
+        Just("a".to_string()),
+        Just("b".to_string()),
+        (0u64..=20_000_000).prop_map(|n| n.to_string()),
+        (0.0f64..100.0).prop_map(|f| format!("{f:.2}")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes (lossily decoded) never panic the pipeline.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let _ = cadmc_ir::check_source(&src);
+    }
+
+    /// Token soup from the IR vocabulary never panics, and whenever it
+    /// yields a model the canonical emission re-checks clean.
+    #[test]
+    fn token_soup_never_panics(parts in proptest::collection::vec(fragment(), 0..120)) {
+        let src = parts.join(" ");
+        let out = cadmc_ir::check_source(&src);
+        if let Some(model) = out.model {
+            let emitted = cadmc_ir::emit_model(model.spec());
+            let again = cadmc_ir::check_source(&emitted);
+            prop_assert!(
+                again.model.is_some(),
+                "canonical emission of an accepted model failed to re-check:\n{emitted}"
+            );
+        }
+    }
+}

@@ -46,6 +46,7 @@ pub use cadmc_accuracy as accuracy;
 pub use cadmc_autodiff as autodiff;
 pub use cadmc_compress as compress;
 pub use cadmc_core as core;
+pub use cadmc_ir as ir;
 pub use cadmc_latency as latency;
 pub use cadmc_netsim as netsim;
 pub use cadmc_nn as nn;

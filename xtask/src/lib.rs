@@ -31,6 +31,12 @@
 //!   deltas; a full-model clone per step is exactly the allocation storm
 //!   the delta-state design removed. Justified one-time promotions go in
 //!   `lint.allow`.
+//! - **L7 lossy cast**: forbids narrowing `as` casts (`as u8`/`u16`/
+//!   `u32`/`i8`/`i16`/`i32`/`f32`) in the cost-kernel and hot-path files
+//!   where MACC/parameter/transfer-byte arithmetic lives. A silent
+//!   truncation there corrupts rewards instead of failing; widen
+//!   (`as u64`/`as u128`/`as f64`) or use checked conversions. Justified
+//!   sites go in `lint.allow`.
 //!
 //! The scanner masks comments and string literals (preserving line
 //! structure), skips `#[cfg(test)]` items by brace tracking, and skips
@@ -59,6 +65,8 @@ pub enum Lint {
     L5PrintInLib,
     /// No wholesale `ModelSpec`/`ModelTree` clones in search hot paths.
     L6HotClone,
+    /// No narrowing `as` casts in cost-kernel/hot-path arithmetic.
+    L7LossyCast,
 }
 
 impl Lint {
@@ -71,10 +79,11 @@ impl Lint {
             Lint::L4FloatEq => "L4",
             Lint::L5PrintInLib => "L5",
             Lint::L6HotClone => "L6",
+            Lint::L7LossyCast => "L7",
         }
     }
 
-    /// Parses a lint code (`"L1"`..`"L6"`).
+    /// Parses a lint code (`"L1"`..`"L7"`).
     pub fn from_code(code: &str) -> Option<Lint> {
         match code {
             "L1" => Some(Lint::L1PanicSite),
@@ -83,6 +92,7 @@ impl Lint {
             "L4" => Some(Lint::L4FloatEq),
             "L5" => Some(Lint::L5PrintInLib),
             "L6" => Some(Lint::L6HotClone),
+            "L7" => Some(Lint::L7LossyCast),
             _ => None,
         }
     }
@@ -99,6 +109,9 @@ impl Lint {
             }
             Lint::L6HotClone => {
                 "deep model clone in a search hot path (share via Arc or carry a delta instead)"
+            }
+            Lint::L7LossyCast => {
+                "narrowing `as` cast in cost-kernel arithmetic (widen or use a checked conversion)"
             }
         }
     }
@@ -435,13 +448,14 @@ pub fn is_test_path(rel: &str) -> bool {
     file.ends_with("_tests.rs") || file == "proptests.rs"
 }
 
-const L1_CRATES: [&str; 6] = [
+const L1_CRATES: [&str; 7] = [
     "crates/core/src",
     "crates/nn/src",
     "crates/compress/src",
     "crates/latency/src",
     "crates/netsim/src",
     "crates/accuracy/src",
+    "crates/ir/src",
 ];
 
 /// Hot-path files where map iteration order would leak into search
@@ -463,7 +477,7 @@ const L2_HOT_PATHS: [&str; 11] = [
 
 const L3_CRATES: [&str; 3] = ["crates/core/src", "crates/netsim/src", "crates/latency/src"];
 
-const L4_CRATES: [&str; 7] = [
+const L4_CRATES: [&str; 8] = [
     "crates/core/src",
     "crates/nn/src",
     "crates/compress/src",
@@ -471,13 +485,14 @@ const L4_CRATES: [&str; 7] = [
     "crates/netsim/src",
     "crates/accuracy/src",
     "crates/autodiff/src",
+    "crates/ir/src",
 ];
 
 /// First-party *library* crates: everything except the CLI and the bench
 /// binaries, which own stdout/stderr by design. The telemetry crate is in
 /// scope too — its sinks write through `io::Write` handles, never via the
 /// print macros.
-const L5_CRATES: [&str; 8] = [
+const L5_CRATES: [&str; 9] = [
     "crates/core/src",
     "crates/nn/src",
     "crates/compress/src",
@@ -486,6 +501,18 @@ const L5_CRATES: [&str; 8] = [
     "crates/accuracy/src",
     "crates/autodiff/src",
     "crates/telemetry/src",
+    "crates/ir/src",
+];
+
+/// L7 scope: the files where MACC / parameter / transfer-byte arithmetic
+/// lives. A narrowing cast here truncates silently and corrupts rewards.
+const L7_CAST_PATHS: [&str; 6] = [
+    "crates/nn/src/model.rs",
+    "crates/nn/src/layer.rs",
+    "crates/core/src/delta.rs",
+    "crates/core/src/candidate.rs",
+    "crates/latency/src/",
+    "crates/ir/src/analyze.rs",
 ];
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
@@ -519,7 +546,8 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
     let l3 = in_scope(rel, &L3_CRATES);
     let l4 = in_scope(rel, &L4_CRATES);
     let l5 = in_scope(rel, &L5_CRATES);
-    if !(l1 || l2 || l3 || l4 || l5) {
+    let l7 = in_scope(rel, &L7_CAST_PATHS);
+    if !(l1 || l2 || l3 || l4 || l5 || l7) {
         return Vec::new();
     }
 
@@ -550,8 +578,33 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
         if l2 && clones_model(line, &spec_idents) {
             push(Lint::L6HotClone, i);
         }
+        if l7 && has_lossy_cast(line) {
+            push(Lint::L7LossyCast, i);
+        }
     }
     out
+}
+
+/// L7 narrowing cast targets. 64-bit and 128-bit targets (and `usize` on
+/// the supported 64-bit platforms) are widening for this codebase's
+/// dimension arithmetic and stay allowed.
+const L7_LOSSY_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+/// L7: ` as <narrow-type>` with a token boundary on both sides, so
+/// `as usize` / `as u64` / `as u128` never match.
+fn has_lossy_cast(line: &str) -> bool {
+    for t in L7_LOSSY_TARGETS {
+        let needle = format!(" as {t}");
+        for (pos, _) in line.match_indices(&needle) {
+            let after = line.as_bytes().get(pos + needle.len()).copied();
+            let boundary =
+                after.is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_'));
+            if boundary {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 /// L5: stdout/stderr print macros. Matching `print!(`/`eprint!(` also

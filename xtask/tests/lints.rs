@@ -454,3 +454,52 @@ fn workspace_is_clean_under_committed_allowlist() {
     );
     assert!(report.files_scanned > 50, "scan should cover the workspace");
 }
+
+// --- L7: lossy casts in cost kernels -----------------------------------
+
+const COST_KERNEL: &str = "crates/nn/src/layer.rs";
+
+#[test]
+fn l7_fires_on_narrowing_casts() {
+    for cast in [
+        "x as u8", "x as u16", "x as u32", "x as i8", "x as i16", "x as i32", "x as f32",
+    ] {
+        let src = format!("fn f(x: u64) {{\n    let _ = {cast};\n}}\n");
+        assert_eq!(lints_of(COST_KERNEL, &src), vec![Lint::L7LossyCast], "{cast}");
+    }
+}
+
+#[test]
+fn l7_allows_widening_casts() {
+    let src = "fn f(x: u32, y: f64) {\n    let _ = x as u64 + x as usize as u64;\n    let _ = x as u128;\n    let _ = x as f64 + y as u64 as f64;\n    let _ = x as i64;\n}\n";
+    assert_eq!(lints_of(COST_KERNEL, src), vec![]);
+}
+
+#[test]
+fn l7_respects_scope_comments_and_tests() {
+    let src = "fn f(x: u64) {\n    let _ = x as u32;\n}\n";
+    // Out of scope: a core search file that is not a cost kernel.
+    assert_eq!(lints_of("crates/core/src/search.rs", src), vec![]);
+    // Masked: comments and strings never fire.
+    let masked = "fn f() {\n    // let _ = x as u32;\n    let _ = \"x as u32\";\n}\n";
+    assert_eq!(lints_of(COST_KERNEL, masked), vec![]);
+    // Test code is exempt.
+    let test_src =
+        "#[cfg(test)]\nmod tests {\n    fn g(x: u64) {\n        let _ = x as u32;\n    }\n}\n";
+    assert_eq!(lints_of(COST_KERNEL, test_src), vec![]);
+}
+
+#[test]
+fn l7_allowlist_escape_works() {
+    let src = "fn f(x: u64) {\n    let q = x as u32;\n}\n";
+    let raw = scan_source(COST_KERNEL, src);
+    assert_eq!(raw.len(), 1);
+    let allow = parse_allowlist(
+        "L7|crates/nn/src/layer.rs|x as u32|quantized weight export needs the narrow type\n",
+    )
+    .unwrap();
+    let report = apply_allowlist(raw, &allow);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused_entries.is_empty());
+}
