@@ -60,6 +60,17 @@ COMMANDS:
                       [--blocks N] [--levels a,b,...]
     export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
                       --scenario <name> --out <file> [--seed N]
+    serve           multi-tenant serving core with admission control,
+                    backpressure and per-session graceful degradation.
+                    Default: a deterministic chaos schedule (overload x
+                    faults) in virtual time, printing the outcome log
+                      [--sessions N] [--tenants N] [--overload X]
+                      [--faults <preset>] [--requests N] [--seed N]
+                      [--workers N] [--drain-at-ms MS]
+                      [--slots N] [--queue N] [--rate R] [--burst N]
+                      [--quota N] [--episodes N] [--deadline-ms MS]
+                    Live mode: --listen <addr> serves the line-delimited
+                    JSON protocol over TCP until a client sends \"Drain\"
     help            this text
 
 Anywhere a --model flag takes a zoo name (vgg11, vgg16, alexnet,
@@ -113,6 +124,7 @@ fn dispatch(args: &Args) -> Result<(), CliError> {
         "check" => check_cmd(args),
         "emit-ir" => emit_ir_cmd(args),
         "export-trace" => export_trace(args),
+        "serve" => serve_cmd(args),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?} (try `cadmc help`)"
         ))),
@@ -619,6 +631,94 @@ fn report_cmd(args: &Args) -> Result<(), CliError> {
     let text = std::fs::read_to_string(path)?;
     let run_report = report::parse_jsonl(&text)?;
     print!("{}", report::render_summary(&run_report));
+    Ok(())
+}
+
+/// `cadmc serve`: the multi-tenant serving core. Without `--listen` it
+/// runs a deterministic chaos schedule — an arrival burst at
+/// `--overload ×` the admission capacity with a per-session fault
+/// schedule — through the virtual-time scheduler and prints the
+/// per-session outcome log (byte-identical for any `--workers` value).
+/// With `--listen <addr>` it serves the line-delimited JSON protocol
+/// over TCP until a client sends `"Drain"`.
+fn serve_cmd(args: &Args) -> Result<(), CliError> {
+    let d = cadmc_serve::ServerConfig::default();
+    let cfg = cadmc_serve::ServerConfig {
+        slots: args.get_or("slots", d.slots)?,
+        queue_capacity: args.get_or("queue", d.queue_capacity)?,
+        rate_per_sec: args.get_or("rate", d.rate_per_sec)?,
+        burst: args.get_or("burst", d.burst)?,
+        tenant_quota: args.get_or("quota", d.tenant_quota)?,
+        breaker_threshold: args.get_or("breaker-threshold", d.breaker_threshold)?,
+        breaker_cooldown_ms: args.get_or("breaker-cooldown-ms", d.breaker_cooldown_ms)?,
+        seed: args.get_or("seed", d.seed)?,
+        episodes: args.get_or("episodes", d.episodes)?,
+        tree_cache_capacity: args.get_or("tree-cache", d.tree_cache_capacity)?,
+        deadline_ms: args
+            .get("deadline-ms")
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage("invalid --deadline-ms".to_string()))
+            })
+            .transpose()?,
+        max_retries: args.get_or("max-retries", d.max_retries)?,
+        backoff_ms: d.backoff_ms,
+        think_time_ms: d.think_time_ms,
+    };
+    if let Some(addr) = args.get("listen") {
+        let listener = std::net::TcpListener::bind(addr)?;
+        println!(
+            "cadmc serve listening on {} (send \"Drain\" to stop)",
+            listener.local_addr()?
+        );
+        let server = std::sync::Arc::new(cadmc_serve::Server::new(cfg));
+        cadmc_serve::tcp::serve(&server, listener)?;
+        let stats = server.live_stats();
+        println!(
+            "drained: admitted {} | shed {} | degraded {} | failed {} | drained {}",
+            stats.admitted, stats.shed, stats.degraded, stats.failed, stats.drained
+        );
+        return Ok(());
+    }
+    let chaos = cadmc_serve::ChaosConfig {
+        sessions: args.get_or("sessions", 24)?,
+        tenants: args.get_or("tenants", 3)?,
+        overload: args.get_or("overload", 2.0)?,
+        faults: match args.get("faults") {
+            Some(_) => fault_schedule(args)?,
+            None => FaultSchedule::canned_outage(),
+        },
+        requests: args.get_or("requests", 16)?,
+        seed: args.get_or("seed", 7)?,
+    };
+    let drain_at_ms: Option<f64> = args
+        .get("drain-at-ms")
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError::Usage("invalid --drain-at-ms".to_string()))
+        })
+        .transpose()?;
+    let server = cadmc_serve::Server::new(cfg);
+    let arrivals = cadmc_serve::chaos_arrivals(&chaos, server.config());
+    let n_workers = workers(args)?.workers;
+    eprintln!(
+        "chaos schedule: {} arrivals at {:.1}x capacity, {} workers...",
+        arrivals.len(),
+        chaos.overload,
+        n_workers
+    );
+    let report = server.run_schedule(&arrivals, n_workers, drain_at_ms);
+    print!("{}", report.log());
+    println!(
+        "summary: admitted {} | shed {} | degraded {} | failed {} | drained {} | queue watermark {}/{}",
+        report.admitted,
+        report.shed,
+        report.degraded,
+        report.failed,
+        report.drained,
+        report.queue_watermark,
+        report.queue_capacity
+    );
     Ok(())
 }
 

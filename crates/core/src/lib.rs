@@ -46,6 +46,7 @@ mod reward;
 pub mod search;
 pub mod surgery;
 pub mod tree;
+pub mod tree_cache;
 pub mod tree_search;
 pub mod validate;
 

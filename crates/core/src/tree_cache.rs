@@ -1,0 +1,286 @@
+//! Shared LRU cache of searched model trees, keyed by
+//! `(IR hash, context-distribution hash)`.
+//!
+//! The serving layer runs one tree search per *distinct* (model, context
+//! distribution) pair and then reuses the resulting [`ModelTree`] across
+//! every session that presents the same pair. Entries hold
+//! `Arc<ModelTree>` so sessions can keep walking a tree even after the
+//! cache evicts it; eviction is least-recently-used over a logical tick
+//! counter (no wall clock — the cache must behave identically across
+//! runs and worker counts).
+//!
+//! Like [`MemoPool`](crate::memo::MemoPool), the only reporting surface
+//! is the telemetry metrics registry ([`TreeCache::publish_telemetry`]);
+//! the cache itself never prints.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use cadmc_telemetry as telemetry;
+
+use crate::tree::ModelTree;
+
+/// Default number of distinct (model, context) trees kept resident.
+pub const DEFAULT_TREE_CAPACITY: usize = 8;
+
+/// One cached tree plus its LRU bookkeeping.
+#[derive(Debug)]
+struct Entry {
+    key: (u64, u64),
+    tree: Arc<ModelTree>,
+    last_used: u64,
+}
+
+/// Interior state: a small vector scan is cheaper and more predictable
+/// than a map for the handful of distinct trees a server keeps warm.
+#[derive(Debug)]
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+}
+
+/// Counter snapshot (see [`TreeCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TreeCacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that had to search.
+    pub misses: usize,
+    /// Entries dropped by LRU eviction.
+    pub evictions: usize,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Thread-safe LRU cache of `Arc<ModelTree>` keyed by
+/// `(ir_hash, ctx_hash)`.
+#[derive(Debug)]
+pub struct TreeCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl TreeCache {
+    /// A cache holding up to `capacity` trees (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        TreeCache {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Poison-recovering lock: a panicking holder leaves the state
+    /// consistent (every mutation is a single push/remove/assign).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up a tree, refreshing its recency on hit.
+    pub fn get(&self, key: (u64, u64)) -> Option<Arc<ModelTree>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            let tree = Arc::clone(&e.tree);
+            drop(inner);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(tree);
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Returns the cached tree or computes, stores and returns it. The
+    /// lock is *not* held while `search` runs; two threads racing on the
+    /// same fresh key may both search, and the first insert wins (both
+    /// computed the same tree from the same key, so lookups stay
+    /// consistent).
+    pub fn get_or_insert_with<F>(&self, key: (u64, u64), search: F) -> Arc<ModelTree>
+    where
+        F: FnOnce() -> ModelTree,
+    {
+        if let Some(tree) = self.get(key) {
+            return tree;
+        }
+        self.insert(key, Arc::new(search()))
+    }
+
+    /// Inserts a tree, evicting the least-recently-used entry when full.
+    /// Returns the resident tree for `key` (the existing one if another
+    /// thread inserted first).
+    pub fn insert(&self, key: (u64, u64), tree: Arc<ModelTree>) -> Arc<ModelTree> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            return Arc::clone(&e.tree);
+        }
+        let mut evicted = 0usize;
+        while inner.entries.len() >= self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i);
+            match oldest {
+                Some(i) => {
+                    inner.entries.remove(i);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        inner.entries.push(Entry {
+            key,
+            tree: Arc::clone(&tree),
+            last_used: tick,
+        });
+        drop(inner);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        tree
+    }
+
+    /// Number of resident trees.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by LRU eviction.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TreeCacheStats {
+        TreeCacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: self.len(),
+        }
+    }
+
+    /// Publishes cache totals into the telemetry metrics registry
+    /// (`tree_cache.hits` / `.misses` / `.evictions` / `.entries`).
+    /// No-op when telemetry is disabled.
+    pub fn publish_telemetry(&self) {
+        if !telemetry::enabled() {
+            return;
+        }
+        let s = self.stats();
+        telemetry::counter!("tree_cache.hits", s.hits as u64);
+        telemetry::counter!("tree_cache.misses", s.misses as u64);
+        telemetry::counter!("tree_cache.evictions", s.evictions as u64);
+        telemetry::counter!("tree_cache.entries", s.entries as u64);
+    }
+}
+
+impl Default for TreeCache {
+    fn default() -> Self {
+        TreeCache::new(DEFAULT_TREE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::ModelTree;
+    use cadmc_nn::zoo;
+
+    fn tree(k: usize) -> ModelTree {
+        let levels: Vec<f64> = (0..k).map(|i| 2.0 + 10.0 * i as f64).collect();
+        ModelTree::new(zoo::tiny_cnn(), 2, levels)
+    }
+
+    #[test]
+    fn hit_returns_same_tree() {
+        let cache = TreeCache::new(2);
+        let a = cache.get_or_insert_with((1, 1), || tree(2));
+        let b = cache.get_or_insert_with((1, 1), || unreachable!("must hit"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = TreeCache::new(2);
+        cache.get_or_insert_with((1, 0), || tree(2));
+        cache.get_or_insert_with((2, 0), || tree(2));
+        // Touch (1, 0) so (2, 0) is the LRU victim.
+        assert!(cache.get((1, 0)).is_some());
+        cache.get_or_insert_with((3, 0), || tree(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get((2, 0)).is_none());
+        assert!(cache.get((1, 0)).is_some());
+        assert!(cache.get((3, 0)).is_some());
+    }
+
+    #[test]
+    fn evicted_tree_stays_usable_through_arc() {
+        let cache = TreeCache::new(1);
+        let held = cache.get_or_insert_with((1, 0), || tree(2));
+        cache.get_or_insert_with((2, 0), || tree(3));
+        assert!(cache.get((1, 0)).is_none());
+        // The session that held the Arc keeps a fully usable tree.
+        assert_eq!(held.k(), 2);
+    }
+
+    #[test]
+    fn capacity_floors_at_one() {
+        let cache = TreeCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.get_or_insert_with((1, 0), || tree(2));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn publish_telemetry_reports_to_registry() {
+        let cache = TreeCache::new(2);
+        cache.get_or_insert_with((9, 9), || tree(2));
+        cache.get_or_insert_with((9, 9), || unreachable!("must hit"));
+        cache.publish_telemetry(); // telemetry off: no-op
+        let ((), report) = cadmc_telemetry::testing::with_collector(|| {
+            cache.publish_telemetry();
+        });
+        assert_eq!(report.metrics.counter("tree_cache.hits"), Some(1));
+        assert_eq!(report.metrics.counter("tree_cache.misses"), Some(1));
+        assert_eq!(report.metrics.counter("tree_cache.entries"), Some(1));
+    }
+}

@@ -1,0 +1,96 @@
+//! Hash keys for cross-session tree caches.
+//!
+//! A served model tree is a function of exactly two inputs: the model
+//! (its canonical IR emission) and the context distribution it was
+//! searched under (scenario, discretization level count and seed). This
+//! module packages both into a [`ModelContextKey`] built from the same
+//! fully-specified FNV-1a64 used by [`ir_hash`](crate::emit::ir_hash),
+//! so keys are stable across platforms, runs and processes — unlike
+//! `DefaultHasher`, whose SipHash keys are randomized per process.
+
+use crate::analyze::CheckedModel;
+use crate::emit::fnv1a64;
+
+/// FNV-1a64 of an arbitrary context-distribution descriptor string.
+///
+/// Callers canonicalize the distribution into a stable string (e.g.
+/// `"scenario=4G indoor static|k=2|seed=7"`) and hash it here; any two
+/// sessions that produce the same descriptor share a cached tree.
+pub fn context_hash(descriptor: &str) -> u64 {
+    fnv1a64(descriptor.as_bytes())
+}
+
+/// Cache key for one (model, context distribution) pair: the structural
+/// IR hash plus a context-distribution hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelContextKey {
+    ir_hash: u64,
+    ctx_hash: u64,
+}
+
+impl ModelContextKey {
+    /// Keys a checked model under a canonical context descriptor.
+    pub fn new(model: &CheckedModel, context_descriptor: &str) -> Self {
+        ModelContextKey {
+            ir_hash: model.ir_hash(),
+            ctx_hash: context_hash(context_descriptor),
+        }
+    }
+
+    /// Rebuilds a key from already-computed hashes (e.g. read back from
+    /// a persisted cache index).
+    pub fn from_hashes(ir_hash: u64, ctx_hash: u64) -> Self {
+        ModelContextKey { ir_hash, ctx_hash }
+    }
+
+    /// The structural IR hash component.
+    pub fn ir_hash(self) -> u64 {
+        self.ir_hash
+    }
+
+    /// The context-distribution hash component.
+    pub fn ctx_hash(self) -> u64 {
+        self.ctx_hash
+    }
+
+    /// The key as a plain pair, for map/cache APIs keyed by `(u64, u64)`.
+    pub fn pair(self) -> (u64, u64) {
+        (self.ir_hash, self.ctx_hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cadmc_nn::zoo;
+
+    #[test]
+    fn key_separates_models_and_contexts() {
+        let tiny = CheckedModel::from_spec(zoo::tiny_cnn());
+        let vgg = CheckedModel::from_spec(zoo::vgg11_cifar());
+        let a = ModelContextKey::new(&tiny, "scenario=x|k=2|seed=7");
+        let b = ModelContextKey::new(&vgg, "scenario=x|k=2|seed=7");
+        let c = ModelContextKey::new(&tiny, "scenario=y|k=2|seed=7");
+        assert_ne!(a.pair(), b.pair());
+        assert_ne!(a.pair(), c.pair());
+        assert_eq!(a.ctx_hash(), b.ctx_hash());
+        assert_eq!(a.ir_hash(), c.ir_hash());
+    }
+
+    #[test]
+    fn key_is_stable_across_calls_and_roundtrips() {
+        let tiny = CheckedModel::from_spec(zoo::tiny_cnn());
+        let a = ModelContextKey::new(&tiny, "ctx");
+        let b = ModelContextKey::new(&CheckedModel::from_spec(zoo::tiny_cnn()), "ctx");
+        assert_eq!(a, b);
+        let rebuilt = ModelContextKey::from_hashes(a.ir_hash(), a.ctx_hash());
+        assert_eq!(a, rebuilt);
+    }
+
+    #[test]
+    fn context_hash_is_fnv1a64() {
+        // Pinned: the empty-string FNV-1a64 offset basis.
+        assert_eq!(context_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(context_hash("a"), context_hash("b"));
+    }
+}

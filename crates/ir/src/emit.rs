@@ -133,7 +133,7 @@ pub fn ir_hash(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>) 
     fnv1a64(emit_with(spec, blocks, levels).as_bytes())
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

@@ -33,6 +33,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod cache;
 pub mod diag;
 pub mod emit;
 pub mod entry;
@@ -40,6 +41,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use analyze::{analyze, Analysis, CheckedModel};
+pub use cache::{context_hash, ModelContextKey};
 pub use diag::{render_json, render_text, Code, Diagnostic, Severity, Span};
 pub use emit::{emit_model, emit_with, ir_hash, EmitIr};
 pub use parser::parse;

@@ -272,6 +272,43 @@ impl FaultSchedule {
         Self::new(windows)
     }
 
+    /// Derives this schedule's per-session variant: each window's start
+    /// is phase-shifted by a deterministic, session-specific jitter of at
+    /// most ±20 % of its duration (clamped at zero so the
+    /// [`FaultSchedule::new`] invariants hold). Durations, kinds and
+    /// magnitudes are untouched, so a session sees the *same* fault
+    /// process as its neighbors but not in lockstep — the serving layer
+    /// uses this so concurrent sessions don't all time out on the same
+    /// millisecond. `for_session` is a pure function of
+    /// `(self, session)`: the same id always yields the same schedule,
+    /// and session ids live on each session's own timeline, independent
+    /// of when the server admitted it.
+    pub fn for_session(&self, session: u64) -> Self {
+        if self.windows.is_empty() {
+            return Self::none();
+        }
+        // SplitMix64: a well-mixed pure function of (session, index).
+        fn mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let windows = self
+            .windows
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let r = mix(session ^ mix(i as u64 ^ 0x5e55_10f0));
+                // Uniform in [-1, 1) from the top 53 bits.
+                let unit = (r >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+                let start_ms = (w.start_ms + unit * 0.2 * w.duration_ms).max(0.0);
+                FaultWindow { start_ms, ..*w }
+            })
+            .collect();
+        Self::new(windows)
+    }
+
     /// Whether the cloud uplink is down at `t_ms` (an outage is active).
     pub fn link_down(&self, t_ms: f64) -> bool {
         self.windows
@@ -441,6 +478,46 @@ mod tests {
         let json = serde_json::to_string(&s).unwrap();
         let back: FaultSchedule = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);
+    }
+
+    #[test]
+    fn for_session_is_deterministic_and_bounded() {
+        let base = FaultSchedule::canned_outage();
+        let a = base.for_session(3);
+        let b = base.for_session(3);
+        assert_eq!(a, b);
+        // Same process, different phase for a different session.
+        assert_ne!(a, base.for_session(4));
+        // Kinds, durations and magnitudes are untouched; starts move by
+        // at most 20 % of the window duration and never go negative.
+        assert_eq!(a.windows().len(), base.windows().len());
+        for (w, o) in a.windows().iter().zip(base.windows()) {
+            assert_eq!(w.kind, o.kind);
+            assert_eq!(w.duration_ms, o.duration_ms);
+            assert_eq!(w.magnitude, o.magnitude);
+            assert!((w.start_ms - o.start_ms).abs() <= 0.2 * o.duration_ms + 1e-9);
+            assert!(w.start_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn for_session_of_empty_schedule_is_empty() {
+        assert!(FaultSchedule::none().for_session(9).is_empty());
+    }
+
+    #[test]
+    fn for_session_keeps_new_invariants_near_zero() {
+        // A window starting at 0 must clamp, not panic.
+        let s = FaultSchedule::new(vec![FaultWindow {
+            kind: FaultKind::Outage,
+            start_ms: 0.0,
+            duration_ms: 1_000.0,
+            magnitude: 0.0,
+        }]);
+        for session in 0..64 {
+            let shifted = s.for_session(session);
+            assert!(shifted.windows()[0].start_ms >= 0.0);
+        }
     }
 
     #[test]

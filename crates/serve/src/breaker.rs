@@ -1,0 +1,92 @@
+//! Per-tenant circuit breaker.
+//!
+//! A tenant whose sessions keep ending `failed` is probably submitting
+//! work the current context cannot serve (e.g. a model with no viable
+//! fallback during an outage); continuing to run its sessions burns
+//! slots other tenants could use. After `threshold` *consecutive*
+//! failures the breaker opens for `cooldown_ms` of the caller's clock,
+//! during which that tenant's arrivals are shed as `shed:breaker`; it
+//! closes again once the cooldown elapses (any success resets the
+//! failure streak).
+
+/// Consecutive-failure circuit breaker over an external clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_ms: f64,
+    consecutive_failures: u32,
+    open_until_ms: f64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures
+    /// (floored at 1) for `cooldown_ms` (floored at 0).
+    pub fn new(threshold: u32, cooldown_ms: f64) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown_ms: cooldown_ms.max(0.0),
+            consecutive_failures: 0,
+            open_until_ms: 0.0,
+        }
+    }
+
+    /// Whether the breaker rejects at `t_ms`.
+    pub fn is_open(&self, t_ms: f64) -> bool {
+        t_ms < self.open_until_ms
+    }
+
+    /// Records a session that ended in a non-`failed` terminal outcome.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Records a `failed` session outcome at `t_ms`; returns `true` when
+    /// this failure trips the breaker open.
+    pub fn record_failure(&mut self, t_ms: f64) -> bool {
+        self.consecutive_failures += 1;
+        if self.consecutive_failures >= self.threshold {
+            self.consecutive_failures = 0;
+            self.open_until_ms = t_ms + self.cooldown_ms;
+            return true;
+        }
+        false
+    }
+
+    /// Current consecutive-failure streak.
+    pub fn failure_streak(&self) -> u32 {
+        self.consecutive_failures
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_consecutive_failures_and_cools_down() {
+        let mut b = CircuitBreaker::new(2, 1_000.0);
+        assert!(!b.record_failure(0.0));
+        assert!(!b.is_open(1.0));
+        assert!(b.record_failure(10.0));
+        assert!(b.is_open(11.0));
+        assert!(b.is_open(1_009.0));
+        assert!(!b.is_open(1_010.0));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut b = CircuitBreaker::new(2, 1_000.0);
+        b.record_failure(0.0);
+        b.record_success();
+        assert!(!b.record_failure(5.0));
+        assert!(!b.is_open(6.0));
+        assert_eq!(b.failure_streak(), 1);
+    }
+
+    #[test]
+    fn threshold_floors_at_one() {
+        let mut b = CircuitBreaker::new(0, 500.0);
+        assert!(b.record_failure(0.0));
+        assert!(b.is_open(499.0));
+    }
+}

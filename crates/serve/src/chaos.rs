@@ -1,0 +1,103 @@
+//! Deterministic chaos harness: overload schedule × fault schedule.
+//!
+//! A chaos run drives [`Server::run_schedule`](crate::Server::run_schedule)
+//! with a synthetic arrival burst at a configured multiple of the
+//! server's sustained admission capacity, every session carrying a fault
+//! schedule (on its own timeline). Arrival times, tenants, models and
+//! seeds are all pure arithmetic in the config — no RNG, no wall clock —
+//! so a chaos run is replayable byte-for-byte.
+
+use cadmc_latency::Platform;
+use cadmc_netsim::{FaultSchedule, Scenario};
+
+use crate::config::ServerConfig;
+use crate::server::Arrival;
+use crate::session::{ModelSource, SessionSpec};
+
+/// Parameters of a synthetic overload burst.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// Total arrivals in the burst.
+    pub sessions: usize,
+    /// Distinct tenants, assigned round-robin.
+    pub tenants: usize,
+    /// Arrival rate as a multiple of the server's admission capacity
+    /// (2.0 = the acceptance-criteria "2× sustained" overload).
+    pub overload: f64,
+    /// Fault schedule every session streams under (per-session variants
+    /// are derived by the scheduler via `FaultSchedule::for_session`).
+    pub faults: FaultSchedule,
+    /// Requests per session. The default (16) makes a session's virtual
+    /// timeline (~6.5 s at the default think time) reach into the first
+    /// canned outage window (5–8 s), so chaos runs actually exercise the
+    /// degradation ladder rather than finishing before the fault lands.
+    pub requests: usize,
+    /// Base seed; session `i` runs with `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            sessions: 24,
+            tenants: 3,
+            overload: 2.0,
+            faults: FaultSchedule::canned_outage(),
+            requests: 16,
+            seed: 7,
+        }
+    }
+}
+
+/// Builds the arrival schedule for a chaos run: `sessions` arrivals
+/// evenly spaced at `overload ×` the server's token refill rate,
+/// tenants round-robin, alternating between two bandwidth scenarios so
+/// the tree cache serves more than one key.
+pub fn chaos_arrivals(chaos: &ChaosConfig, server: &ServerConfig) -> Vec<Arrival> {
+    let rate = server.admission_capacity_per_sec().max(0.001);
+    let interval_ms = 1_000.0 / (rate * chaos.overload.max(0.001));
+    let tenants = chaos.tenants.max(1);
+    (0..chaos.sessions)
+        .map(|i| {
+            let scenario = if i % 2 == 0 {
+                Scenario::FourGIndoorStatic
+            } else {
+                Scenario::WifiWeakIndoor
+            };
+            Arrival {
+                at_ms: i as f64 * interval_ms,
+                spec: SessionSpec {
+                    tenant: format!("tenant-{}", i % tenants),
+                    model: ModelSource::Zoo("tiny".to_string()),
+                    min_accuracy: 0.0,
+                    device: Platform::Phone,
+                    scenario,
+                    requests: chaos.requests.max(1),
+                    seed: chaos.seed.wrapping_add(i as u64),
+                    faults: chaos.faults.clone(),
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_are_deterministic_and_evenly_spaced() {
+        let chaos = ChaosConfig::default();
+        let server = ServerConfig::default();
+        let a = chaos_arrivals(&chaos, &server);
+        let b = chaos_arrivals(&chaos, &server);
+        assert_eq!(a.len(), chaos.sessions);
+        assert_eq!(a[0].spec, b[0].spec);
+        // 2× overload of 4/s = 8 arrivals per second = 125 ms apart.
+        let dt = a[1].at_ms - a[0].at_ms;
+        assert!((dt - 125.0).abs() < 1e-9, "dt = {dt}");
+        assert_eq!(a[0].spec.tenant, "tenant-0");
+        assert_eq!(a[1].spec.tenant, "tenant-1");
+        assert_eq!(a[3].spec.tenant, "tenant-0");
+    }
+}

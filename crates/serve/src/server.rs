@@ -1,0 +1,727 @@
+//! The serving core: a deterministic discrete-event scheduler
+//! ([`Server::run_schedule`]) plus a wall-clock live path
+//! ([`Server::submit`]) for the TCP front-end.
+//!
+//! ## Determinism contract
+//!
+//! `run_schedule` separates *what a session computes* from *when the
+//! server runs it*:
+//!
+//! 1. **Resolve** (serial): every arrival's model is checked and keyed.
+//! 2. **Warm** (serial, arrival order): one tree search per distinct
+//!    (IR hash, context hash) key fills the shared LRU cache, so cache
+//!    content never depends on worker interleaving.
+//! 3. **Precompute** (parallel): session outcomes are pure functions of
+//!    their spec (faults live on the session's own timeline), so they
+//!    are computed speculatively for every resolvable arrival with
+//!    [`par_map_indexed`] — index-ordered and worker-count invariant.
+//! 4. **Replay** (serial): a discrete-event loop over *virtual* time
+//!    makes every admission, shed, breaker and drain decision. Worker
+//!    threads never touch this phase.
+//!
+//! The per-session outcome log is therefore byte-identical across any
+//! worker count; the only cost is that sessions shed at replay time had
+//! their outcome computed needlessly (bounded by the overload factor).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use cadmc_core::memo::MemoPool;
+use cadmc_core::parallel::par_map_indexed;
+use cadmc_core::tree_cache::TreeCache;
+use cadmc_netsim::BandwidthTrace;
+use cadmc_telemetry as telemetry;
+
+use crate::admission::{BoundedQueue, TokenBucket};
+use crate::breaker::CircuitBreaker;
+use crate::config::ServerConfig;
+use crate::session::{
+    best_branch_accuracy, resolve, run_session, search_tree, RejectReason, SessionOutcome,
+    SessionSpec,
+};
+
+/// One scheduled request: a session spec arriving at a virtual instant.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Virtual arrival time (ms since schedule start).
+    pub at_ms: f64,
+    /// The session being submitted.
+    pub spec: SessionSpec,
+}
+
+/// The scheduler's decision for one arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Admitted and ran to a terminal outcome.
+    Admitted {
+        /// Terminal outcome label (`ok`/`retried`/`degraded`/`failed`).
+        outcome: String,
+        /// When the session started executing (virtual ms).
+        start_ms: f64,
+        /// When it finished (virtual ms).
+        end_ms: f64,
+        /// Time spent queued between admission and a free slot.
+        queued_ms: f64,
+        /// Mean request latency (ms).
+        mean_latency_ms: f64,
+        /// Mean request accuracy.
+        mean_accuracy: f64,
+    },
+    /// Not admitted (or not executed), with the typed reason.
+    Rejected {
+        /// Why (see [`RejectReason::label`]).
+        reason: RejectReason,
+    },
+}
+
+/// One arrival's record in the outcome log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalRecord {
+    /// Index of the arrival in the submitted schedule.
+    pub session: usize,
+    /// Tenant it was accounted against.
+    pub tenant: String,
+    /// Virtual arrival time.
+    pub at_ms: f64,
+    /// What the scheduler decided.
+    pub decision: Decision,
+}
+
+/// Everything a chaos run needs to assert on: per-arrival records, the
+/// surviving outcomes, counters and the queue watermark.
+#[derive(Debug)]
+pub struct ScheduleReport {
+    /// One record per arrival, in submission order.
+    pub records: Vec<ArrivalRecord>,
+    /// Full outcome per *admitted* arrival (`None` for rejected ones).
+    pub outcomes: Vec<Option<SessionOutcome>>,
+    /// Arrivals admitted.
+    pub admitted: usize,
+    /// Arrivals not admitted (shed or rejected).
+    pub shed: usize,
+    /// Admitted sessions whose terminal outcome was `degraded`.
+    pub degraded: usize,
+    /// Admitted sessions whose terminal outcome was `failed`.
+    pub failed: usize,
+    /// Sessions that reached their terminal outcome after the drain
+    /// signal (the "finish or degrade in-flight work" guarantee).
+    pub drained: usize,
+    /// Deepest the bounded work queue ever got.
+    pub queue_watermark: usize,
+    /// The queue's configured capacity (watermark ≤ capacity, always).
+    pub queue_capacity: usize,
+}
+
+impl ScheduleReport {
+    /// The canonical outcome log: one line per arrival, in submission
+    /// order, fixed-precision — byte-identical across worker counts.
+    pub fn log(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            match &r.decision {
+                Decision::Admitted {
+                    outcome,
+                    start_ms,
+                    end_ms,
+                    queued_ms,
+                    mean_latency_ms,
+                    mean_accuracy,
+                } => {
+                    out.push_str(&format!(
+                        "session={:04} tenant={} decision=admitted outcome={} \
+                         start_ms={:.3} end_ms={:.3} queued_ms={:.3} \
+                         mean_latency_ms={:.3} mean_accuracy={:.4}\n",
+                        r.session,
+                        r.tenant,
+                        outcome,
+                        start_ms,
+                        end_ms,
+                        queued_ms,
+                        mean_latency_ms,
+                        mean_accuracy
+                    ));
+                }
+                Decision::Rejected { reason } => {
+                    out.push_str(&format!(
+                        "session={:04} tenant={} decision=rejected reason={}\n",
+                        r.session,
+                        r.tenant,
+                        reason.label()
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Live-path counters (wall-clock TCP front-end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveStats {
+    /// Sessions admitted.
+    pub admitted: usize,
+    /// Sessions shed or rejected.
+    pub shed: usize,
+    /// Sessions that ended `degraded`.
+    pub degraded: usize,
+    /// Sessions that ended `failed`.
+    pub failed: usize,
+    /// Sessions that reached a terminal outcome during drain.
+    pub drained: usize,
+    /// Deepest the wait set ever got (bounded by `queue_capacity`).
+    pub waiting_watermark: usize,
+}
+
+/// A live session's completion (wall-clock path).
+#[derive(Debug)]
+pub struct LiveCompletion {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// The terminal outcome.
+    pub outcome: SessionOutcome,
+}
+
+/// Wall-clock admission state behind one mutex; the condvar parks
+/// arrivals waiting for a slot (a bounded wait set, not a channel).
+#[derive(Debug)]
+struct LiveState {
+    bucket: TokenBucket,
+    breakers: BTreeMap<String, CircuitBreaker>,
+    inflight: BTreeMap<String, usize>,
+    active: usize,
+    waiting: usize,
+    draining: bool,
+    stats: LiveStats,
+}
+
+/// The multi-tenant serving core. See the module docs for the
+/// determinism contract.
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServerConfig,
+    memo: Arc<MemoPool>,
+    cache: Arc<TreeCache>,
+    sessions: AtomicU64,
+    live: Mutex<LiveState>,
+    slot_freed: Condvar,
+}
+
+impl Server {
+    /// A server with fresh shared state (memo pool + tree cache).
+    pub fn new(cfg: ServerConfig) -> Self {
+        let live = LiveState {
+            bucket: TokenBucket::new(cfg.rate_per_sec, cfg.burst),
+            breakers: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            active: 0,
+            waiting: 0,
+            draining: false,
+            stats: LiveStats::default(),
+        };
+        Server {
+            memo: Arc::new(MemoPool::new()),
+            cache: Arc::new(TreeCache::new(cfg.tree_cache_capacity)),
+            sessions: AtomicU64::new(0),
+            live: Mutex::new(live),
+            slot_freed: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.cfg
+    }
+
+    /// The shared memo pool (hit/miss counters for reporting).
+    pub fn memo(&self) -> &MemoPool {
+        &self.memo
+    }
+
+    /// The shared tree cache.
+    pub fn tree_cache(&self) -> &TreeCache {
+        &self.cache
+    }
+
+    fn lock_live(&self) -> MutexGuard<'_, LiveState> {
+        self.live.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    // -----------------------------------------------------------------
+    // Deterministic discrete-event path
+    // -----------------------------------------------------------------
+
+    /// Replays `arrivals` through admission, queueing, execution and
+    /// (optionally) a drain signal at `drain_at_ms`, entirely in virtual
+    /// time. `workers` only parallelizes the pure outcome precompute —
+    /// the returned report (and its `log()`) is byte-identical for any
+    /// value.
+    pub fn run_schedule(
+        &self,
+        arrivals: &[Arrival],
+        workers: usize,
+        drain_at_ms: Option<f64>,
+    ) -> ScheduleReport {
+        let n = arrivals.len();
+
+        // Phase 1+2 (serial): resolve every arrival, warm the tree cache
+        // in arrival order, check accuracy constraints.
+        let mut prepared: Vec<Result<Prepared, RejectReason>> = Vec::with_capacity(n);
+        for a in arrivals {
+            prepared.push(self.prepare(&a.spec));
+        }
+
+        // Phase 3 (parallel, speculative): pure per-session outcomes.
+        let outcomes: Vec<Option<SessionOutcome>> = par_map_indexed(n, workers.max(1), |i| {
+            prepared[i].as_ref().ok().map(|p| {
+                run_session(
+                    i as u64,
+                    &arrivals[i].spec,
+                    &p.tree,
+                    &p.exec_trace,
+                    &self.cfg,
+                )
+            })
+        });
+
+        // Phase 4 (serial): virtual-time replay.
+        self.replay(arrivals, &prepared, outcomes, drain_at_ms)
+    }
+
+    /// Resolves a spec, warms the cache and applies the accuracy
+    /// constraint. Serial-phase only: cache mutation order must not
+    /// depend on workers.
+    fn prepare(&self, spec: &SessionSpec) -> Result<Prepared, RejectReason> {
+        let resolved = resolve(spec, &self.cfg)?;
+        let tree = self.cache.get_or_insert_with(resolved.key.pair(), || {
+            search_tree(&resolved, spec.device, &self.cfg, &self.memo)
+        });
+        let best_accuracy = best_branch_accuracy(&tree, spec.device);
+        if best_accuracy < spec.min_accuracy {
+            return Err(RejectReason::Constraint {
+                best_accuracy,
+                min_accuracy: spec.min_accuracy,
+            });
+        }
+        Ok(Prepared {
+            tree,
+            exec_trace: resolved.exec_trace,
+        })
+    }
+
+    fn replay(
+        &self,
+        arrivals: &[Arrival],
+        prepared: &[Result<Prepared, RejectReason>],
+        outcomes: Vec<Option<SessionOutcome>>,
+        drain_at_ms: Option<f64>,
+    ) -> ScheduleReport {
+        let n = arrivals.len();
+        let cfg = &self.cfg;
+        let slots = cfg.slots.max(1);
+
+        // Arrival processing order: (time, submission index), stable.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            arrivals[a]
+                .at_ms
+                .total_cmp(&arrivals[b].at_ms)
+                .then(a.cmp(&b))
+        });
+
+        let mut bucket = TokenBucket::new(cfg.rate_per_sec, cfg.burst);
+        let mut queue: BoundedQueue<usize> = BoundedQueue::new(cfg.queue_capacity);
+        let mut breakers: BTreeMap<&str, CircuitBreaker> = BTreeMap::new();
+        let mut inflight: BTreeMap<&str, usize> = BTreeMap::new();
+        let mut running: Vec<(f64, usize)> = Vec::with_capacity(slots);
+        let mut decisions: Vec<Option<Decision>> = vec![None; n];
+        let mut admit_ms: Vec<f64> = vec![0.0; n];
+        let mut draining = false;
+        let mut drain_pending = drain_at_ms;
+        let mut pos = 0usize;
+        let (mut admitted, mut shed, mut degraded, mut failed, mut drained) = (0, 0, 0, 0, 0);
+
+        loop {
+            // Earliest (time, priority): completions release capacity
+            // before a same-instant drain or arrival sees it, and drain
+            // beats a same-instant arrival ("mid-burst" semantics).
+            let next_completion = running
+                .iter()
+                .copied()
+                .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            let mut next: Option<(f64, u8)> = next_completion.map(|(t, _)| (t, 0u8));
+            if let Some(t) = drain_pending {
+                if next.is_none_or(|(bt, bp)| (t, 1u8) < (bt, bp)) {
+                    next = Some((t, 1));
+                }
+            }
+            if pos < n {
+                let t = arrivals[order[pos]].at_ms;
+                if next.is_none_or(|(bt, bp)| (t, 2u8) < (bt, bp)) {
+                    next = Some((t, 2));
+                }
+            }
+            let Some((t, kind)) = next else { break };
+
+            match kind {
+                0 => {
+                    // Completion.
+                    let Some((end_ms, idx)) = next_completion else { break };
+                    if let Some(slot) = running.iter().position(|&(e, i)| e == end_ms && i == idx)
+                    {
+                        running.swap_remove(slot);
+                    }
+                    let tenant = arrivals[idx].spec.tenant.as_str();
+                    let outcome = outcomes[idx].as_ref();
+                    let (label, mean_latency, mean_accuracy) = match outcome {
+                        Some(o) => (o.label, o.report.mean_latency_ms(), o.report.mean_accuracy()),
+                        None => ("failed", 0.0, 0.0),
+                    };
+                    match label {
+                        "failed" => {
+                            failed += 1;
+                            breakers
+                                .entry(tenant)
+                                .or_insert_with(|| {
+                                    CircuitBreaker::new(
+                                        cfg.breaker_threshold,
+                                        cfg.breaker_cooldown_ms,
+                                    )
+                                })
+                                .record_failure(end_ms);
+                        }
+                        other => {
+                            if other == "degraded" {
+                                degraded += 1;
+                            }
+                            if let Some(b) = breakers.get_mut(tenant) {
+                                b.record_success();
+                            }
+                        }
+                    }
+                    if let Some(c) = inflight.get_mut(tenant) {
+                        *c = c.saturating_sub(1);
+                    }
+                    if draining {
+                        drained += 1;
+                    }
+                    let start_ms = admit_ms[idx];
+                    decisions[idx] = Some(Decision::Admitted {
+                        outcome: label.to_string(),
+                        start_ms,
+                        end_ms,
+                        queued_ms: start_ms - arrivals[idx].at_ms,
+                        mean_latency_ms: mean_latency,
+                        mean_accuracy,
+                    });
+                    let span = telemetry::span!(
+                        "serve.session",
+                        session = idx as u64,
+                        tenant = tenant,
+                    );
+                    span.record("outcome", label);
+                    drop(span);
+                    // A freed slot immediately serves the queue head.
+                    if running.len() < slots {
+                        if let Some(next_idx) = queue.pop_front() {
+                            admit_ms[next_idx] = end_ms;
+                            let dur = outcomes[next_idx]
+                                .as_ref()
+                                .map_or(1.0, |o| o.virtual_ms);
+                            running.push((end_ms + dur, next_idx));
+                        }
+                    }
+                }
+                1 => {
+                    // Drain signal: stop admitting; in-flight work keeps
+                    // going until it finishes or degrades.
+                    draining = true;
+                    drain_pending = None;
+                    telemetry::event!("serve.drain", at_ms = t);
+                }
+                _ => {
+                    // Arrival.
+                    let idx = order[pos];
+                    pos += 1;
+                    let tenant = arrivals[idx].spec.tenant.as_str();
+                    let verdict = if draining {
+                        Err(RejectReason::Draining)
+                    } else if let Err(reason) = &prepared[idx] {
+                        Err(reason.clone())
+                    } else if inflight.get(tenant).copied().unwrap_or(0) >= cfg.tenant_quota {
+                        Err(RejectReason::Quota)
+                    } else if breakers.get(tenant).is_some_and(|b| b.is_open(t)) {
+                        Err(RejectReason::Breaker)
+                    } else if !bucket.try_admit(t) {
+                        Err(RejectReason::Rate)
+                    } else if running.len() < slots {
+                        admit_ms[idx] = t;
+                        let dur = outcomes[idx].as_ref().map_or(1.0, |o| o.virtual_ms);
+                        running.push((t + dur, idx));
+                        Ok(())
+                    } else if queue.push_back(idx).is_ok() {
+                        Ok(())
+                    } else {
+                        Err(RejectReason::QueueFull)
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            admitted += 1;
+                            *inflight.entry(tenant).or_insert(0) += 1;
+                        }
+                        Err(reason) => {
+                            shed += 1;
+                            telemetry::event!(
+                                "serve.shed",
+                                session = idx as u64,
+                                tenant = tenant,
+                                reason = reason.label(),
+                            );
+                            decisions[idx] = Some(Decision::Rejected { reason });
+                        }
+                    }
+                }
+            }
+        }
+
+        telemetry::counter!("serve.admitted", admitted as u64);
+        telemetry::counter!("serve.shed", shed as u64);
+        telemetry::counter!("serve.degraded", degraded as u64);
+        telemetry::counter!("serve.failed", failed as u64);
+        telemetry::counter!("serve.drained", drained as u64);
+        telemetry::gauge!("serve.queue_watermark", queue.watermark() as f64);
+        self.cache.publish_telemetry();
+        self.memo.publish_telemetry();
+
+        let records: Vec<ArrivalRecord> = decisions
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| ArrivalRecord {
+                session: i,
+                tenant: arrivals[i].spec.tenant.clone(),
+                at_ms: arrivals[i].at_ms,
+                // Every arrival terminates: admitted ones complete (the
+                // loop only ends with `running` empty), rejected ones
+                // carry their reason.
+                decision: d.unwrap_or(Decision::Rejected {
+                    reason: RejectReason::Draining,
+                }),
+            })
+            .collect();
+        let outcomes = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, o)| {
+                let keep = matches!(
+                    records_decision(&records, i),
+                    Some(Decision::Admitted { .. })
+                );
+                if keep {
+                    o
+                } else {
+                    None
+                }
+            })
+            .collect();
+        ScheduleReport {
+            records,
+            outcomes,
+            admitted,
+            shed,
+            degraded,
+            failed,
+            drained,
+            queue_watermark: queue.watermark(),
+            queue_capacity: cfg.queue_capacity,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Wall-clock live path (TCP front-end)
+    // -----------------------------------------------------------------
+
+    /// Submits one session on the live path at wall-clock `t_ms`
+    /// (milliseconds since the caller's epoch, monotone per caller).
+    /// Blocks while queued; runs the session synchronously once a slot
+    /// frees.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`RejectReason`] when the session is shed or
+    /// rejected.
+    pub fn submit(&self, spec: SessionSpec, t_ms: f64) -> Result<LiveCompletion, RejectReason> {
+        let shed = |server: &Server, reason: RejectReason| {
+            let mut st = server.lock_live();
+            st.stats.shed += 1;
+            Err(reason)
+        };
+        // Cheap static validation before consuming any admission budget.
+        let resolved = match resolve(&spec, &self.cfg) {
+            Ok(r) => r,
+            Err(reason) => return shed(self, reason),
+        };
+        let session = self.sessions.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut st = self.lock_live();
+            if st.draining {
+                st.stats.shed += 1;
+                return Err(RejectReason::Draining);
+            }
+            if st.inflight.get(&spec.tenant).copied().unwrap_or(0) >= self.cfg.tenant_quota {
+                st.stats.shed += 1;
+                return Err(RejectReason::Quota);
+            }
+            if st
+                .breakers
+                .get(&spec.tenant)
+                .is_some_and(|b| b.is_open(t_ms))
+            {
+                st.stats.shed += 1;
+                return Err(RejectReason::Breaker);
+            }
+            if !st.bucket.try_admit(t_ms) {
+                st.stats.shed += 1;
+                return Err(RejectReason::Rate);
+            }
+            if st.active < self.cfg.slots.max(1) {
+                st.active += 1;
+            } else if st.waiting >= self.cfg.queue_capacity {
+                st.stats.shed += 1;
+                return Err(RejectReason::QueueFull);
+            } else {
+                st.waiting += 1;
+                st.stats.waiting_watermark = st.stats.waiting_watermark.max(st.waiting);
+                loop {
+                    if st.draining {
+                        st.waiting -= 1;
+                        st.stats.shed += 1;
+                        self.slot_freed.notify_all();
+                        return Err(RejectReason::Draining);
+                    }
+                    if st.active < self.cfg.slots.max(1) {
+                        break;
+                    }
+                    st = self
+                        .slot_freed
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                st.waiting -= 1;
+                st.active += 1;
+            }
+            st.stats.admitted += 1;
+            *st.inflight.entry(spec.tenant.clone()).or_insert(0) += 1;
+        }
+
+        // Slot held; heavy work happens outside the lock.
+        let tree = self.cache.get_or_insert_with(resolved.key.pair(), || {
+            search_tree(&resolved, spec.device, &self.cfg, &self.memo)
+        });
+        let best_accuracy = best_branch_accuracy(&tree, spec.device);
+        if best_accuracy < spec.min_accuracy {
+            let mut st = self.lock_live();
+            st.active -= 1;
+            st.stats.admitted -= 1;
+            st.stats.shed += 1;
+            if let Some(c) = st.inflight.get_mut(&spec.tenant) {
+                *c = c.saturating_sub(1);
+            }
+            drop(st);
+            self.slot_freed.notify_all();
+            return Err(RejectReason::Constraint {
+                best_accuracy,
+                min_accuracy: spec.min_accuracy,
+            });
+        }
+        let outcome = run_session(session, &spec, &tree, &resolved.exec_trace, &self.cfg);
+
+        let span = telemetry::span!(
+            "serve.session",
+            session = session,
+            tenant = spec.tenant.as_str(),
+        );
+        span.record("outcome", outcome.label);
+        drop(span);
+
+        {
+            let mut st = self.lock_live();
+            st.active -= 1;
+            if let Some(c) = st.inflight.get_mut(&spec.tenant) {
+                *c = c.saturating_sub(1);
+            }
+            match outcome.label {
+                "failed" => {
+                    st.stats.failed += 1;
+                    let threshold = self.cfg.breaker_threshold;
+                    let cooldown = self.cfg.breaker_cooldown_ms;
+                    st.breakers
+                        .entry(spec.tenant.clone())
+                        .or_insert_with(|| CircuitBreaker::new(threshold, cooldown))
+                        .record_failure(t_ms);
+                }
+                label => {
+                    if label == "degraded" {
+                        st.stats.degraded += 1;
+                    }
+                    if let Some(b) = st.breakers.get_mut(&spec.tenant) {
+                        b.record_success();
+                    }
+                }
+            }
+            if st.draining {
+                st.stats.drained += 1;
+            }
+        }
+        self.slot_freed.notify_all();
+        Ok(LiveCompletion { session, outcome })
+    }
+
+    /// Starts a graceful drain: no new admissions; queued waiters are
+    /// released with `shed:draining`; running sessions finish or
+    /// degrade.
+    pub fn begin_drain(&self) {
+        let mut st = self.lock_live();
+        st.draining = true;
+        drop(st);
+        self.slot_freed.notify_all();
+    }
+
+    /// Whether the live path is draining.
+    pub fn is_draining(&self) -> bool {
+        self.lock_live().draining
+    }
+
+    /// Blocks until no live session is running or waiting. Call after
+    /// [`Server::begin_drain`].
+    pub fn await_idle(&self) {
+        let mut st = self.lock_live();
+        while st.active > 0 || st.waiting > 0 {
+            st = self
+                .slot_freed
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Live-path counters.
+    pub fn live_stats(&self) -> LiveStats {
+        self.lock_live().stats
+    }
+}
+
+/// Per-arrival state the scheduler carries between phases.
+struct Prepared {
+    tree: Arc<cadmc_core::tree::ModelTree>,
+    exec_trace: BandwidthTrace,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared").finish_non_exhaustive()
+    }
+}
+
+fn records_decision(records: &[ArrivalRecord], i: usize) -> Option<&Decision> {
+    records.get(i).map(|r| &r.decision)
+}

@@ -1,0 +1,153 @@
+//! Property tests for the admission layer (ISSUE 8 satellite): the token
+//! bucket never admits above its configured rate, the bounded work queue
+//! never exceeds its capacity, and arbitrary admit/shed/drain
+//! interleavings through the full scheduler never panic and never leak a
+//! session (every arrival ends in exactly one recorded decision).
+
+use proptest::prelude::*;
+
+use cadmc_latency::Platform;
+use cadmc_netsim::{FaultSchedule, Scenario};
+use cadmc_serve::{
+    Arrival, BoundedQueue, Decision, ModelSource, Server, ServerConfig, SessionSpec, TokenBucket,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Over any arrival sequence, total admissions are bounded by the
+    /// initial burst plus the tokens refilled over the observed span:
+    /// `admitted <= burst + rate * elapsed_seconds` (within float dust).
+    #[test]
+    fn token_bucket_never_admits_above_rate(
+        rate_decis in 1u32..100,
+        burst in 1usize..6,
+        deltas in proptest::collection::vec(0u32..400, 1..80),
+    ) {
+        let rate = f64::from(rate_decis) / 10.0;
+        let mut bucket = TokenBucket::new(rate, burst);
+        let mut t_ms = 0.0;
+        let mut admitted = 0usize;
+        for d in &deltas {
+            t_ms += f64::from(*d);
+            if bucket.try_admit(t_ms) {
+                admitted += 1;
+            }
+        }
+        let bound = burst as f64 + rate * t_ms / 1_000.0;
+        prop_assert!(
+            admitted as f64 <= bound + 1e-9,
+            "admitted {admitted} > burst {burst} + rate {rate}/s over {t_ms} ms"
+        );
+    }
+
+    /// The bucket also never admits more than `burst` within any
+    /// zero-elapsed instant (no refill without time passing).
+    #[test]
+    fn token_bucket_burst_is_a_hard_cap(burst in 1usize..8, attempts in 1usize..40) {
+        let mut bucket = TokenBucket::new(1_000.0, burst);
+        let admitted = (0..attempts).filter(|_| bucket.try_admit(0.0)).count();
+        prop_assert_eq!(admitted, attempts.min(burst));
+    }
+
+    /// Under any push/pop interleaving the queue length never exceeds
+    /// capacity, a push at capacity is refused (the item handed back,
+    /// not dropped), and the watermark records the true maximum.
+    #[test]
+    fn bounded_queue_never_exceeds_capacity(
+        capacity in 0usize..8,
+        ops in proptest::collection::vec(0u8..3, 1..120),
+    ) {
+        let mut q: BoundedQueue<u32> = BoundedQueue::new(capacity);
+        let mut max_seen = 0usize;
+        let mut pushed = 0u32;
+        let mut popped = 0usize;
+        let mut refused = 0usize;
+        for op in &ops {
+            if *op < 2 {
+                match q.push_back(pushed) {
+                    Ok(()) => pushed += 1,
+                    Err(item) => {
+                        prop_assert_eq!(item, pushed, "refused item must be handed back");
+                        prop_assert_eq!(q.len(), capacity, "refusal only at capacity");
+                        refused += 1;
+                    }
+                }
+            } else if q.pop_front().is_some() {
+                popped += 1;
+            }
+            prop_assert!(q.len() <= capacity);
+            max_seen = max_seen.max(q.len());
+        }
+        prop_assert_eq!(q.watermark(), max_seen);
+        prop_assert_eq!(q.len(), pushed as usize - popped);
+        let _ = refused;
+    }
+
+    /// Arbitrary admit/shed/drain interleavings: every arrival gets
+    /// exactly one typed decision, nothing panics, no session leaks
+    /// (records, outcomes and counter totals all reconcile), and the
+    /// queue watermark never exceeds the configured capacity.
+    #[test]
+    fn scheduler_interleavings_never_panic_or_leak(
+        n in 1usize..10,
+        spacing_ms in 10u32..600,
+        drain_pick in 0u32..4,
+        workers in 1usize..4,
+        quota in 1usize..4,
+    ) {
+        let cfg = ServerConfig {
+            tenant_quota: quota,
+            episodes: 2,
+            ..ServerConfig::default()
+        };
+        let arrivals: Vec<Arrival> = (0..n)
+            .map(|i| Arrival {
+                at_ms: i as f64 * f64::from(spacing_ms),
+                spec: SessionSpec {
+                    tenant: format!("tenant-{}", i % 2),
+                    model: ModelSource::Zoo("tiny".to_string()),
+                    min_accuracy: 0.0,
+                    device: Platform::Phone,
+                    scenario: Scenario::FourGIndoorStatic,
+                    requests: 1,
+                    seed: i as u64,
+                    faults: FaultSchedule::none(),
+                },
+            })
+            .collect();
+        let drain_at_ms = match drain_pick {
+            0 => None,
+            k => Some(f64::from(k - 1) * f64::from(spacing_ms) * n as f64 / 3.0),
+        };
+        let server = Server::new(cfg.clone());
+        let report = server.run_schedule(&arrivals, workers, drain_at_ms);
+
+        // No leaks: one decision and one outcome slot per arrival.
+        prop_assert_eq!(report.records.len(), n);
+        prop_assert_eq!(report.outcomes.len(), n);
+        let mut admitted = 0usize;
+        let mut shed = 0usize;
+        for (i, rec) in report.records.iter().enumerate() {
+            match &rec.decision {
+                Decision::Admitted { .. } => {
+                    admitted += 1;
+                    prop_assert!(report.outcomes[i].is_some(), "admitted without outcome");
+                }
+                Decision::Rejected { reason } => {
+                    shed += 1;
+                    prop_assert!(report.outcomes[i].is_none(), "rejected with outcome");
+                    let label = reason.label();
+                    prop_assert!(
+                        label.starts_with("shed:") || label.starts_with("rejected:"),
+                        "untyped rejection {label:?}"
+                    );
+                }
+            }
+        }
+        prop_assert_eq!(admitted + shed, n);
+        prop_assert_eq!(report.admitted, admitted);
+        prop_assert_eq!(report.shed, shed);
+        prop_assert!(report.queue_watermark <= report.queue_capacity);
+    }
+}

@@ -1,0 +1,116 @@
+//! Serving-path/executor-path parity (acceptance criterion): a
+//! zero-fault, under-capacity session submitted through the server
+//! serializes **bit-identically** to the same workload run directly
+//! through the single-request executor path — the serving core adds
+//! admission and scheduling around the executor, never arithmetic.
+
+use cadmc_core::executor::{execute, ExecConfig, Mode, Policy};
+use cadmc_core::memo::MemoPool;
+use cadmc_core::search::{Controllers, SearchConfig};
+use cadmc_core::{EvalEnv, NetworkContext};
+use cadmc_ir::CheckedModel;
+use cadmc_latency::Platform;
+use cadmc_netsim::{FaultSchedule, Scenario};
+use cadmc_nn::zoo;
+use cadmc_serve::{Arrival, Decision, ModelSource, Server, ServerConfig, SessionSpec};
+
+const SCENARIO: Scenario = Scenario::FourGIndoorStatic;
+const REQUESTS: usize = 8;
+const SESSION_SEED: u64 = 21;
+
+fn session_spec() -> SessionSpec {
+    SessionSpec {
+        tenant: "parity".to_string(),
+        model: ModelSource::Zoo("tiny".to_string()),
+        min_accuracy: 0.0,
+        device: Platform::Phone,
+        scenario: SCENARIO,
+        requests: REQUESTS,
+        seed: SESSION_SEED,
+        faults: FaultSchedule::none(),
+    }
+}
+
+/// The direct path: the same model, context split, search configuration
+/// and executor configuration the server uses, with no server in sight.
+fn direct_csv(cfg: &ServerConfig) -> Vec<u8> {
+    let model = CheckedModel::from_spec(zoo::tiny_cnn());
+    let ctx = NetworkContext::from_scenario(SCENARIO, 2, cfg.seed);
+    let (search_ctx, exec_trace) = ctx.train_test_split();
+    let scfg = SearchConfig {
+        episodes: cfg.episodes.max(1),
+        ..SearchConfig::quick(cfg.seed)
+    };
+    let mut controllers = Controllers::new(&scfg);
+    let env = EvalEnv::for_edge(Platform::Phone);
+    let memo = MemoPool::new();
+    let result = cadmc_ir::entry::tree_search(
+        &mut controllers,
+        &model,
+        &env,
+        Some(search_ctx.levels()),
+        Some(model.blocks().unwrap_or(2)),
+        &scfg,
+        &memo,
+        false,
+        Some(search_ctx.trace()),
+    )
+    .expect("search succeeds");
+    let mut ec = ExecConfig::new(REQUESTS, Mode::Emulation, SESSION_SEED);
+    ec.think_time_ms = cfg.think_time_ms;
+    ec.deadline_ms = cfg.deadline_ms;
+    ec.max_retries = cfg.max_retries;
+    ec.backoff_ms = cfg.backoff_ms;
+    let report = execute(
+        &env,
+        result.tree.base(),
+        &Policy::Tree(&result.tree),
+        &exec_trace,
+        &ec,
+    );
+    let mut csv = Vec::new();
+    report.write_csv(&mut csv).expect("csv");
+    csv
+}
+
+#[test]
+fn under_capacity_zero_fault_session_matches_direct_executor_bit_for_bit() {
+    let cfg = ServerConfig::default();
+    assert!(cfg.deadline_ms.is_none(), "parity requires a disarmed policy");
+    let direct = direct_csv(&cfg);
+
+    let server = Server::new(cfg);
+    let arrivals = [Arrival {
+        at_ms: 0.0,
+        spec: session_spec(),
+    }];
+    let report = server.run_schedule(&arrivals, 1, None);
+    assert!(
+        matches!(report.records[0].decision, Decision::Admitted { .. }),
+        "an under-capacity session must be admitted: {:?}",
+        report.records[0].decision
+    );
+    let out = report.outcomes[0].as_ref().expect("admitted outcome");
+    assert_eq!(out.label, "ok", "zero-fault run must not degrade");
+
+    let mut served = Vec::new();
+    out.report.write_csv(&mut served).expect("csv");
+    assert_eq!(
+        served, direct,
+        "served session CSV differs from the direct executor path"
+    );
+}
+
+/// The same parity holds through the live (wall-clock) submit path: the
+/// wall clock only decides admission, never session arithmetic.
+#[test]
+fn live_submit_matches_direct_executor_bit_for_bit() {
+    let cfg = ServerConfig::default();
+    let direct = direct_csv(&cfg);
+    let server = Server::new(cfg);
+    let done = server.submit(session_spec(), 0.0).expect("admitted");
+    assert_eq!(done.outcome.label, "ok");
+    let mut served = Vec::new();
+    done.outcome.report.write_csv(&mut served).expect("csv");
+    assert_eq!(served, direct);
+}

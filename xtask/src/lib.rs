@@ -1,6 +1,6 @@
 //! Custom source-level static analysis for the cadmc workspace.
 //!
-//! `cargo xtask lint` runs six lightweight lints over first-party library
+//! `cargo xtask lint` runs eight lightweight lints over first-party library
 //! code (no external parser — a masking tokenizer plus line scanning, so
 //! the pass works in the vendored-offline build):
 //!
@@ -37,6 +37,12 @@
 //!   truncation there corrupts rewards instead of failing; widen
 //!   (`as u64`/`as u128`/`as f64`) or use checked conversions. Justified
 //!   sites go in `lint.allow`.
+//! - **L8 unbounded queue**: forbids unbounded channel/queue construction
+//!   (`channel()` with no bound, `VecDeque::new` as a work queue) in the
+//!   serving and executor paths. Backpressure requires every queue to
+//!   have an explicit capacity (`sync_channel(n)`, `BoundedQueue`), so
+//!   overload sheds with a typed rejection instead of growing memory.
+//!   Justified sites go in `lint.allow`.
 //!
 //! The scanner masks comments and string literals (preserving line
 //! structure), skips `#[cfg(test)]` items by brace tracking, and skips
@@ -50,7 +56,7 @@ use std::path::{Path, PathBuf};
 /// ground.
 pub const MAX_ALLOWLIST_ENTRIES: usize = 25;
 
-/// The six lint classes.
+/// The eight lint classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// Panic-hygiene: no `unwrap`/`expect`/`panic!` in library code.
@@ -67,6 +73,8 @@ pub enum Lint {
     L6HotClone,
     /// No narrowing `as` casts in cost-kernel/hot-path arithmetic.
     L7LossyCast,
+    /// No unbounded channel/queue construction in serving/executor paths.
+    L8UnboundedQueue,
 }
 
 impl Lint {
@@ -80,10 +88,11 @@ impl Lint {
             Lint::L5PrintInLib => "L5",
             Lint::L6HotClone => "L6",
             Lint::L7LossyCast => "L7",
+            Lint::L8UnboundedQueue => "L8",
         }
     }
 
-    /// Parses a lint code (`"L1"`..`"L7"`).
+    /// Parses a lint code (`"L1"`..`"L8"`).
     pub fn from_code(code: &str) -> Option<Lint> {
         match code {
             "L1" => Some(Lint::L1PanicSite),
@@ -93,6 +102,7 @@ impl Lint {
             "L5" => Some(Lint::L5PrintInLib),
             "L6" => Some(Lint::L6HotClone),
             "L7" => Some(Lint::L7LossyCast),
+            "L8" => Some(Lint::L8UnboundedQueue),
             _ => None,
         }
     }
@@ -112,6 +122,9 @@ impl Lint {
             }
             Lint::L7LossyCast => {
                 "narrowing `as` cast in cost-kernel arithmetic (widen or use a checked conversion)"
+            }
+            Lint::L8UnboundedQueue => {
+                "unbounded channel/queue construction in a serving/executor path (use an explicit capacity)"
             }
         }
     }
@@ -448,7 +461,7 @@ pub fn is_test_path(rel: &str) -> bool {
     file.ends_with("_tests.rs") || file == "proptests.rs"
 }
 
-const L1_CRATES: [&str; 7] = [
+const L1_CRATES: [&str; 8] = [
     "crates/core/src",
     "crates/nn/src",
     "crates/compress/src",
@@ -456,6 +469,7 @@ const L1_CRATES: [&str; 7] = [
     "crates/netsim/src",
     "crates/accuracy/src",
     "crates/ir/src",
+    "crates/serve/src",
 ];
 
 /// Hot-path files where map iteration order would leak into search
@@ -492,7 +506,7 @@ const L4_CRATES: [&str; 8] = [
 /// binaries, which own stdout/stderr by design. The telemetry crate is in
 /// scope too — its sinks write through `io::Write` handles, never via the
 /// print macros.
-const L5_CRATES: [&str; 9] = [
+const L5_CRATES: [&str; 10] = [
     "crates/core/src",
     "crates/nn/src",
     "crates/compress/src",
@@ -502,6 +516,7 @@ const L5_CRATES: [&str; 9] = [
     "crates/autodiff/src",
     "crates/telemetry/src",
     "crates/ir/src",
+    "crates/serve/src",
 ];
 
 /// L7 scope: the files where MACC / parameter / transfer-byte arithmetic
@@ -513,6 +528,15 @@ const L7_CAST_PATHS: [&str; 6] = [
     "crates/core/src/candidate.rs",
     "crates/latency/src/",
     "crates/ir/src/analyze.rs",
+];
+
+/// L8 scope: the serving core and the executor/scheduler paths — the
+/// places where an unbounded queue turns overload into memory growth
+/// instead of a typed `Rejected{reason}`.
+const L8_QUEUE_PATHS: [&str; 3] = [
+    "crates/serve/src",
+    "crates/core/src/executor.rs",
+    "crates/core/src/parallel.rs",
 ];
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
@@ -547,7 +571,8 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
     let l4 = in_scope(rel, &L4_CRATES);
     let l5 = in_scope(rel, &L5_CRATES);
     let l7 = in_scope(rel, &L7_CAST_PATHS);
-    if !(l1 || l2 || l3 || l4 || l5 || l7) {
+    let l8 = in_scope(rel, &L8_QUEUE_PATHS);
+    if !(l1 || l2 || l3 || l4 || l5 || l7 || l8) {
         return Vec::new();
     }
 
@@ -581,8 +606,26 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
         if l7 && has_lossy_cast(line) {
             push(Lint::L7LossyCast, i);
         }
+        if l8 && has_unbounded_queue(line) {
+            push(Lint::L8UnboundedQueue, i);
+        }
     }
     out
+}
+
+/// L8: unbounded channel/queue construction. `channel()` with an empty
+/// argument list catches `mpsc::channel()` and `unbounded_channel()`
+/// while leaving `sync_channel(n)` (which always takes a bound) alone;
+/// `VecDeque::new`/`with_capacity` are flagged because `with_capacity`
+/// is an allocation hint, not a cap — a served work queue must refuse
+/// pushes past its bound ([`cadmc-serve`]'s `BoundedQueue`).
+fn has_unbounded_queue(line: &str) -> bool {
+    // `sync_channel()` can't exist (it always takes a bound), so every
+    // literal `channel()` — `mpsc::channel()`, `unbounded_channel()` —
+    // is an unbounded construction.
+    line.contains("channel()")
+        || line.contains("VecDeque::new(")
+        || line.contains("VecDeque::with_capacity(")
 }
 
 /// L7 narrowing cast targets. 64-bit and 128-bit targets (and `usize` on

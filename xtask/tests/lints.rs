@@ -503,3 +503,82 @@ fn l7_allowlist_escape_works() {
     assert_eq!(report.suppressed, 1);
     assert!(report.unused_entries.is_empty());
 }
+
+// --- L8: unbounded queues in serving/executor paths --------------------
+
+const SERVE: &str = "crates/serve/src/server.rs";
+
+#[test]
+fn l8_fires_on_unbounded_channel_construction() {
+    for line in [
+        "let (tx, rx) = std::sync::mpsc::channel();",
+        "let (tx, rx) = mpsc::channel();",
+        "let (tx, rx) = unbounded_channel();",
+    ] {
+        let src = format!("fn f() {{\n    {line}\n}}\n");
+        assert_eq!(
+            lints_of(SERVE, &src),
+            vec![Lint::L8UnboundedQueue],
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn l8_fires_on_vecdeque_used_as_work_queue() {
+    for line in [
+        "let q: VecDeque<Job> = VecDeque::new();",
+        "let q = VecDeque::with_capacity(64);",
+    ] {
+        let src = format!("fn f() {{\n    {line}\n}}\n");
+        assert_eq!(
+            lints_of(SERVE, &src),
+            vec![Lint::L8UnboundedQueue],
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn l8_allows_bounded_constructions() {
+    let src = "fn f() {\n    let (tx, rx) = std::sync::mpsc::sync_channel(4);\n    let q = BoundedQueue::new(4);\n    let v: Vec<u32> = Vec::with_capacity(4);\n    let _ = (tx, rx, q, v);\n}\n";
+    assert_eq!(lints_of(SERVE, src), vec![]);
+}
+
+#[test]
+fn l8_scope_covers_executor_and_parallel_but_not_search() {
+    let src = "fn f() {\n    let (tx, rx) = mpsc::channel();\n    let _ = (tx, rx);\n}\n";
+    assert_eq!(
+        lints_of("crates/core/src/executor.rs", src),
+        vec![Lint::L8UnboundedQueue]
+    );
+    assert_eq!(
+        lints_of("crates/core/src/parallel.rs", src),
+        vec![Lint::L8UnboundedQueue]
+    );
+    // Out of scope: search code doesn't carry work queues.
+    assert_eq!(lints_of("crates/core/src/search.rs", src), vec![]);
+}
+
+#[test]
+fn l8_respects_comments_strings_and_tests() {
+    let masked = "fn f() {\n    // mpsc::channel()\n    let s = \"VecDeque::new()\";\n    let _ = s;\n}\n";
+    assert_eq!(lints_of(SERVE, masked), vec![]);
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn g() {\n        let (_tx, _rx) = std::sync::mpsc::channel();\n    }\n}\n";
+    assert_eq!(lints_of(SERVE, test_src), vec![]);
+}
+
+#[test]
+fn l8_allowlist_escape_works() {
+    let src = "fn f() {\n    let (tx, rx) = mpsc::channel();\n    let _ = (tx, rx);\n}\n";
+    let raw = scan_source(SERVE, src);
+    assert_eq!(raw.len(), 1);
+    let allow = parse_allowlist(
+        "L8|crates/serve/src/server.rs|mpsc::channel()|drain ack channel is provably single-message\n",
+    )
+    .unwrap();
+    let report = apply_allowlist(raw, &allow);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused_entries.is_empty());
+}
