@@ -1,0 +1,83 @@
+//! Serving-observability aggregation microbenchmarks.
+//!
+//! The windowed aggregation path runs inside the serving hot loop, so
+//! its two cost profiles both matter: the *disabled* profile (metrics
+//! off — every `ObsState` call must degenerate to one branch) and the
+//! *enabled* profile (the per-observation cost of the histogram and
+//! SLO bookkeeping). The `metrics_overhead` harness binary turns the
+//! disabled numbers into the <2% bound recorded in
+//! `results/BENCH_metrics_overhead.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cadmc_serve::metrics::ObsState;
+use cadmc_serve::ServerConfig;
+use cadmc_telemetry::{WindowAggregator, WindowConfig};
+
+fn disabled_obs() -> ObsState {
+    ObsState::new(&ServerConfig {
+        metrics_enabled: false,
+        ..ServerConfig::default()
+    })
+}
+
+fn bench_disabled_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_disabled");
+    let mut obs = disabled_obs();
+    group.bench_function("on_admit", |b| {
+        b.iter(|| obs.on_admit(1.0, "tenant-0"));
+    });
+    group.bench_function("on_completion", |b| {
+        b.iter(|| obs.on_completion(1.0, "tenant-0", "ok", None));
+    });
+    group.finish();
+}
+
+fn bench_enabled_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_enabled");
+    let mut obs = ObsState::new(&ServerConfig::default());
+    let mut t = 0.0f64;
+    group.bench_function("on_completion", |b| {
+        b.iter(|| {
+            t += 0.1;
+            obs.on_completion(t, "tenant-0", "ok", None)
+        });
+    });
+    let mut agg = WindowAggregator::new(WindowConfig::default());
+    let mut t2 = 0.0f64;
+    group.bench_function("observe_latency", |b| {
+        b.iter(|| {
+            t2 += 0.1;
+            agg.observe_latency(t2, "tenant-0", "ok", 42.0);
+        });
+    });
+    group.bench_function("snapshot_render", |b| {
+        b.iter(|| agg.snapshot().render());
+    });
+    group.finish();
+}
+
+fn bench_shard_merge(c: &mut Criterion) {
+    let cfg = WindowConfig::default();
+    let shards: Vec<WindowAggregator> = (0..8)
+        .map(|w| {
+            let mut a = WindowAggregator::new(cfg.clone());
+            for i in 0..500u64 {
+                let t = (i % 60) as f64 * 1_000.0;
+                a.observe_latency(t, "tenant-0", "ok", (w * 7 + i as usize) as f64);
+            }
+            a
+        })
+        .collect();
+    c.bench_function("metrics_merge_8_shards", |b| {
+        b.iter(|| WindowAggregator::merged(&shards).expect("non-empty"));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_disabled_obs,
+    bench_enabled_aggregation,
+    bench_shard_merge
+);
+criterion_main!(benches);

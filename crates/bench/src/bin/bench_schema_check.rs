@@ -3,10 +3,13 @@
 //! present and well-typed), so a harness refactor that drifts a field
 //! name fails CI instead of silently producing unreadable JSON.
 //!
-//! Usage: `bench_schema_check <hot_path.json> <parallel_search.json>`
-//! (defaults: `results/BENCH_hot_path.json`,
-//! `results/BENCH_parallel_search.json`). Exits non-zero on a missing
-//! file, malformed JSON, unknown/missing fields, or non-finite numbers.
+//! Usage: `bench_schema_check <hot_path.json> <parallel_search.json>
+//! [metrics_overhead.json]` (defaults: `results/BENCH_hot_path.json`,
+//! `results/BENCH_parallel_search.json`,
+//! `results/BENCH_metrics_overhead.json`; the metrics report is only
+//! checked when present on disk or named explicitly). Exits non-zero on
+//! a missing file, malformed JSON, unknown/missing fields, or
+//! non-finite numbers.
 
 use std::process::ExitCode;
 
@@ -76,6 +79,20 @@ struct ParallelReport {
     memo_pool_shards: Vec<ShardPoint>,
     note: String,
     speedup_note: Option<String>,
+}
+
+#[derive(Deserialize)]
+struct MetricsOverheadReport {
+    sessions: usize,
+    reps: usize,
+    disabled_ns_per_site: f64,
+    sites_per_run: u64,
+    disabled_run_ms: f64,
+    enabled_run_ms: f64,
+    disabled_overhead_bound_pct: f64,
+    enabled_overhead_pct: f64,
+    pass_under_2pct: bool,
+    note: String,
 }
 
 fn fail(path: &str, msg: &str) -> ExitCode {
@@ -177,6 +194,39 @@ fn check_parallel(path: &str) -> Result<(), ExitCode> {
     Ok(())
 }
 
+fn check_metrics_overhead(path: &str) -> Result<(), ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| fail(path, &e.to_string()))?;
+    let report: MetricsOverheadReport =
+        serde_json::from_str(&text).map_err(|e| fail(path, &e.to_string()))?;
+    if report.sessions == 0 || report.reps == 0 || report.sites_per_run == 0 {
+        return Err(fail(path, "sessions, reps and sites_per_run must be non-zero"));
+    }
+    check_positive(path, "disabled_ns_per_site", report.disabled_ns_per_site)?;
+    check_positive(path, "disabled_run_ms", report.disabled_run_ms)?;
+    check_positive(path, "enabled_run_ms", report.enabled_run_ms)?;
+    check_positive(
+        path,
+        "disabled_overhead_bound_pct",
+        report.disabled_overhead_bound_pct,
+    )?;
+    if !report.enabled_overhead_pct.is_finite() {
+        return Err(fail(path, "enabled_overhead_pct must be finite"));
+    }
+    if !report.pass_under_2pct {
+        return Err(fail(
+            path,
+            &format!(
+                "disabled-path overhead bound {:.4}% breaches the <2% budget",
+                report.disabled_overhead_bound_pct
+            ),
+        ));
+    }
+    if report.note.is_empty() {
+        return Err(fail(path, "note must explain how to read the numbers"));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let hot = args
@@ -187,6 +237,7 @@ fn main() -> ExitCode {
         .get(1)
         .cloned()
         .unwrap_or_else(|| "results/BENCH_parallel_search.json".to_string());
+    let metrics = args.get(2).cloned();
 
     if let Err(code) = check_hot_path(&hot) {
         return code;
@@ -194,6 +245,17 @@ fn main() -> ExitCode {
     if let Err(code) = check_parallel(&par) {
         return code;
     }
-    println!("bench_schema_check: ok ({hot}, {par})");
+    // The metrics-overhead report is newer than the other two; only
+    // require it when named explicitly or already generated.
+    let metrics_default = "results/BENCH_metrics_overhead.json".to_string();
+    let metrics_path = metrics.unwrap_or(metrics_default);
+    let mut checked = format!("{hot}, {par}");
+    if args.len() >= 3 || std::path::Path::new(&metrics_path).exists() {
+        if let Err(code) = check_metrics_overhead(&metrics_path) {
+            return code;
+        }
+        checked.push_str(&format!(", {metrics_path}"));
+    }
+    println!("bench_schema_check: ok ({checked})");
     ExitCode::SUCCESS
 }

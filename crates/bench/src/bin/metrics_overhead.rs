@@ -1,0 +1,141 @@
+//! Quantifies the cost of the serving observability layer and writes
+//! `results/BENCH_metrics_overhead.json` (override the path with
+//! `CADMC_BENCH_OUT`).
+//!
+//! Metrics can be disabled per server (`metrics_enabled: false`); the
+//! acceptance bar is that the disabled instrumentation costs a chaos
+//! schedule replay less than 2% of its runtime — the same budget the
+//! core telemetry layer meets. Measuring that directly is below timer
+//! noise, so the bound is computed from first principles, mirroring
+//! `telemetry_overhead`:
+//!
+//! 1. time the *disabled* per-site cost (one branch on a bool) by
+//!    hammering the three `ObsState` entry points in a tight loop;
+//! 2. count how many observability sites one chaos replay passes
+//!    (one `on_admit`/`on_shed` per arrival plus one `on_completion`
+//!    per admitted session, straight from the schedule report);
+//! 3. bound: `sites_per_run x disabled_ns_per_site / run_ns`.
+//!
+//! A disabled-vs-enabled end-to-end comparison is reported alongside so
+//! the price of turning metrics *on* is visible too.
+
+use std::time::Instant;
+
+use cadmc_serve::metrics::ObsState;
+use cadmc_serve::{chaos_arrivals, ChaosConfig, ScheduleReport, Server, ServerConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Report {
+    sessions: usize,
+    reps: usize,
+    disabled_ns_per_site: f64,
+    sites_per_run: u64,
+    disabled_run_ms: f64,
+    enabled_run_ms: f64,
+    disabled_overhead_bound_pct: f64,
+    enabled_overhead_pct: f64,
+    pass_under_2pct: bool,
+    note: String,
+}
+
+/// Per-site disabled cost: each `ObsState` entry point is one branch on
+/// the `enabled` bool when metrics are off.
+fn disabled_ns_per_site() -> f64 {
+    let mut obs = ObsState::new(&ServerConfig {
+        metrics_enabled: false,
+        ..ServerConfig::default()
+    });
+    const ITERS: u64 = 20_000_000;
+    let start = Instant::now();
+    for i in 0..ITERS {
+        let t = i as f64;
+        obs.on_admit(t, "tenant-0");
+        obs.on_shed(t, "tenant-0", "shed:rate");
+        std::hint::black_box(obs.on_completion(t, "tenant-0", "ok", None));
+    }
+    std::hint::black_box(&obs);
+    // Three sites per iteration.
+    start.elapsed().as_secs_f64() * 1e9 / (3.0 * ITERS as f64)
+}
+
+fn run_chaos(chaos: &ChaosConfig, metrics_enabled: bool) -> ScheduleReport {
+    let cfg = ServerConfig {
+        metrics_enabled,
+        ..ServerConfig::default()
+    };
+    let arrivals = chaos_arrivals(chaos, &cfg);
+    let server = Server::new(cfg);
+    server.run_schedule(&arrivals, 1, None)
+}
+
+fn time_chaos(chaos: &ChaosConfig, metrics_enabled: bool, reps: usize) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(run_chaos(chaos, metrics_enabled));
+        total += start.elapsed().as_secs_f64() * 1000.0;
+    }
+    total / reps as f64
+}
+
+fn main() {
+    let reps: usize = std::env::var("CADMC_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let chaos = ChaosConfig::default();
+
+    eprintln!("timing the disabled per-site cost (60M obs sites)...");
+    let ns_per_site = disabled_ns_per_site();
+
+    eprintln!("counting observability sites in one chaos replay...");
+    let probe = run_chaos(&chaos, true);
+    // One on_admit or on_shed per arrival, one on_completion per
+    // admitted session.
+    let sites = 2 * probe.admitted as u64 + probe.shed as u64;
+    let sessions = probe.admitted + probe.shed;
+
+    eprintln!("timing the chaos replay with metrics disabled (x{reps})...");
+    let disabled_ms = time_chaos(&chaos, false, reps);
+
+    eprintln!("timing the chaos replay with metrics enabled (x{reps})...");
+    let enabled_ms = time_chaos(&chaos, true, reps);
+
+    let bound_pct = sites as f64 * ns_per_site / (disabled_ms * 1e6) * 100.0;
+    let enabled_pct = (enabled_ms - disabled_ms) / disabled_ms * 100.0;
+    let report = Report {
+        sessions,
+        reps,
+        disabled_ns_per_site: ns_per_site,
+        sites_per_run: sites,
+        disabled_run_ms: disabled_ms,
+        enabled_run_ms: enabled_ms,
+        disabled_overhead_bound_pct: bound_pct,
+        enabled_overhead_pct: enabled_pct,
+        pass_under_2pct: bound_pct < 2.0,
+        note: "disabled bound = sites_per_run x disabled_ns_per_site / replay time; \
+               each disabled site is one branch on ObsState.enabled"
+            .to_string(),
+    };
+
+    println!("disabled site cost : {ns_per_site:.2} ns");
+    println!("sites per replay   : {sites}");
+    println!("replay (disabled)  : {disabled_ms:.2} ms");
+    println!("replay (enabled)   : {enabled_ms:.2} ms ({enabled_pct:+.1}%)");
+    println!(
+        "disabled overhead  : {bound_pct:.4}% bound — {}",
+        if report.pass_under_2pct { "PASS (<2%)" } else { "FAIL (>=2%)" }
+    );
+
+    let out = std::env::var("CADMC_BENCH_OUT")
+        .unwrap_or_else(|_| "results/BENCH_metrics_overhead.json".to_string());
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize bench report");
+    match std::fs::write(&out, json) {
+        Ok(()) => eprintln!("wrote {out}"),
+        Err(e) => eprintln!("cannot write {out}: {e}"),
+    }
+}

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 /// Flags that take no value: present means `"true"`. A following token
 /// that is not another flag is still treated as a positional.
-const VALUELESS: &[&str] = &["json"];
+const VALUELESS: &[&str] = &["json", "flame"];
 
 /// Parsed invocation: a subcommand plus positionals and `--key value`
 /// flags. Commands that take no positionals reject them at dispatch.

@@ -47,8 +47,10 @@ COMMANDS:
                       [--episodes N] [--seed N] [--workers N] [--out file]
                       [--faults <preset|file.json>]  (post-search smoke:
                       fault-injected emulation of the trained tree)
-    report          render a telemetry trace as a human-readable summary
-                      cadmc report <trace.jsonl>
+    report          render a telemetry trace as a human-readable summary,
+                    with critical-path and self-time hotspot analytics
+                      cadmc report <trace.jsonl> [--top N] [--flame]
+                      (--flame prints folded stacks for flamegraph tools)
     validate        audit a saved model tree (or a named model) against
                     every model-graph invariant
                       --tree <file> | --model <name>
@@ -69,8 +71,15 @@ COMMANDS:
                       [--workers N] [--drain-at-ms MS]
                       [--slots N] [--queue N] [--rate R] [--burst N]
                       [--quota N] [--episodes N] [--deadline-ms MS]
+                    Observability (both modes): [--metrics-enabled B]
+                      [--slo-p99-ms MS] [--slo-availability F]
+                      [--slo-window-ms MS] [--slo-burn-threshold X]
+                      [--slo-min-events N] [--slo-breaker-hook B]
                     Live mode: --listen <addr> serves the line-delimited
-                    JSON protocol over TCP until a client sends \"Drain\"
+                    JSON protocol over TCP until a client sends \"Drain\";
+                    \"Stats\" returns a live metrics snapshot, and
+                    --metrics-listen <addr> adds a Prometheus-style text
+                    exposition endpoint
     help            this text
 
 Anywhere a --model flag takes a zoo name (vgg11, vgg16, alexnet,
@@ -629,8 +638,22 @@ fn report_cmd(args: &Args) -> Result<(), CliError> {
             CliError::Usage("report needs a trace file: cadmc report <trace.jsonl>".to_string())
         })?;
     let text = std::fs::read_to_string(path)?;
-    let run_report = report::parse_jsonl(&text)?;
+    let (run_report, skipped) = report::parse_jsonl_lenient(&text)?;
+    if skipped > 0 {
+        eprintln!(
+            "warning: skipped {skipped} record line(s) of kinds unknown to this \
+             schema-v{} reader",
+            report::SCHEMA_VERSION
+        );
+    }
+    if args.get_or("flame", false)? {
+        // Folded stacks only: pipe straight into inferno/speedscope.
+        print!("{}", report::folded_stacks(&run_report));
+        return Ok(());
+    }
+    let top: usize = args.get_or("top", 10)?;
     print!("{}", report::render_summary(&run_report));
+    print!("{}", report::render_analytics(&run_report, top));
     Ok(())
 }
 
@@ -664,6 +687,13 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         max_retries: args.get_or("max-retries", d.max_retries)?,
         backoff_ms: d.backoff_ms,
         think_time_ms: d.think_time_ms,
+        metrics_enabled: args.get_or("metrics-enabled", d.metrics_enabled)?,
+        slo_p99_ms: args.get_or("slo-p99-ms", d.slo_p99_ms)?,
+        slo_availability: args.get_or("slo-availability", d.slo_availability)?,
+        slo_window_ms: args.get_or("slo-window-ms", d.slo_window_ms)?,
+        slo_burn_threshold: args.get_or("slo-burn-threshold", d.slo_burn_threshold)?,
+        slo_min_events: args.get_or("slo-min-events", d.slo_min_events)?,
+        slo_breaker_hook: args.get_or("slo-breaker-hook", d.slo_breaker_hook)?,
     };
     if let Some(addr) = args.get("listen") {
         let listener = std::net::TcpListener::bind(addr)?;
@@ -672,7 +702,35 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
             listener.local_addr()?
         );
         let server = std::sync::Arc::new(cadmc_serve::Server::new(cfg));
-        cadmc_serve::tcp::serve(&server, listener)?;
+        // Optional Prometheus-style text endpoint, scraped over plain
+        // HTTP while the protocol listener runs; stopped after drain.
+        let metrics_listener = match args.get("metrics-listen") {
+            Some(maddr) => {
+                let l = std::net::TcpListener::bind(maddr)?;
+                println!("metrics exposition on http://{}/metrics", l.local_addr()?);
+                Some(l)
+            }
+            None => None,
+        };
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let served = std::thread::scope(|scope| {
+            let stop = &stop;
+            let metrics_addr = match &metrics_listener {
+                Some(l) => Some(l.local_addr()?),
+                None => None,
+            };
+            if let Some(l) = metrics_listener {
+                let server = std::sync::Arc::clone(&server);
+                scope.spawn(move || cadmc_serve::tcp::serve_metrics(&server, l, stop));
+            }
+            let served = cadmc_serve::tcp::serve(&server, listener);
+            stop.store(true, std::sync::atomic::Ordering::SeqCst);
+            if let Some(addr) = metrics_addr {
+                cadmc_serve::tcp::unblock_metrics(addr);
+            }
+            served
+        });
+        served?;
         let stats = server.live_stats();
         println!(
             "drained: admitted {} | shed {} | degraded {} | failed {} | drained {}",
@@ -719,6 +777,9 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         report.queue_watermark,
         report.queue_capacity
     );
+    // Deterministic observability snapshot: same bytes for any
+    // --workers value, like the outcome log above.
+    print!("{}", report.obs.metrics_log());
     Ok(())
 }
 

@@ -305,8 +305,11 @@ impl MemoPool {
 
     /// Publishes the pool's counters into the telemetry registry: totals
     /// as `memo.hits` / `memo.misses` / `memo.evictions` / `memo.entries`
-    /// counters plus one `memo.shard` event per shard. Call once per
-    /// pool, when its search finishes; a no-op when telemetry is off.
+    /// counters, one `memo.shard` event per shard, and per-shard
+    /// `memo.shardNN.{hits,misses,evictions}` gauges (a scrape-friendly
+    /// view of the same numbers — gauges overwrite, so publish once per
+    /// pool from one thread). Call when the pool's search finishes; a
+    /// no-op when telemetry is off.
     pub fn publish_telemetry(&self) {
         if !telemetry::enabled() {
             return;
@@ -316,6 +319,9 @@ impl MemoPool {
             telemetry::counter!("memo.misses", s.misses as u64);
             telemetry::counter!("memo.evictions", s.evictions as u64);
             telemetry::counter!("memo.entries", s.entries as u64);
+            telemetry::gauge!(&format!("memo.shard{i:02}.hits"), s.hits as f64);
+            telemetry::gauge!(&format!("memo.shard{i:02}.misses"), s.misses as f64);
+            telemetry::gauge!(&format!("memo.shard{i:02}.evictions"), s.evictions as f64);
             telemetry::event!(
                 "memo.shard",
                 shard = i,

@@ -153,9 +153,17 @@ impl TreeCache {
             tree: Arc::clone(&tree),
             last_used: tick,
         });
+        let resident = inner.entries.len();
         drop(inner);
         if evicted > 0 {
             self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            telemetry::event!(
+                "tree_cache.evict",
+                evicted = evicted,
+                resident = resident,
+                ir_hash = key.0,
+                ctx_hash = key.1,
+            );
         }
         tree
     }
@@ -196,8 +204,9 @@ impl TreeCache {
     }
 
     /// Publishes cache totals into the telemetry metrics registry
-    /// (`tree_cache.hits` / `.misses` / `.evictions` / `.entries`).
-    /// No-op when telemetry is disabled.
+    /// (`tree_cache.hits` / `.misses` / `.evictions` / `.entries`
+    /// counters plus `tree_cache.{hit_rate,evictions,entries}` gauges
+    /// for scrapers). No-op when telemetry is disabled.
     pub fn publish_telemetry(&self) {
         if !telemetry::enabled() {
             return;
@@ -207,6 +216,15 @@ impl TreeCache {
         telemetry::counter!("tree_cache.misses", s.misses as u64);
         telemetry::counter!("tree_cache.evictions", s.evictions as u64);
         telemetry::counter!("tree_cache.entries", s.entries as u64);
+        let lookups = s.hits + s.misses;
+        let rate = if lookups == 0 {
+            0.0
+        } else {
+            s.hits as f64 / lookups as f64
+        };
+        telemetry::gauge!("tree_cache.hit_rate", rate);
+        telemetry::gauge!("tree_cache.evictions", s.evictions as f64);
+        telemetry::gauge!("tree_cache.entries", s.entries as f64);
     }
 }
 
@@ -282,5 +300,26 @@ mod tests {
         assert_eq!(report.metrics.counter("tree_cache.hits"), Some(1));
         assert_eq!(report.metrics.counter("tree_cache.misses"), Some(1));
         assert_eq!(report.metrics.counter("tree_cache.entries"), Some(1));
+        assert_eq!(report.metrics.gauge("tree_cache.hit_rate"), Some(0.5));
+        assert_eq!(report.metrics.gauge("tree_cache.entries"), Some(1.0));
+    }
+
+    #[test]
+    fn eviction_emits_event_when_traced() {
+        let cache = TreeCache::new(1);
+        let ((), report) = cadmc_telemetry::testing::with_collector(|| {
+            cache.get_or_insert_with((1, 0), || tree(2));
+            cache.get_or_insert_with((2, 0), || tree(3));
+            cache.publish_telemetry();
+        });
+        let evict = report
+            .events
+            .iter()
+            .find(|e| e.name == "tree_cache.evict")
+            .expect("eviction event");
+        assert_eq!(evict.field_f64("evicted"), Some(1.0));
+        assert_eq!(evict.field_f64("ir_hash"), Some(2.0));
+        assert_eq!(report.metrics.counter("tree_cache.evictions"), Some(1));
+        assert_eq!(report.metrics.gauge("tree_cache.evictions"), Some(1.0));
     }
 }

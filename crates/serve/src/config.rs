@@ -40,6 +40,27 @@ pub struct ServerConfig {
     pub backoff_ms: f64,
     /// Idle gap between a session's consecutive requests (trace ms).
     pub think_time_ms: f64,
+    /// Whether the observability layer (windowed aggregation, SLO
+    /// tracking, per-tenant counters) records at all. Off leaves one
+    /// predictable branch per admission/completion.
+    pub metrics_enabled: bool,
+    /// Per-tenant SLO: p99 latency target (ms). A session whose mean
+    /// request latency misses this consumes error budget even when it
+    /// succeeded.
+    pub slo_p99_ms: f64,
+    /// Per-tenant SLO: availability target in `(0, 1)`; the error
+    /// budget is `1 − availability`.
+    pub slo_availability: f64,
+    /// Sliding window (ms of the serving clock) SLO observations and
+    /// metric samples count against.
+    pub slo_window_ms: f64,
+    /// Burn rate at or above which a tenant's window is in breach.
+    pub slo_burn_threshold: f64,
+    /// Observations required in the window before a breach can fire.
+    pub slo_min_events: u64,
+    /// Whether a breach transition also counts as one failure signal on
+    /// that tenant's circuit breaker (sustained burn then trips it).
+    pub slo_breaker_hook: bool,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +80,13 @@ impl Default for ServerConfig {
             max_retries: 2,
             backoff_ms: 80.0,
             think_time_ms: 400.0,
+            metrics_enabled: true,
+            slo_p99_ms: 2_500.0,
+            slo_availability: 0.9,
+            slo_window_ms: 60_000.0,
+            slo_burn_threshold: 2.0,
+            slo_min_events: 4,
+            slo_breaker_hook: true,
         }
     }
 }

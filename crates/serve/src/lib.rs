@@ -43,6 +43,7 @@ pub mod admission;
 pub mod breaker;
 pub mod chaos;
 pub mod config;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
@@ -52,6 +53,7 @@ pub use admission::{BoundedQueue, TokenBucket};
 pub use breaker::CircuitBreaker;
 pub use chaos::{chaos_arrivals, ChaosConfig};
 pub use config::ServerConfig;
+pub use metrics::{render_exposition, CacheRates, GaugeSet, ObsSnapshot, ObsState, TenantCounters};
 pub use protocol::{Request, Response};
 pub use server::{Arrival, ArrivalRecord, Decision, ScheduleReport, Server};
 pub use session::{ModelSource, RejectReason, SessionOutcome, SessionSpec};

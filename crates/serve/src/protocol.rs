@@ -4,13 +4,13 @@
 //! externally tagged — unit variants are bare strings):
 //!
 //! ```text
-//! request  = submit | "Drain" | "Ping"
+//! request  = submit | "Drain" | "Ping" | "Stats"
 //! submit   = {"Submit": {"tenant": string, "model": string,
 //!             "ir": string, "min_accuracy": number, "device": string,
 //!             "scenario": string, "requests": integer, "seed": integer,
 //!             "faults": string}}
 //! response = {"Done": {...}} | {"Rejected": {...}} | {"Error": {...}}
-//!          | {"Draining": {...}} | "Pong"
+//!          | {"Draining": {...}} | "Pong" | {"Stats": {...}}
 //! ```
 //!
 //! In `Submit`, `model` names a zoo entry unless `ir` is non-empty, in
@@ -55,6 +55,8 @@ pub enum Request {
     Drain,
     /// Liveness probe.
     Ping,
+    /// Live metrics snapshot request.
+    Stats,
 }
 
 /// A server → client message.
@@ -95,6 +97,27 @@ pub enum Response {
     },
     /// Liveness reply.
     Pong,
+    /// Live metrics snapshot: headline counters/gauges plus the full
+    /// Prometheus-style exposition text (what `--metrics-listen`
+    /// serves) so one reply carries everything a scraper needs.
+    Stats {
+        /// Sessions admitted.
+        admitted: u64,
+        /// Sessions shed or rejected.
+        shed: u64,
+        /// Sessions that ended `degraded`.
+        degraded: u64,
+        /// Sessions that ended `failed`.
+        failed: u64,
+        /// Sessions currently waiting for a slot.
+        queue_depth: u64,
+        /// Slots currently executing a session.
+        slots_busy: u64,
+        /// SLO breach transitions observed so far.
+        slo_breaches: u64,
+        /// Full text exposition (Prometheus conventions).
+        exposition: String,
+    },
 }
 
 /// Parses one protocol line.
@@ -219,6 +242,25 @@ mod tests {
         assert_eq!(back, resp);
         let pong = encode_response(&Response::Pong);
         assert_eq!(pong, "\"Pong\"");
+    }
+
+    #[test]
+    fn stats_roundtrips_with_multiline_exposition() {
+        assert_eq!(parse_request("\"Stats\"").expect("parses"), Request::Stats);
+        let resp = Response::Stats {
+            admitted: 3,
+            shed: 1,
+            degraded: 0,
+            failed: 0,
+            queue_depth: 2,
+            slots_busy: 1,
+            slo_breaches: 0,
+            exposition: "# TYPE cadmc_queue_depth gauge\ncadmc_queue_depth 2\n".to_string(),
+        };
+        let line = encode_response(&resp);
+        assert!(!line.contains('\n'), "exposition newlines must be escaped");
+        let back: Response = serde_json::from_str(&line).expect("parses");
+        assert_eq!(back, resp);
     }
 
     #[test]

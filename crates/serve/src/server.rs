@@ -36,6 +36,7 @@ use cadmc_telemetry as telemetry;
 use crate::admission::{BoundedQueue, TokenBucket};
 use crate::breaker::CircuitBreaker;
 use crate::config::ServerConfig;
+use crate::metrics::{render_exposition, CacheRates, GaugeSet, ObsSnapshot, ObsState};
 use crate::session::{
     best_branch_accuracy, resolve, run_session, search_tree, RejectReason, SessionOutcome,
     SessionSpec,
@@ -111,6 +112,11 @@ pub struct ScheduleReport {
     pub queue_watermark: usize,
     /// The queue's configured capacity (watermark ≤ capacity, always).
     pub queue_capacity: usize,
+    /// Observability snapshot at end of replay: the sliding window,
+    /// per-tenant SLO status and the breach log. Its
+    /// [`metrics_log`](crate::metrics::ObsSnapshot::metrics_log) is
+    /// byte-identical across worker counts, like [`log`](Self::log).
+    pub obs: ObsSnapshot,
 }
 
 impl ScheduleReport {
@@ -205,6 +211,10 @@ pub struct Server {
     sessions: AtomicU64,
     live: Mutex<LiveState>,
     slot_freed: Condvar,
+    /// Shared observability state: fed by the live path on the wall
+    /// clock and replaced wholesale by each finished `run_schedule`
+    /// (whose replay keeps a private copy for determinism).
+    obs: Mutex<ObsState>,
 }
 
 impl Server {
@@ -225,6 +235,7 @@ impl Server {
             sessions: AtomicU64::new(0),
             live: Mutex::new(live),
             slot_freed: Condvar::new(),
+            obs: Mutex::new(ObsState::new(&cfg)),
             cfg,
         }
     }
@@ -246,6 +257,42 @@ impl Server {
 
     fn lock_live(&self) -> MutexGuard<'_, LiveState> {
         self.live.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_obs(&self) -> MutexGuard<'_, ObsState> {
+        self.obs.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the shared observability state (live path, or the
+    /// last finished schedule).
+    pub fn obs_snapshot(&self) -> ObsSnapshot {
+        self.lock_obs().snapshot()
+    }
+
+    /// The Prometheus-style text exposition served on
+    /// `--metrics-listen`: per-tenant counters, queue/slot gauges,
+    /// cache hit rates, latency quantiles and SLO burn rates.
+    pub fn exposition(&self) -> String {
+        let obs = self.obs_snapshot();
+        let (queue_depth, slots_busy, draining) = {
+            let st = self.lock_live();
+            (st.waiting, st.active, st.draining)
+        };
+        let gauges = GaugeSet {
+            queue_depth,
+            slots_busy,
+            slots: self.cfg.slots.max(1),
+            draining,
+        };
+        let memo_hits = self.memo.hits();
+        let memo_misses = self.memo.misses();
+        let rates = CacheRates {
+            memo_hits,
+            memo_misses,
+            tree_hits: self.cache.hits(),
+            tree_misses: self.cache.misses(),
+        };
+        render_exposition(&obs, &gauges, &rates)
     }
 
     // -----------------------------------------------------------------
@@ -331,6 +378,10 @@ impl Server {
         });
 
         let mut bucket = TokenBucket::new(cfg.rate_per_sec, cfg.burst);
+        // Private observability state: replay is serial, so feeding it
+        // here (virtual clock only) keeps snapshots byte-identical for
+        // any worker count.
+        let mut obs = ObsState::new(cfg);
         let mut queue: BoundedQueue<usize> = BoundedQueue::new(cfg.queue_capacity);
         let mut breakers: BTreeMap<&str, CircuitBreaker> = BTreeMap::new();
         let mut inflight: BTreeMap<&str, usize> = BTreeMap::new();
@@ -406,6 +457,30 @@ impl Server {
                     if draining {
                         drained += 1;
                     }
+                    if let Some(breach) =
+                        obs.on_completion(end_ms, tenant, label, outcome.map(|o| &o.report))
+                    {
+                        telemetry::event!(
+                            "slo.breach",
+                            tenant = tenant,
+                            burn = breach.burn_rate,
+                            bad = breach.bad,
+                            total = breach.total,
+                        );
+                        // Sustained burn feeds the tenant's breaker: one
+                        // breach transition counts as one failure signal.
+                        if cfg.slo_breaker_hook {
+                            breakers
+                                .entry(tenant)
+                                .or_insert_with(|| {
+                                    CircuitBreaker::new(
+                                        cfg.breaker_threshold,
+                                        cfg.breaker_cooldown_ms,
+                                    )
+                                })
+                                .record_failure(end_ms);
+                        }
+                    }
                     let start_ms = admit_ms[idx];
                     decisions[idx] = Some(Decision::Admitted {
                         outcome: label.to_string(),
@@ -469,9 +544,11 @@ impl Server {
                         Ok(()) => {
                             admitted += 1;
                             *inflight.entry(tenant).or_insert(0) += 1;
+                            obs.on_admit(t, tenant);
                         }
                         Err(reason) => {
                             shed += 1;
+                            obs.on_shed(t, tenant, reason.label());
                             telemetry::event!(
                                 "serve.shed",
                                 session = idx as u64,
@@ -485,14 +562,18 @@ impl Server {
             }
         }
 
+        let obs_snapshot = obs.snapshot();
         telemetry::counter!("serve.admitted", admitted as u64);
         telemetry::counter!("serve.shed", shed as u64);
         telemetry::counter!("serve.degraded", degraded as u64);
         telemetry::counter!("serve.failed", failed as u64);
         telemetry::counter!("serve.drained", drained as u64);
+        telemetry::counter!("serve.slo_breaches", obs_snapshot.breaches.len() as u64);
         telemetry::gauge!("serve.queue_watermark", queue.watermark() as f64);
         self.cache.publish_telemetry();
         self.memo.publish_telemetry();
+        // Expose the finished schedule's state to live scrapers.
+        *self.lock_obs() = obs;
 
         let records: Vec<ArrivalRecord> = decisions
             .into_iter()
@@ -534,6 +615,7 @@ impl Server {
             drained,
             queue_watermark: queue.watermark(),
             queue_capacity: cfg.queue_capacity,
+            obs: obs_snapshot,
         }
     }
 
@@ -554,6 +636,8 @@ impl Server {
         let shed = |server: &Server, reason: RejectReason| {
             let mut st = server.lock_live();
             st.stats.shed += 1;
+            drop(st);
+            server.lock_obs().on_shed(t_ms, &spec.tenant, reason.label());
             Err(reason)
         };
         // Cheap static validation before consuming any admission budget.
@@ -566,11 +650,13 @@ impl Server {
             let mut st = self.lock_live();
             if st.draining {
                 st.stats.shed += 1;
-                return Err(RejectReason::Draining);
+                drop(st);
+                return shed_obs(self, t_ms, &spec.tenant, RejectReason::Draining);
             }
             if st.inflight.get(&spec.tenant).copied().unwrap_or(0) >= self.cfg.tenant_quota {
                 st.stats.shed += 1;
-                return Err(RejectReason::Quota);
+                drop(st);
+                return shed_obs(self, t_ms, &spec.tenant, RejectReason::Quota);
             }
             if st
                 .breakers
@@ -578,17 +664,20 @@ impl Server {
                 .is_some_and(|b| b.is_open(t_ms))
             {
                 st.stats.shed += 1;
-                return Err(RejectReason::Breaker);
+                drop(st);
+                return shed_obs(self, t_ms, &spec.tenant, RejectReason::Breaker);
             }
             if !st.bucket.try_admit(t_ms) {
                 st.stats.shed += 1;
-                return Err(RejectReason::Rate);
+                drop(st);
+                return shed_obs(self, t_ms, &spec.tenant, RejectReason::Rate);
             }
             if st.active < self.cfg.slots.max(1) {
                 st.active += 1;
             } else if st.waiting >= self.cfg.queue_capacity {
                 st.stats.shed += 1;
-                return Err(RejectReason::QueueFull);
+                drop(st);
+                return shed_obs(self, t_ms, &spec.tenant, RejectReason::QueueFull);
             } else {
                 st.waiting += 1;
                 st.stats.waiting_watermark = st.stats.waiting_watermark.max(st.waiting);
@@ -596,8 +685,9 @@ impl Server {
                     if st.draining {
                         st.waiting -= 1;
                         st.stats.shed += 1;
+                        drop(st);
                         self.slot_freed.notify_all();
-                        return Err(RejectReason::Draining);
+                        return shed_obs(self, t_ms, &spec.tenant, RejectReason::Draining);
                     }
                     if st.active < self.cfg.slots.max(1) {
                         break;
@@ -629,11 +719,17 @@ impl Server {
             }
             drop(st);
             self.slot_freed.notify_all();
-            return Err(RejectReason::Constraint {
-                best_accuracy,
-                min_accuracy: spec.min_accuracy,
-            });
+            return shed_obs(
+                self,
+                t_ms,
+                &spec.tenant,
+                RejectReason::Constraint {
+                    best_accuracy,
+                    min_accuracy: spec.min_accuracy,
+                },
+            );
         }
+        self.lock_obs().on_admit(t_ms, &spec.tenant);
         let outcome = run_session(session, &spec, &tree, &resolved.exec_trace, &self.cfg);
 
         let span = telemetry::span!(
@@ -674,6 +770,33 @@ impl Server {
             }
         }
         self.slot_freed.notify_all();
+        // Observability rides on the submission timestamp (the live
+        // path has no virtual completion instant); latency samples come
+        // from the session's simulated per-request latencies.
+        let breach = self.lock_obs().on_completion(
+            t_ms,
+            &spec.tenant,
+            outcome.label,
+            Some(&outcome.report),
+        );
+        if let Some(b) = breach {
+            telemetry::event!(
+                "slo.breach",
+                tenant = spec.tenant.as_str(),
+                burn = b.burn_rate,
+                bad = b.bad,
+                total = b.total,
+            );
+            if self.cfg.slo_breaker_hook {
+                let threshold = self.cfg.breaker_threshold;
+                let cooldown = self.cfg.breaker_cooldown_ms;
+                let mut st = self.lock_live();
+                st.breakers
+                    .entry(spec.tenant.clone())
+                    .or_insert_with(|| CircuitBreaker::new(threshold, cooldown))
+                    .record_failure(t_ms);
+            }
+        }
         Ok(LiveCompletion { session, outcome })
     }
 
@@ -708,6 +831,12 @@ impl Server {
     pub fn live_stats(&self) -> LiveStats {
         self.lock_live().stats
     }
+
+    /// Current live gauges: `(waiting, active)` session counts.
+    pub fn live_gauges(&self) -> (usize, usize) {
+        let st = self.lock_live();
+        (st.waiting, st.active)
+    }
 }
 
 /// Per-arrival state the scheduler carries between phases.
@@ -724,4 +853,17 @@ impl std::fmt::Debug for Prepared {
 
 fn records_decision(records: &[ArrivalRecord], i: usize) -> Option<&Decision> {
     records.get(i).map(|r| &r.decision)
+}
+
+/// Records a live-path shed in the observability state and returns the
+/// typed error. Must be called *without* the live lock held (it takes
+/// the obs lock).
+fn shed_obs<T>(
+    server: &Server,
+    t_ms: f64,
+    tenant: &str,
+    reason: RejectReason,
+) -> Result<T, RejectReason> {
+    server.lock_obs().on_shed(t_ms, tenant, reason.label());
+    Err(reason)
 }

@@ -64,6 +64,21 @@ fn handle_connection(server: &Server, stream: TcpStream, started: Instant, stop:
         let response = match parse_request(&line) {
             Err(detail) => Response::Error { detail },
             Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => {
+                let stats = server.live_stats();
+                let (waiting, active) = server.live_gauges();
+                let obs = server.obs_snapshot();
+                Response::Stats {
+                    admitted: stats.admitted as u64,
+                    shed: stats.shed as u64,
+                    degraded: stats.degraded as u64,
+                    failed: stats.failed as u64,
+                    queue_depth: waiting as u64,
+                    slots_busy: active as u64,
+                    slo_breaches: obs.breaches.len() as u64,
+                    exposition: server.exposition(),
+                }
+            }
             Ok(Request::Drain) => {
                 server.begin_drain();
                 server.await_idle();
@@ -128,4 +143,51 @@ fn rejected(reason: &RejectReason) -> Response {
         reason: reason.label().to_string(),
         detail: reason.to_string(),
     }
+}
+
+/// Serves the Prometheus-style text exposition on `listener`: every
+/// connection gets one `HTTP/1.1 200` response carrying
+/// [`Server::exposition`] and is closed (curl-compatible, hand-rolled —
+/// the request itself is drained up to its blank line and otherwise
+/// ignored). Runs until `stop` is set; use [`unblock_metrics`] to nudge
+/// the accept loop afterwards.
+pub fn serve_metrics(server: &Arc<Server>, listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = write_exposition(server, stream);
+    }
+}
+
+/// Connects once to a metrics listener so its accept loop can observe a
+/// freshly-set stop flag.
+pub fn unblock_metrics(addr: std::net::SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+fn write_exposition(server: &Server, stream: TcpStream) -> std::io::Result<()> {
+    let Ok(read_half) = stream.try_clone() else {
+        return Ok(());
+    };
+    // Drain the request head (GET line + headers) without trusting it.
+    let mut reader = BufReader::new(read_half);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let body = server.exposition();
+    let mut writer = stream;
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()
 }

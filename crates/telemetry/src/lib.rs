@@ -40,11 +40,15 @@ mod event;
 mod metrics;
 pub mod report;
 mod sink;
+pub mod slo;
+pub mod window;
 
 pub use event::{Event, FieldValue};
 pub use metrics::{Histogram, MetricsSnapshot};
 pub use report::{RunReport, SchemaError, SCHEMA_VERSION};
 pub use sink::{JsonlSink, MemorySink, Sink, SummarySink};
+pub use slo::{SloBreach, SloConfig, SloStatus, SloTracker};
+pub use window::{WindowAggregator, WindowConfig, WindowHist, WindowSnapshot};
 
 use std::cell::RefCell;
 use std::fmt;

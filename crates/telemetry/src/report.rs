@@ -333,10 +333,30 @@ impl LineCx {
 /// whose counts do not match its bounds, or a missing/duplicated meta
 /// line.
 pub fn parse_jsonl(text: &str) -> Result<RunReport, SchemaError> {
+    let (report, skipped) = parse_jsonl_impl(text, false)?;
+    debug_assert_eq!(skipped, 0, "strict mode never skips");
+    Ok(report)
+}
+
+/// Like [`parse_jsonl`], but a record whose `type` is unknown to this
+/// schema-v1 reader is *skipped* instead of failing the whole trace;
+/// returns how many lines were skipped so the caller can warn. Every
+/// other validation stays strict — a known record with a bad shape is
+/// still an error.
+///
+/// # Errors
+///
+/// [`SchemaError`] as for [`parse_jsonl`], except for unknown types.
+pub fn parse_jsonl_lenient(text: &str) -> Result<(RunReport, usize), SchemaError> {
+    parse_jsonl_impl(text, true)
+}
+
+fn parse_jsonl_impl(text: &str, lenient: bool) -> Result<(RunReport, usize), SchemaError> {
     let mut version: Option<u64> = None;
     let mut meta = Vec::new();
     let mut events = Vec::new();
     let mut metrics = MetricsSnapshot::default();
+    let mut skipped = 0usize;
 
     for (idx, raw) in text.lines().enumerate() {
         let cx = LineCx { line: idx + 1 };
@@ -431,17 +451,26 @@ pub fn parse_jsonl(text: &str) -> Result<RunReport, SchemaError> {
                     },
                 ));
             }
-            other => return cx.err(format!("unknown record type `{other}`")),
+            other => {
+                if lenient {
+                    skipped += 1;
+                } else {
+                    return cx.err(format!("unknown record type `{other}`"));
+                }
+            }
         }
     }
 
     match version {
-        Some(version) => Ok(RunReport {
-            version,
-            meta,
-            events,
-            metrics,
-        }),
+        Some(version) => Ok((
+            RunReport {
+                version,
+                meta,
+                events,
+                metrics,
+            },
+            skipped,
+        )),
         None => Err(SchemaError {
             line: 1,
             message: "empty trace (missing meta line)".to_string(),
@@ -669,6 +698,217 @@ pub fn render_summary(report: &RunReport) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Trace analytics: folded stacks, critical path, hotspots
+// ---------------------------------------------------------------------------
+
+/// One resolved span occurrence: its name-path from the lane root and
+/// its timing split into total and self (total minus direct children).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Name-path from the `(region, stream)` lane root to this span.
+    pub path: Vec<String>,
+    /// `(region, stream)` the span was recorded on.
+    pub lane: (u64, u64),
+    /// Total wall time of the span.
+    pub dur_ns: u64,
+    /// Self time: total minus the summed duration of direct children.
+    pub self_ns: u128,
+}
+
+/// Resolves every span into a [`SpanRow`]. Parent links are chased
+/// within each `(region, stream)` lane; a span whose parent seq is
+/// absent from its lane counts as a root. Children are charged against
+/// a parent only when that parent exists, so self times telescope: the
+/// sum of all self times equals the summed duration of the root spans.
+pub fn span_rows(report: &RunReport) -> Vec<SpanRow> {
+    let mut lanes: BTreeMap<(u64, u64), Vec<&Event>> = BTreeMap::new();
+    for e in report.events.iter().filter(|e| e.is_span()) {
+        lanes.entry((e.region, e.stream)).or_default().push(e);
+    }
+    let mut rows = Vec::new();
+    for (lane, group) in &lanes {
+        let by_seq: BTreeMap<u64, &Event> = group.iter().map(|s| (s.seq, *s)).collect();
+        let mut child_total: BTreeMap<u64, u128> = BTreeMap::new();
+        for s in group {
+            if let Some(p) = s.parent {
+                if by_seq.contains_key(&p) {
+                    *child_total.entry(p).or_insert(0) += u128::from(s.dur_ns.unwrap_or(0));
+                }
+            }
+        }
+        for s in group {
+            let mut path = vec![s.name.clone()];
+            let mut cur = s.parent;
+            while let Some(p) = cur {
+                match by_seq.get(&p) {
+                    Some(ps) => {
+                        path.push(ps.name.clone());
+                        cur = ps.parent;
+                    }
+                    None => break,
+                }
+            }
+            path.reverse();
+            let dur = u128::from(s.dur_ns.unwrap_or(0));
+            let kids = child_total.get(&s.seq).copied().unwrap_or(0);
+            rows.push(SpanRow {
+                path,
+                lane: *lane,
+                dur_ns: s.dur_ns.unwrap_or(0),
+                self_ns: dur.saturating_sub(kids),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders folded stacks (`a;b;c <self_ns>`, one line per distinct
+/// name-path, sorted by stack) — the format flamegraph tools such as
+/// inferno and speedscope consume. Values are self time in
+/// nanoseconds; because every span contributes its wall time exactly
+/// once, the values sum to the total duration of the root spans.
+pub fn folded_stacks(report: &RunReport) -> String {
+    let mut agg: BTreeMap<String, u128> = BTreeMap::new();
+    for row in span_rows(report) {
+        *agg.entry(row.path.join(";")).or_insert(0) += row.self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in agg {
+        out.push_str(&format!("{stack} {ns}\n"));
+    }
+    out
+}
+
+/// One hop of the [`critical_path`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalHop {
+    /// Span name at this hop.
+    pub name: String,
+    /// Total wall time of the hop's span.
+    pub dur_ns: u64,
+    /// Self time of the hop's span.
+    pub self_ns: u128,
+}
+
+/// Extracts the critical path: starting from the longest root span in
+/// the trace, repeatedly descend into the heaviest direct child. Ties
+/// break toward the smallest `(region, stream, seq)`, so the result is
+/// deterministic for a given trace.
+pub fn critical_path(report: &RunReport) -> Vec<CriticalHop> {
+    let mut lanes: BTreeMap<(u64, u64), Vec<&Event>> = BTreeMap::new();
+    for e in report.events.iter().filter(|e| e.is_span()) {
+        lanes.entry((e.region, e.stream)).or_default().push(e);
+    }
+    let mut best: Option<((u64, u64), &Event)> = None;
+    for (lane, group) in &lanes {
+        let by_seq: BTreeMap<u64, &Event> = group.iter().map(|s| (s.seq, *s)).collect();
+        for s in group {
+            let is_root = match s.parent {
+                None => true,
+                Some(p) => !by_seq.contains_key(&p),
+            };
+            if !is_root {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                // Lanes iterate in ascending order, so strict `>` keeps
+                // the smallest (region, stream, seq) on ties.
+                Some((_, b)) => s.dur_ns.unwrap_or(0) > b.dur_ns.unwrap_or(0),
+            };
+            if better {
+                best = Some((*lane, s));
+            }
+        }
+    }
+    let Some((lane, root)) = best else {
+        return Vec::new();
+    };
+    let group = &lanes[&lane];
+    let by_seq: BTreeMap<u64, &Event> = group.iter().map(|s| (s.seq, *s)).collect();
+    let mut children: BTreeMap<u64, Vec<&Event>> = BTreeMap::new();
+    for s in group {
+        if let Some(p) = s.parent {
+            if by_seq.contains_key(&p) {
+                children.entry(p).or_default().push(s);
+            }
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = root;
+    loop {
+        let kids = children.get(&cur.seq).map(Vec::as_slice).unwrap_or(&[]);
+        let kid_total: u128 = kids.iter().map(|k| u128::from(k.dur_ns.unwrap_or(0))).sum();
+        let dur = u128::from(cur.dur_ns.unwrap_or(0));
+        path.push(CriticalHop {
+            name: cur.name.clone(),
+            dur_ns: cur.dur_ns.unwrap_or(0),
+            self_ns: dur.saturating_sub(kid_total),
+        });
+        // Heaviest child next; seq order within the lane breaks ties.
+        let mut next: Option<&Event> = None;
+        for k in kids {
+            if next.is_none_or(|b| k.dur_ns.unwrap_or(0) > b.dur_ns.unwrap_or(0)) {
+                next = Some(k);
+            }
+        }
+        match next {
+            Some(n) => cur = n,
+            None => break,
+        }
+    }
+    path
+}
+
+/// Renders the analytics section `cadmc report` appends to the
+/// summary: the critical path and the top-`top` spans by aggregate
+/// self time.
+pub fn render_analytics(report: &RunReport, top: usize) -> String {
+    let mut out = String::new();
+    let path = critical_path(report);
+    if !path.is_empty() {
+        out.push_str("\ncritical path (heaviest child chain from the longest root span):\n");
+        for (depth, hop) in path.iter().enumerate() {
+            let label = format!("{}{}", "  ".repeat(depth + 1), hop.name);
+            out.push_str(&format!(
+                "{label:<30} {:>12.3} ms total {:>10.3} ms self\n",
+                ms(u128::from(hop.dur_ns)),
+                ms(hop.self_ns)
+            ));
+        }
+    }
+    let mut by_name: BTreeMap<&str, (u64, u128)> = BTreeMap::new();
+    let rows = span_rows(report);
+    for row in &rows {
+        let slot = by_name.entry(row.path.last().map(String::as_str).unwrap_or("")).or_insert((0, 0));
+        slot.0 += 1;
+        slot.1 += row.self_ns;
+    }
+    let mut hot: Vec<(&str, u64, u128)> =
+        by_name.iter().map(|(n, (c, s))| (*n, *c, *s)).collect();
+    hot.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    if !hot.is_empty() && top > 0 {
+        out.push_str(&format!("\nhotspots (top {top} by aggregate self time):\n"));
+        let total_self: u128 = hot.iter().map(|(_, _, s)| s).sum();
+        for (i, (name, count, self_ns)) in hot.iter().take(top).enumerate() {
+            let share = if total_self == 0 {
+                0.0
+            } else {
+                *self_ns as f64 / total_self as f64 * 100.0
+            };
+            out.push_str(&format!(
+                "  {:>2}. {:<24} {:>10.3} ms self  {:>5.1}%  ({count} calls)\n",
+                i + 1,
+                name,
+                ms(*self_ns),
+                share
+            ));
+        }
+    }
+    out
+}
+
 fn render_agg(out: &mut String, node: &Agg, depth: usize) {
     let mut kids: Vec<(&String, &Agg)> = node.children.iter().collect();
     kids.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
@@ -793,6 +1033,88 @@ mod tests {
         let swapped = lines.join("\n");
         let err = parse_jsonl(&swapped).expect_err("meta not first");
         assert!(err.message.contains("meta must be the first line"));
+    }
+
+    /// Nested spans on two lanes; children durations never exceed the
+    /// parent's, mirroring what the monotonic span clock guarantees.
+    fn nested_report() -> RunReport {
+        let span = |name: &str, region: u64, stream: u64, seq: u64, parent, dur| Event {
+            name: name.into(),
+            region,
+            stream,
+            seq,
+            parent,
+            t_ns: 0,
+            dur_ns: Some(dur),
+            fields: vec![],
+        };
+        RunReport {
+            version: SCHEMA_VERSION,
+            meta: vec![],
+            events: vec![
+                span("root", 0, 0, 0, None, 1_000),
+                span("mid", 0, 0, 1, Some(0), 600),
+                span("leaf", 0, 0, 2, Some(1), 200),
+                span("side", 0, 0, 3, Some(0), 100),
+                span("other", 1, 0, 0, None, 50),
+            ],
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn folded_stacks_reconcile_with_root_wall_time() {
+        let report = nested_report();
+        let folded = folded_stacks(&report);
+        assert_eq!(
+            folded,
+            "other 50\nroot 300\nroot;mid 400\nroot;mid;leaf 200\nroot;side 100\n"
+        );
+        let folded_total: u128 = folded
+            .lines()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u128>().unwrap())
+            .sum();
+        let root_total: u128 = span_rows(&report)
+            .iter()
+            .filter(|r| r.path.len() == 1)
+            .map(|r| u128::from(r.dur_ns))
+            .sum();
+        assert_eq!(folded_total, root_total, "self times must telescope");
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_children() {
+        let path = critical_path(&nested_report());
+        let names: Vec<&str> = path.iter().map(|h| h.name.as_str()).collect();
+        assert_eq!(names, ["root", "mid", "leaf"]);
+        assert_eq!(path[0].dur_ns, 1_000);
+        assert_eq!(path[0].self_ns, 300);
+        assert_eq!(path[2].self_ns, 200);
+    }
+
+    #[test]
+    fn analytics_render_critical_path_and_hotspots() {
+        let text = render_analytics(&nested_report(), 3);
+        assert!(text.contains("critical path"));
+        assert!(text.contains("hotspots (top 3"));
+        // mid has the largest aggregate self time (400 ns).
+        let hot_line = text.lines().find(|l| l.contains(" 1. ")).unwrap();
+        assert!(hot_line.contains("mid"), "got {hot_line:?}");
+    }
+
+    #[test]
+    fn lenient_parse_skips_unknown_record_kinds() {
+        let good = to_jsonl(&sample_report());
+        let mut text = good.clone();
+        text.push_str("{\"type\":\"wibble\",\"x\":1}\n");
+        text.push_str("{\"type\":\"wobble\"}\n");
+        assert!(parse_jsonl(&text).is_err(), "strict must reject");
+        let (report, skipped) = parse_jsonl_lenient(&text).expect("lenient parses");
+        assert_eq!(skipped, 2);
+        assert_eq!(report, parse_jsonl(&good).unwrap());
+        // Lenient stays strict about malformed known records.
+        let bad = good.replace("\"seq\":0,", "");
+        assert!(parse_jsonl_lenient(&bad).is_err());
     }
 
     #[test]

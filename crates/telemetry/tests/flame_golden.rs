@@ -1,0 +1,54 @@
+//! Golden check for the `--flame` folded-stack output: a pinned
+//! schema-v1 trace must fold to byte-identical stacks, the summed
+//! self-times must reconcile with the summed root span wall-times
+//! (the telescoping identity the profile view depends on), and the
+//! critical path over the same fixture must be the expected chain.
+//!
+//! Regenerate the `.folded` golden by hand only when the folding
+//! *format* changes — a diff here otherwise means the analytics
+//! drifted.
+
+use cadmc_telemetry::report::{critical_path, folded_stacks, parse_jsonl, span_rows};
+
+const TRACE: &str = include_str!("golden/flame_trace.jsonl");
+const FOLDED: &str = include_str!("golden/flame_trace.folded");
+
+#[test]
+fn folded_stacks_match_the_golden() {
+    let report = parse_jsonl(TRACE).expect("golden trace is valid schema v1");
+    assert_eq!(
+        folded_stacks(&report),
+        FOLDED,
+        "folded output drifted from the golden"
+    );
+}
+
+#[test]
+fn golden_self_times_reconcile_with_root_wall_times() {
+    let report = parse_jsonl(TRACE).expect("golden trace is valid schema v1");
+    let folded_total: u128 = FOLDED
+        .lines()
+        .map(|l| {
+            l.rsplit(' ')
+                .next()
+                .expect("folded line has a value")
+                .parse::<u128>()
+                .expect("folded value is integer ns")
+        })
+        .sum();
+    let root_total: u128 = span_rows(&report)
+        .iter()
+        .filter(|r| r.path.len() == 1)
+        .map(|r| u128::from(r.dur_ns))
+        .sum();
+    assert_eq!(folded_total, root_total, "self times must telescope");
+    assert_eq!(root_total, 10_800, "fixture roots: 10000 + 800");
+}
+
+#[test]
+fn golden_critical_path_descends_heaviest_children() {
+    let report = parse_jsonl(TRACE).expect("golden trace is valid schema v1");
+    let hops = critical_path(&report);
+    let path: Vec<&str> = hops.iter().map(|h| h.name.as_str()).collect();
+    assert_eq!(path, ["tree.search", "branch.search", "branch.episode"]);
+}

@@ -1,6 +1,6 @@
 //! Custom source-level static analysis for the cadmc workspace.
 //!
-//! `cargo xtask lint` runs eight lightweight lints over first-party library
+//! `cargo xtask lint` runs nine lightweight lints over first-party library
 //! code (no external parser — a masking tokenizer plus line scanning, so
 //! the pass works in the vendored-offline build):
 //!
@@ -43,6 +43,13 @@
 //!   have an explicit capacity (`sync_channel(n)`, `BoundedQueue`), so
 //!   overload sheds with a typed rejection instead of growing memory.
 //!   Justified sites go in `lint.allow`.
+//! - **L9 wall clock in aggregation**: forbids `Instant::now(` and
+//!   `SystemTime::now(` in the virtual-time aggregation paths — the
+//!   windowed metrics, SLO tracking and serving schedule code whose
+//!   byte-identical-across-workers contract rests on every timestamp
+//!   flowing from the simulated clock. Span timing in the telemetry
+//!   core and the live TCP surface keep their wall clocks (out of
+//!   scope); anything else goes through `lint.allow` with a reason.
 //!
 //! The scanner masks comments and string literals (preserving line
 //! structure), skips `#[cfg(test)]` items by brace tracking, and skips
@@ -56,7 +63,7 @@ use std::path::{Path, PathBuf};
 /// ground.
 pub const MAX_ALLOWLIST_ENTRIES: usize = 25;
 
-/// The eight lint classes.
+/// The nine lint classes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Lint {
     /// Panic-hygiene: no `unwrap`/`expect`/`panic!` in library code.
@@ -75,6 +82,8 @@ pub enum Lint {
     L7LossyCast,
     /// No unbounded channel/queue construction in serving/executor paths.
     L8UnboundedQueue,
+    /// No wall-clock reads in virtual-time aggregation paths.
+    L9WallClockInAggregation,
 }
 
 impl Lint {
@@ -89,10 +98,11 @@ impl Lint {
             Lint::L6HotClone => "L6",
             Lint::L7LossyCast => "L7",
             Lint::L8UnboundedQueue => "L8",
+            Lint::L9WallClockInAggregation => "L9",
         }
     }
 
-    /// Parses a lint code (`"L1"`..`"L8"`).
+    /// Parses a lint code (`"L1"`..`"L9"`).
     pub fn from_code(code: &str) -> Option<Lint> {
         match code {
             "L1" => Some(Lint::L1PanicSite),
@@ -103,6 +113,7 @@ impl Lint {
             "L6" => Some(Lint::L6HotClone),
             "L7" => Some(Lint::L7LossyCast),
             "L8" => Some(Lint::L8UnboundedQueue),
+            "L9" => Some(Lint::L9WallClockInAggregation),
             _ => None,
         }
     }
@@ -125,6 +136,9 @@ impl Lint {
             }
             Lint::L8UnboundedQueue => {
                 "unbounded channel/queue construction in a serving/executor path (use an explicit capacity)"
+            }
+            Lint::L9WallClockInAggregation => {
+                "wall-clock read in a virtual-time aggregation path (take a virtual timestamp instead)"
             }
         }
     }
@@ -539,6 +553,23 @@ const L8_QUEUE_PATHS: [&str; 3] = [
     "crates/core/src/parallel.rs",
 ];
 
+/// L9 scope: virtual-time aggregation paths — the windowed metrics and
+/// SLO machinery plus the serving schedule/admission code. Their
+/// byte-identical-across-workers snapshots require every timestamp to
+/// be a virtual one. Deliberately *not* in scope: the telemetry core
+/// (`telemetry/src/lib.rs` — span timing is wall clock by design) and
+/// the live TCP surface (`serve/src/tcp.rs` — real sockets, real time).
+const L9_VIRTUAL_TIME_PATHS: [&str; 8] = [
+    "crates/telemetry/src/window.rs",
+    "crates/telemetry/src/slo.rs",
+    "crates/serve/src/metrics.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/admission.rs",
+    "crates/serve/src/breaker.rs",
+    "crates/serve/src/chaos.rs",
+    "crates/serve/src/session.rs",
+];
+
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| rel.starts_with(s) || rel.contains(s))
 }
@@ -572,7 +603,8 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
     let l5 = in_scope(rel, &L5_CRATES);
     let l7 = in_scope(rel, &L7_CAST_PATHS);
     let l8 = in_scope(rel, &L8_QUEUE_PATHS);
-    if !(l1 || l2 || l3 || l4 || l5 || l7 || l8) {
+    let l9 = in_scope(rel, &L9_VIRTUAL_TIME_PATHS);
+    if !(l1 || l2 || l3 || l4 || l5 || l7 || l8 || l9) {
         return Vec::new();
     }
 
@@ -609,8 +641,18 @@ pub fn scan_source(rel: &str, src: &str) -> Vec<Violation> {
         if l8 && has_unbounded_queue(line) {
             push(Lint::L8UnboundedQueue, i);
         }
+        if l9 && has_wall_clock(line) {
+            push(Lint::L9WallClockInAggregation, i);
+        }
     }
     out
+}
+
+/// L9: wall-clock reads. Narrower than the L3 token set on purpose —
+/// the aggregation paths legitimately *mention* `UNIX_EPOCH` never and
+/// construct no RNGs, so only the two clock constructors matter here.
+fn has_wall_clock(line: &str) -> bool {
+    line.contains("Instant::now(") || line.contains("SystemTime::now(")
 }
 
 /// L8: unbounded channel/queue construction. `channel()` with an empty

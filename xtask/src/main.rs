@@ -16,7 +16,8 @@ cargo xtask <command>
 Commands:
   lint    run the custom static-analysis lints (L1 panic-hygiene,
           L2 map-iteration, L3 nondeterminism, L4 float-equality,
-          L5 print-in-library, L6 hot-path model clone)
+          L5 print-in-library, L6 hot-path model clone, L7 lossy cast,
+          L8 unbounded queue, L9 wall clock in aggregation)
 
 Options for `lint`:
   --root <dir>        workspace root (default: the cargo workspace)

@@ -410,7 +410,7 @@ fn allowlist_rejects_malformed_and_unknown_lint() {
         Err(AllowlistError::Malformed { line: 1, .. })
     ));
     assert!(matches!(
-        parse_allowlist("L9|f.rs|x|reason\n"),
+        parse_allowlist("L99|f.rs|x|reason\n"),
         Err(AllowlistError::UnknownLint { line: 1, .. })
     ));
 }
@@ -566,6 +566,75 @@ fn l8_respects_comments_strings_and_tests() {
     assert_eq!(lints_of(SERVE, masked), vec![]);
     let test_src = "#[cfg(test)]\nmod tests {\n    fn g() {\n        let (_tx, _rx) = std::sync::mpsc::channel();\n    }\n}\n";
     assert_eq!(lints_of(SERVE, test_src), vec![]);
+}
+
+// --- L9: wall clock in virtual-time aggregation paths -------------------
+
+#[test]
+fn l9_fires_on_clock_reads_across_the_aggregation_scope() {
+    for line in ["let t = Instant::now();", "let t = SystemTime::now();"] {
+        let src = format!("fn f() {{\n    {line}\n}}\n");
+        for rel in [
+            "crates/telemetry/src/window.rs",
+            "crates/telemetry/src/slo.rs",
+            "crates/serve/src/metrics.rs",
+            "crates/serve/src/server.rs",
+            "crates/serve/src/admission.rs",
+            "crates/serve/src/breaker.rs",
+            "crates/serve/src/chaos.rs",
+            "crates/serve/src/session.rs",
+        ] {
+            let found = lints_of(rel, &src);
+            assert!(
+                found.contains(&Lint::L9WallClockInAggregation),
+                "{rel}: {line}: {found:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn l9_exempts_span_timing_and_the_tcp_surface() {
+    // The telemetry core times spans with Instant by design, and the
+    // live TCP loop deals in real sockets and real time.
+    let src = "fn f() {\n    let t = Instant::now();\n}\n";
+    assert!(!lints_of("crates/telemetry/src/lib.rs", src)
+        .contains(&Lint::L9WallClockInAggregation));
+    assert!(!lints_of("crates/serve/src/tcp.rs", src)
+        .contains(&Lint::L9WallClockInAggregation));
+}
+
+#[test]
+fn l9_allows_virtual_time_and_elapsed_arithmetic() {
+    let src = "fn f(now_ms: f64, agg: &mut WindowAggregator) {\n\
+                   agg.advance(now_ms);\n\
+                   let instant = now_ms + 1.0;\n\
+                   let _ = instant;\n\
+               }\n";
+    assert_eq!(lints_of("crates/telemetry/src/window.rs", src), vec![]);
+}
+
+#[test]
+fn l9_respects_comments_strings_and_tests() {
+    let masked = "fn f() {\n    // Instant::now() would break determinism\n    let s = \"SystemTime::now()\";\n    let _ = s;\n}\n";
+    assert_eq!(lints_of("crates/serve/src/server.rs", masked), vec![]);
+    let test_src = "#[cfg(test)]\nmod tests {\n    fn g() {\n        let _ = std::time::Instant::now();\n    }\n}\n";
+    assert_eq!(lints_of("crates/serve/src/server.rs", test_src), vec![]);
+}
+
+#[test]
+fn l9_allowlist_escape_works() {
+    let src = "fn f() {\n    let scrape_started = Instant::now();\n}\n";
+    let raw = scan_source("crates/serve/src/metrics.rs", src);
+    assert_eq!(raw.len(), 1);
+    let allow = parse_allowlist(
+        "L9|crates/serve/src/metrics.rs|scrape_started|scrape duration is operator-facing, never aggregated\n",
+    )
+    .unwrap();
+    let report = apply_allowlist(raw, &allow);
+    assert!(report.is_clean());
+    assert_eq!(report.suppressed, 1);
+    assert!(report.unused_entries.is_empty());
 }
 
 #[test]
