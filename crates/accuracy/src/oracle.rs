@@ -26,7 +26,7 @@ use std::hash::{Hash, Hasher};
 
 use serde::{Deserialize, Serialize};
 
-use cadmc_compress::Technique;
+use cadmc_compress::{FeatureAction, Technique};
 use cadmc_nn::ModelSpec;
 
 /// One compression action taken on a base model.
@@ -69,6 +69,11 @@ pub struct OracleConfig {
     /// observed accuracy is 88.5 % vs the 92.01 % base (≈ 0.96); typical
     /// compressed accuracies sit around 0.975–0.99 of base.
     pub floor_fraction: f64,
+    /// Accuracy loss (percentage points) per unit of feature-compression
+    /// aggressiveness on the cut tensor. Calibrated to the bottleneck /
+    /// quantized-intermediate literature: int8 activations cost well under
+    /// half a point, an aggressive 4× bottleneck with int4 costs ≈ 1.3 pp.
+    pub feature_unit_pp: f64,
 }
 
 impl Default for OracleConfig {
@@ -83,6 +88,7 @@ impl Default for OracleConfig {
             diminishing: 0.9,
             jitter_pp: 0.12,
             floor_fraction: 0.975,
+            feature_unit_pp: 1.1,
         }
     }
 }
@@ -193,6 +199,30 @@ impl AccuracyOracle {
         total_pp += self.cfg.jitter_pp * self.jitter(base, actions);
         let acc = base_acc - total_pp / 100.0;
         acc.max(base_acc * self.cfg.floor_fraction)
+    }
+
+    /// Deployed accuracy: layer compression ([`AccuracyOracle::evaluate`])
+    /// plus the fidelity penalty of feature-compressing the cut tensor.
+    ///
+    /// The identity action returns `evaluate(base, actions)` bit-exactly
+    /// (feature-disabled searches see pre-feature numbers); a non-identity
+    /// action pays `feature_unit_pp` per unit of combined knob
+    /// aggressiveness, subject to the same accuracy floor. Partition
+    /// *position* still does not affect accuracy — only what is done to
+    /// the tensor crossing the link does.
+    pub fn evaluate_deployed(
+        &self,
+        base: &ModelSpec,
+        actions: &[AppliedAction],
+        feature: FeatureAction,
+    ) -> f64 {
+        let acc = self.evaluate(base, actions);
+        if feature.is_identity() {
+            return acc;
+        }
+        let penalty_pp = self.cfg.feature_unit_pp * f64::from(feature.aggressiveness());
+        let base_acc = self.base_accuracy(base);
+        (acc - penalty_pp / 100.0).max(base_acc * self.cfg.floor_fraction)
     }
 
     /// Hash-derived jitter in `[-1, 1]`.
@@ -325,6 +355,43 @@ mod tests {
         let base = zoo::vgg11_cifar();
         let actions = [act(2, Technique::C2MobileNetV2)];
         assert_eq!(o.evaluate(&base, &actions), o.evaluate(&base, &actions));
+    }
+
+    #[test]
+    fn identity_feature_is_bit_exact() {
+        let o = AccuracyOracle::standard();
+        let base = zoo::vgg11_cifar();
+        let actions = [act(2, Technique::C1MobileNet)];
+        assert_eq!(
+            o.evaluate_deployed(&base, &actions, FeatureAction::IDENTITY),
+            o.evaluate(&base, &actions)
+        );
+        assert_eq!(
+            o.evaluate_deployed(&base, &[], FeatureAction::IDENTITY),
+            0.9201
+        );
+    }
+
+    #[test]
+    fn feature_penalty_is_monotone_and_floored() {
+        let o = AccuracyOracle::standard();
+        let base = zoo::vgg11_cifar();
+        let accs: Vec<f64> = FeatureAction::ALL
+            .iter()
+            .map(|&f| o.evaluate_deployed(&base, &[], f))
+            .collect();
+        // Every action stays at or below the untouched accuracy and above
+        // the floor.
+        for (f, acc) in FeatureAction::ALL.iter().zip(&accs) {
+            assert!(*acc <= 0.9201, "{f:?} gained accuracy");
+            assert!(*acc >= 0.9201 * o.config().floor_fraction - 1e-12);
+        }
+        // More aggressive pairs lose at least as much.
+        let int8 = o.evaluate_deployed(&base, &[], FeatureAction::ALL[1]);
+        let int4 = o.evaluate_deployed(&base, &[], FeatureAction::ALL[2]);
+        assert!(int4 < int8, "int4 should cost more than int8");
+        // Mild quantization is sub-half-point, per the literature band.
+        assert!((0.9201 - int8) * 100.0 < 0.5);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 
 /// Flags that take no value: present means `"true"`. A following token
 /// that is not another flag is still treated as a positional.
-const VALUELESS: &[&str] = &["json", "flame"];
+const VALUELESS: &[&str] = &["json", "flame", "feature-actions"];
 
 /// Parsed invocation: a subcommand plus positionals and `--key value`
 /// flags. Commands that take no positionals reject them at dispatch.
@@ -167,6 +167,16 @@ mod tests {
         assert_eq!(a.positionals(), ["model.ir"]);
         let a = parse(&["check", "model.ir", "--json"]).unwrap();
         assert_eq!(a.get("json"), Some("true"));
+    }
+
+    #[test]
+    fn feature_actions_is_valueless() {
+        let a = parse(&["search", "--feature-actions", "--model", "vgg11"]).unwrap();
+        assert_eq!(a.get("feature-actions"), Some("true"));
+        assert_eq!(a.get_or("feature-actions", false).unwrap(), true);
+        assert_eq!(a.get("model"), Some("vgg11"));
+        let a = parse(&["search", "--model", "vgg11"]).unwrap();
+        assert_eq!(a.get_or("feature-actions", false).unwrap(), false);
     }
 
     #[test]

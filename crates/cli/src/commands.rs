@@ -31,6 +31,8 @@ COMMANDS:
                       --model <vgg11|vgg16|alexnet|mobilenet|squeezenet>
                       --device <phone|tx2> --scenario <name> --out <file>
                       [--episodes N] [--seed N] [--workers N]
+                      [--feature-actions]  (search cut-tensor bottleneck/
+                      quantization knobs jointly with partition+compression)
     show            print a saved model tree's structure
                       --tree <file>
     emulate         stream requests against a saved tree (or baselines)
@@ -38,13 +40,17 @@ COMMANDS:
                       --scenario <name> [--requests N] [--field true]
                       [--faults <preset|file.json>] [--deadline-ms MS]
                       [--max-retries N] [--out report.csv]
+                      [--feature-actions]  (required to execute trees that
+                      carry cut-tensor feature-compression actions)
     plan            one-shot branch search vs surgery at a fixed bandwidth
                       --model <name> --device <d> --bandwidth <Mbps>
                       [--episodes N] [--seed N] [--workers N]
+                      [--feature-actions]
     search          run the offline phase with sensible defaults (made for
                     tracing: `cadmc search --trace run.jsonl`)
                       [--model <name>] [--device <d>] [--scenario <name>]
                       [--episodes N] [--seed N] [--workers N] [--out file]
+                      [--feature-actions]  (enlarged action space)
                       [--faults <preset|file.json>]  (post-search smoke:
                       fault-injected emulation of the trained tree)
     report          render a telemetry trace as a human-readable summary,
@@ -60,6 +66,7 @@ COMMANDS:
     emit-ir         write a named model as canonical IR text
                       --model <name> [--out <file>]
                       [--blocks N] [--levels a,b,...]
+                      [--bottleneck <2|4>] [--quant <8|4>]
     export-trace    write a scenario's synthesized trace as time_ms,mbps CSV
                       --scenario <name> --out <file> [--seed N]
     serve           multi-tenant serving core with admission control,
@@ -71,6 +78,8 @@ COMMANDS:
                       [--workers N] [--drain-at-ms MS]
                       [--slots N] [--queue N] [--rate R] [--burst N]
                       [--quota N] [--episodes N] [--deadline-ms MS]
+                      [--feature-actions]  (per-session searches explore
+                      cut-tensor feature compression)
                     Observability (both modes): [--metrics-enabled B]
                       [--slo-p99-ms MS] [--slo-availability F]
                       [--slo-window-ms MS] [--slo-burn-threshold X]
@@ -252,7 +261,8 @@ fn check_cmd(args: &Args) -> Result<(), CliError> {
     }
 }
 
-/// `cadmc emit-ir --model <name> [--out file] [--blocks N] [--levels a,b]`:
+/// `cadmc emit-ir --model <name> [--out file] [--blocks N] [--levels a,b]
+/// [--bottleneck N] [--quant N]`:
 /// canonical IR emission of a zoo model (or re-emission of an IR file).
 fn emit_ir_cmd(args: &Args) -> Result<(), CliError> {
     let model = model_by_name(args.require("model")?)?;
@@ -271,7 +281,19 @@ fn emit_ir_cmd(args: &Args) -> Result<(), CliError> {
         ),
         None => None,
     };
-    let text = cadmc_ir::emit_with(&model, blocks, levels.as_deref());
+    let bottleneck: Option<u32> = match args.get("bottleneck") {
+        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(
+            "invalid --bottleneck (expected a channel divisor, 2 or 4)".to_string(),
+        ))?),
+        None => None,
+    };
+    let quant: Option<u32> = match args.get("quant") {
+        Some(v) => Some(v.parse().map_err(|_| CliError::Usage(
+            "invalid --quant (expected a bit width, 8 or 4)".to_string(),
+        ))?),
+        None => None,
+    };
+    let text = cadmc_ir::emit_full(&model, blocks, levels.as_deref(), bottleneck, quant);
     match args.get("out") {
         Some(out) => {
             std::fs::write(out, &text)?;
@@ -279,7 +301,7 @@ fn emit_ir_cmd(args: &Args) -> Result<(), CliError> {
                 "wrote {} ({} bytes, hash {:016x})",
                 out,
                 text.len(),
-                cadmc_ir::ir_hash(&model, blocks, levels.as_deref())
+                cadmc_ir::ir_hash_full(&model, blocks, levels.as_deref(), bottleneck, quant)
             );
         }
         None => print!("{text}"),
@@ -381,6 +403,7 @@ fn train(args: &Args) -> Result<(), CliError> {
         episodes,
         seed,
         parallelism: workers(args)?,
+        feature_actions: args.get_or("feature-actions", false)?,
         ..SearchConfig::default()
     };
     let w = Workload {
@@ -426,8 +449,13 @@ fn show(args: &Args) -> Result<(), CliError> {
             .iter()
             .map(|a| format!("{}@{}", a.technique.code(), a.layer_index))
             .collect();
+        let feat = if node.feature.is_identity() {
+            String::new()
+        } else {
+            format!(" | feature {}", node.feature.code())
+        };
         println!(
-            "  node {id}: level {} | {placement} | actions [{}] | children {:?}",
+            "  node {id}: level {} | {placement} | actions [{}]{feat} | children {:?}",
             node.level,
             acts.join(","),
             node.children
@@ -442,6 +470,19 @@ fn show(args: &Args) -> Result<(), CliError> {
 
 fn emulate(args: &Args) -> Result<(), CliError> {
     let tree = persist::load_tree(args.require("tree")?)?;
+    let features_used: Vec<String> = tree
+        .nodes()
+        .iter()
+        .filter(|n| !n.feature.is_identity())
+        .map(|n| n.feature.code())
+        .collect();
+    if !features_used.is_empty() && !args.get_or("feature-actions", false)? {
+        return Err(CliError::Usage(format!(
+            "tree carries feature-compression actions ({}); \
+             pass --feature-actions to emulate it",
+            features_used.join(", ")
+        )));
+    }
     let model = model_by_name(args.require("model")?)?;
     let device = device_by_name(args.require("device")?)?;
     let scenario = scenario_by_name(args.require("scenario")?)?;
@@ -585,6 +626,7 @@ fn search(args: &Args) -> Result<(), CliError> {
         episodes,
         seed,
         parallelism: workers(args)?,
+        feature_actions: args.get_or("feature-actions", false)?,
         ..SearchConfig::default()
     };
     let w = Workload {
@@ -694,6 +736,7 @@ fn serve_cmd(args: &Args) -> Result<(), CliError> {
         slo_burn_threshold: args.get_or("slo-burn-threshold", d.slo_burn_threshold)?,
         slo_min_events: args.get_or("slo-min-events", d.slo_min_events)?,
         slo_breaker_hook: args.get_or("slo-breaker-hook", d.slo_breaker_hook)?,
+        feature_actions: args.get_or("feature-actions", false)?,
     };
     if let Some(addr) = args.get("listen") {
         let listener = std::net::TcpListener::bind(addr)?;
@@ -807,6 +850,7 @@ fn plan(args: &Args) -> Result<(), CliError> {
         episodes,
         seed,
         parallelism: workers(args)?,
+        feature_actions: args.get_or("feature-actions", false)?,
         ..SearchConfig::default()
     };
     let mut controllers = Controllers::new(&cfg);

@@ -26,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod feature;
 mod plan;
 mod proptests;
 pub mod prune;
 pub mod svd;
 mod technique;
 
+pub use feature::{BottleneckKnob, FeatureAction, QuantKnob};
 pub use plan::CompressionPlan;
 pub use technique::{CompressError, Technique, W1_PRUNE_RATIO};

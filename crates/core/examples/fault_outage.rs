@@ -18,6 +18,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 0,
             partition_abs: None,
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },
@@ -30,6 +31,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
                 level: 1,
                 partition_abs,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },

@@ -3,7 +3,7 @@
 //! same episode budget as the RL engine. (The paper rules out exhaustive
 //! search: the space grows exponentially in depth.)
 
-use cadmc_compress::{CompressionPlan, Technique};
+use cadmc_compress::{CompressionPlan, FeatureAction, Technique};
 use cadmc_latency::Mbps;
 use cadmc_nn::ModelSpec;
 use cadmc_telemetry as telemetry;
@@ -78,15 +78,39 @@ fn edge_len_of(base: &ModelSpec, p: Partition) -> usize {
     }
 }
 
-fn random_proposal(base: &ModelSpec, rng: &mut StdRng) -> (Partition, CompressionPlan) {
+fn random_proposal(
+    base: &ModelSpec,
+    rng: &mut StdRng,
+) -> (Partition, CompressionPlan, FeatureAction) {
     let partition = random_partition(base, rng);
     let plan = random_plan(base, edge_len_of(base, partition), rng);
-    (partition, plan)
+    (partition, plan, FeatureAction::IDENTITY)
+}
+
+/// Samples a uniformly random feature action for the cut tensor. Only
+/// called for transfer-bearing partitions, so the feature-enabled
+/// baselines draw from the RNG exactly when the RL engine would.
+pub fn random_feature(rng: &mut StdRng) -> FeatureAction {
+    FeatureAction::from_index(rng.random_range(0..FeatureAction::COUNT))
+}
+
+fn random_proposal_features(
+    base: &ModelSpec,
+    rng: &mut StdRng,
+) -> (Partition, CompressionPlan, FeatureAction) {
+    let partition = random_partition(base, rng);
+    let plan = random_plan(base, edge_len_of(base, partition), rng);
+    let feature = if edge_len_of(base, partition) < base.len() {
+        random_feature(rng)
+    } else {
+        FeatureAction::IDENTITY
+    };
+    (partition, plan, feature)
 }
 
 #[cfg(test)]
 fn random_candidate(base: &ModelSpec, rng: &mut StdRng) -> Candidate {
-    let (partition, plan) = random_proposal(base, rng);
+    let (partition, plan, _) = random_proposal(base, rng);
     Candidate::compose(base, partition, &plan).expect("random plans are applicable")
 }
 
@@ -102,7 +126,8 @@ fn run_search(
     seed: u64,
     memo: &MemoPool,
     par: Parallelism,
-    propose: impl Fn(&mut StdRng, Option<&Candidate>) -> (Partition, CompressionPlan) + Sync,
+    propose: impl Fn(&mut StdRng, Option<&Candidate>) -> (Partition, CompressionPlan, FeatureAction)
+        + Sync,
 ) -> Result<SearchOutcome, ValidateError> {
     validate::model_spec(base)?;
     validate::bandwidth(bandwidth.0)?;
@@ -129,8 +154,9 @@ fn run_search(
             let episode = batch_start + offset;
             let episode_span = telemetry::span!("baseline.episode", episode = episode);
             let mut rng = StdRng::seed_from_u64(seed ^ episode as u64);
-            let (partition, plan) = propose(&mut rng, anchor.as_ref());
-            let delta = DeltaState::from_plan(base, partition, &plan);
+            let (partition, plan, feature) = propose(&mut rng, anchor.as_ref());
+            let mut delta = DeltaState::from_plan(base, partition, &plan);
+            delta.set_feature(feature);
             let key = delta.eval_key(bandwidth.0);
             let eval = memo.get_key(key).unwrap_or_else(|| {
                 let candidate = delta
@@ -230,8 +256,74 @@ pub fn epsilon_greedy_search(
     )
 }
 
-/// One local move in the (partition × compression) space.
-fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> (Partition, CompressionPlan) {
+/// [`random_search`] over the *enlarged* action space: each proposal also
+/// draws a uniform feature-compression action for transfer-bearing cuts.
+/// Mirrors what `SearchConfig::feature_actions` does for the RL engine.
+///
+/// # Errors
+///
+/// Same as [`random_search`].
+pub fn random_search_features(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    episodes: usize,
+    seed: u64,
+    memo: &MemoPool,
+    par: Parallelism,
+) -> Result<SearchOutcome, ValidateError> {
+    run_search(base, env, bandwidth, episodes, seed, memo, par, |rng, _| {
+        random_proposal_features(base, rng)
+    })
+}
+
+/// [`epsilon_greedy_search`] over the enlarged action space: explore steps
+/// sample a uniform feature action alongside the uniform candidate, and
+/// mutations inherit the incumbent's feature.
+///
+/// # Errors
+///
+/// Same as [`epsilon_greedy_search`].
+#[allow(clippy::too_many_arguments)]
+pub fn epsilon_greedy_search_features(
+    base: &ModelSpec,
+    env: &EvalEnv,
+    bandwidth: Mbps,
+    episodes: usize,
+    epsilon: f64,
+    seed: u64,
+    memo: &MemoPool,
+    par: Parallelism,
+) -> Result<SearchOutcome, ValidateError> {
+    if !epsilon.is_finite() || !(0.0..=1.0).contains(&epsilon) {
+        return Err(ValidateError::BadConfig {
+            field: "explore_epsilon",
+            detail: format!("probability {epsilon} must be in [0, 1]"),
+        });
+    }
+    run_search(
+        base,
+        env,
+        bandwidth,
+        episodes,
+        seed,
+        memo,
+        par,
+        |rng, best| match best {
+            Some(b) if rng.random_range(0.0..1.0) >= epsilon => mutate(base, b, rng),
+            _ => random_proposal_features(base, rng),
+        },
+    )
+}
+
+/// One local move in the (partition × compression) space. The current
+/// candidate's feature action rides along unchanged (the delta layer
+/// normalizes it to identity if the move removes the transfer).
+fn mutate(
+    base: &ModelSpec,
+    current: &Candidate,
+    rng: &mut StdRng,
+) -> (Partition, CompressionPlan, FeatureAction) {
     let mut partition = current.partition;
     // Rebuild the plan from the candidate's recorded actions.
     let mut plan = CompressionPlan::identity(base.len());
@@ -270,7 +362,7 @@ fn mutate(base: &ModelSpec, current: &Candidate, rng: &mut StdRng) -> (Partition
     for i in edge_len..base.len() {
         plan.set(i, None);
     }
-    (partition, plan)
+    (partition, plan, current.feature)
 }
 
 #[cfg(test)]
@@ -322,7 +414,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let mut c = random_candidate(&base, &mut rng);
         for _ in 0..50 {
-            let (partition, plan) = mutate(&base, &c, &mut rng);
+            let (partition, plan, _) = mutate(&base, &c, &mut rng);
             c = Candidate::compose(&base, partition, &plan).expect("mutations compose");
             assert_eq!(c.model.output_shape(), base.output_shape());
         }
@@ -337,6 +429,81 @@ mod tests {
         let b = random_search(&base, &env, Mbps(5.0), 20, 7, &MemoPool::new(), Parallelism::serial())
             .expect("valid inputs");
         assert_eq!(a.episode_rewards, b.episode_rewards);
+    }
+
+    #[test]
+    fn feature_baselines_explore_the_enlarged_space() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let memo = MemoPool::new();
+        let out = random_search_features(
+            &base,
+            &env,
+            Mbps(0.5),
+            60,
+            9,
+            &memo,
+            Parallelism::serial(),
+        )
+        .expect("valid inputs");
+        assert_eq!(out.episode_rewards.len(), 60);
+        // The winner always validates under the enlarged-space rules.
+        validate::candidate(&base, &out.best).unwrap();
+        // Under starved bandwidth, some improver should have shipped a
+        // compressed cut tensor (16–32x fewer bytes dominate the reward).
+        let any_feature = out
+            .improvers
+            .iter()
+            .any(|(c, _)| !c.feature.is_identity());
+        assert!(any_feature, "no feature action ever improved the search");
+    }
+
+    #[test]
+    fn plain_baselines_never_pick_features() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let out = random_search(
+            &base,
+            &env,
+            Mbps(0.5),
+            40,
+            9,
+            &MemoPool::new(),
+            Parallelism::serial(),
+        )
+        .expect("valid inputs");
+        assert!(out.best.feature.is_identity());
+        assert!(out.improvers.iter().all(|(c, _)| c.feature.is_identity()));
+    }
+
+    #[test]
+    fn feature_search_is_deterministic_across_workers() {
+        let base = zoo::tiny_cnn();
+        let env = EvalEnv::phone();
+        let serial = epsilon_greedy_search_features(
+            &base,
+            &env,
+            Mbps(0.5),
+            30,
+            0.3,
+            13,
+            &MemoPool::new(),
+            Parallelism::serial(),
+        )
+        .expect("valid inputs");
+        let parallel = epsilon_greedy_search_features(
+            &base,
+            &env,
+            Mbps(0.5),
+            30,
+            0.3,
+            13,
+            &MemoPool::new(),
+            Parallelism::new(8),
+        )
+        .expect("valid inputs");
+        assert_eq!(serial.episode_rewards, parallel.episode_rewards);
+        assert_eq!(serial.best, parallel.best);
     }
 
     #[test]

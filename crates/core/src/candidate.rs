@@ -6,7 +6,7 @@ use std::sync::OnceLock;
 use serde::{Deserialize, Serialize};
 
 use cadmc_accuracy::AppliedAction;
-use cadmc_compress::{CompressError, CompressionPlan, Technique};
+use cadmc_compress::{CompressError, CompressionPlan, FeatureAction, Technique};
 use cadmc_nn::{LayerSpec, ModelSpec};
 
 /// Where the edge→cloud handoff happens, in *base-model* layer indices.
@@ -105,6 +105,9 @@ pub struct Candidate {
     pub partition: Partition,
     /// The compression actions, in base coordinates.
     pub actions: Vec<AppliedAction>,
+    /// Feature compression applied to the cut tensor at the handoff
+    /// (identity when the deployment has no transfer).
+    pub feature: FeatureAction,
     /// Memoized derived quantities (serialized as null, rebuilt on
     /// demand). Construct with `Default::default()`.
     #[doc(hidden)]
@@ -139,6 +142,7 @@ impl Candidate {
                 edge_layers: 0,
                 partition,
                 actions: Vec::new(),
+                feature: FeatureAction::IDENTITY,
                 cache: CandidateCache::default(),
             });
         }
@@ -195,6 +199,7 @@ impl Candidate {
             edge_layers,
             partition,
             actions,
+            feature: FeatureAction::IDENTITY,
             cache: CandidateCache::default(),
         })
     }
@@ -227,6 +232,7 @@ impl Candidate {
                 edge_layers: 0,
                 partition,
                 actions: Vec::new(),
+                feature: FeatureAction::IDENTITY,
                 cache: CandidateCache::default(),
             });
         }
@@ -259,6 +265,7 @@ impl Candidate {
             edge_layers: compressed_edge.len(),
             partition,
             actions,
+            feature: FeatureAction::IDENTITY,
             cache: CandidateCache::default(),
         })
     }
@@ -271,24 +278,77 @@ impl Candidate {
             edge_layers: base.len(),
             partition: Partition::AllEdge,
             actions: Vec::new(),
+            feature: FeatureAction::IDENTITY,
             cache: CandidateCache::default(),
         }
     }
 
-    /// Bytes transferred at the handoff (0 when everything runs on the
-    /// edge; the raw input size when everything runs on the cloud).
-    /// Memoized alongside the model's MACC/hash caches: the executor's
-    /// deadline math asks for this on every simulated request.
+    /// Returns this candidate with a feature-compression action attached
+    /// to its cut tensor. Normalizes: a deployment with no transfer
+    /// (all-edge) always carries the identity action, so feature-free
+    /// comparisons stay exact. Resets the byte memo when the action
+    /// changes.
+    #[must_use]
+    pub fn with_feature(mut self, feature: FeatureAction) -> Candidate {
+        let feature = if self.edge_layers == self.model.len() {
+            FeatureAction::IDENTITY
+        } else {
+            feature
+        };
+        if feature != self.feature {
+            self.feature = feature;
+            self.cache = CandidateCache::default();
+        }
+        self
+    }
+
+    /// Bytes of the raw (un-feature-compressed) cut tensor: 0 when
+    /// everything runs on the edge; the raw input size when everything
+    /// runs on the cloud.
+    pub fn raw_transfer_bytes(&self) -> u64 {
+        if self.edge_layers == self.model.len() {
+            0
+        } else if self.edge_layers == 0 {
+            self.model.input_bytes()
+        } else {
+            self.model.cut_bytes_after(self.edge_layers - 1)
+        }
+    }
+
+    /// Bytes transferred at the handoff, after feature compression of the
+    /// cut tensor (0 when everything runs on the edge). Memoized alongside
+    /// the model's MACC/hash caches: the executor's deadline math asks for
+    /// this on every simulated request. The feature overlay is O(1) pure
+    /// integer math on the raw byte count — no per-layer walk.
     pub fn transfer_bytes(&self) -> u64 {
-        *self.cache.transfer_bytes.get_or_init(|| {
-            if self.edge_layers == self.model.len() {
-                0
-            } else if self.edge_layers == 0 {
-                self.model.input_bytes()
-            } else {
-                self.model.cut_bytes_after(self.edge_layers - 1)
-            }
-        })
+        *self
+            .cache
+            .transfer_bytes
+            .get_or_init(|| self.feature.compressed_bytes(self.raw_transfer_bytes()))
+    }
+
+    /// Differential oracle for [`Candidate::transfer_bytes`]: derives the
+    /// byte count from first principles — counts the cut tensor's elements
+    /// from the composed model's shape chain, then materializes the
+    /// bottleneck (kept elements) and quantization (packed bits)
+    /// explicitly — instead of overlaying the memoized raw byte count.
+    /// Proptests pin both paths to exact integer equality.
+    pub fn transfer_bytes_scalar(&self) -> u64 {
+        if self.edge_layers == self.model.len() {
+            return 0;
+        }
+        let elems = if self.edge_layers == 0 {
+            self.model.input_shape().len() as u64
+        } else {
+            self.model.layer_output(self.edge_layers - 1).len() as u64
+        };
+        let raw = elems * 4; // f32 elements, as Shape::transfer_bytes defines
+        if self.feature.is_identity() {
+            return raw;
+        }
+        let kept = elems.div_ceil(self.feature.bottleneck.divisor());
+        let packed = (kept as u128 * self.feature.quant.bits() as u128).div_ceil(8);
+        packed.min(raw as u128) as u64
     }
 
     /// Whether any compression action was taken.
@@ -296,7 +356,8 @@ impl Candidate {
         !self.actions.is_empty()
     }
 
-    /// Short description like `"cut@4 | C1@2,W1@0"`.
+    /// Short description like `"cut@4 | C1@2,W1@0"` (with a trailing
+    /// `"| feat:B2Q8"` segment when the cut tensor is feature-compressed).
     pub fn summary(&self) -> String {
         let acts = if self.actions.is_empty() {
             "id".to_string()
@@ -307,7 +368,11 @@ impl Candidate {
                 .collect::<Vec<_>>()
                 .join(",")
         };
-        format!("{} | {acts}", self.partition)
+        if self.feature.is_identity() {
+            format!("{} | {acts}", self.partition)
+        } else {
+            format!("{} | {acts} | feat:{}", self.partition, self.feature)
+        }
     }
 }
 
@@ -388,5 +453,53 @@ mod tests {
         plan.set(0, Some(Technique::W1FilterPrune));
         let c = Candidate::compose(&base, Partition::AfterLayer(4), &plan).unwrap();
         assert_eq!(c.summary(), "cut@4 | W1@0");
+    }
+
+    #[test]
+    fn feature_overlay_shrinks_transfer() {
+        use cadmc_compress::{BottleneckKnob, QuantKnob};
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let c = Candidate::compose(&base, Partition::AfterLayer(1), &plan).unwrap();
+        let raw = c.transfer_bytes();
+        assert_eq!(raw, 64 * 16 * 16 * 4);
+        let f = FeatureAction {
+            bottleneck: BottleneckKnob::Quarter,
+            quant: QuantKnob::Int8,
+        };
+        let fc = c.with_feature(f);
+        assert_eq!(fc.raw_transfer_bytes(), raw);
+        assert_eq!(fc.transfer_bytes(), raw / 16);
+        assert_eq!(fc.transfer_bytes(), fc.transfer_bytes_scalar());
+        assert_eq!(fc.summary(), "cut@1 | id | feat:B4Q8");
+    }
+
+    #[test]
+    fn all_edge_normalizes_feature_to_identity() {
+        use cadmc_compress::{BottleneckKnob, QuantKnob};
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        let c = Candidate::compose(&base, Partition::AllEdge, &plan)
+            .unwrap()
+            .with_feature(FeatureAction {
+                bottleneck: BottleneckKnob::Half,
+                quant: QuantKnob::Int4,
+            });
+        assert!(c.feature.is_identity());
+        assert_eq!(c.transfer_bytes(), 0);
+        assert_eq!(c.summary(), "all-edge | id");
+    }
+
+    #[test]
+    fn scalar_walk_matches_overlay_everywhere() {
+        let base = zoo::vgg11_cifar();
+        let plan = CompressionPlan::identity(base.len());
+        for cut in 0..base.len() {
+            let c = Candidate::compose(&base, Partition::AfterLayer(cut), &plan).unwrap();
+            for f in FeatureAction::ALL {
+                let fc = c.clone().with_feature(f);
+                assert_eq!(fc.transfer_bytes(), fc.transfer_bytes_scalar(), "{}", fc.summary());
+            }
+        }
     }
 }

@@ -18,7 +18,7 @@
 //! prefix the compression controller conditions on. All prefixes are
 //! built once per search and shared read-only across rollout workers.
 
-use cadmc_compress::{CompressError, CompressionPlan, Technique};
+use cadmc_compress::{CompressError, CompressionPlan, FeatureAction, Technique};
 use cadmc_nn::ModelSpec;
 
 use crate::candidate::{Candidate, Partition};
@@ -53,6 +53,11 @@ pub struct DeltaState<'a> {
     /// `(base layer index, technique)`, strictly ascending indices, all
     /// within the edge region.
     actions: Vec<(usize, Technique)>,
+    /// Feature compression of the cut tensor. Kept out of the eager
+    /// fingerprint chain: folded lazily by [`DeltaState::fingerprint`]
+    /// only when non-identity, so feature-free deltas keep pre-feature
+    /// fingerprints bit-for-bit and fold order never matters.
+    feature: FeatureAction,
     fingerprint: u64,
 }
 
@@ -64,6 +69,7 @@ impl<'a> DeltaState<'a> {
             base,
             partition,
             actions: Vec::new(),
+            feature: FeatureAction::IDENTITY,
             fingerprint,
         }
     }
@@ -115,16 +121,38 @@ impl<'a> DeltaState<'a> {
         &self.actions
     }
 
-    /// The structural fingerprint over (base hash, partition, actions).
+    /// Records feature compression of the cut tensor. Normalized exactly
+    /// like [`Candidate::with_feature`]: a no-transfer partition
+    /// (all-edge) always stores the identity.
+    pub fn set_feature(&mut self, feature: FeatureAction) {
+        self.feature = if self.partition.edge_len(self.base.len()) == self.base.len() {
+            FeatureAction::IDENTITY
+        } else {
+            feature
+        };
+    }
+
+    /// The feature-compression decision on the cut tensor.
+    pub fn feature(&self) -> FeatureAction {
+        self.feature
+    }
+
+    /// The structural fingerprint over (base hash, partition, actions,
+    /// feature). The feature tag is folded on read and only when
+    /// non-identity, so feature-free fingerprints equal pre-feature ones.
     pub fn fingerprint(&self) -> u64 {
-        self.fingerprint
+        if self.feature.is_identity() {
+            self.fingerprint
+        } else {
+            mix(self.fingerprint, self.feature.tag())
+        }
     }
 
     /// Memo key for this decision at a bandwidth, quantized to 0.01 Mbps
     /// exactly like [`crate::memo::MemoPool::key`] so replayed levels hit
     /// the same entry.
     pub fn eval_key(&self, bandwidth_mbps: f64) -> u64 {
-        mix(self.fingerprint, (bandwidth_mbps * 100.0).round() as i64 as u64)
+        mix(self.fingerprint(), (bandwidth_mbps * 100.0).round() as i64 as u64)
     }
 
     /// Composes the decision into a full [`Candidate`] (the expensive
@@ -139,7 +167,7 @@ impl<'a> DeltaState<'a> {
         for &(layer, technique) in &self.actions {
             plan.set(layer, Some(technique));
         }
-        Candidate::compose(self.base, self.partition, &plan)
+        Ok(Candidate::compose(self.base, self.partition, &plan)?.with_feature(self.feature))
     }
 }
 
@@ -232,6 +260,35 @@ mod tests {
         assert_eq!(delta.actions().len(), 1);
         let c = delta.materialize().unwrap();
         assert_eq!(c.actions.len(), 1);
+    }
+
+    #[test]
+    fn feature_folds_lazily_into_fingerprint() {
+        use cadmc_compress::{BottleneckKnob, QuantKnob};
+        let base = zoo::vgg11_cifar();
+        let id = CompressionPlan::identity(base.len());
+        let mut d = DeltaState::from_plan(&base, Partition::AfterLayer(2), &id);
+        let plain = d.fingerprint();
+        // Identity feature: fingerprint and memo keys unchanged.
+        d.set_feature(FeatureAction::IDENTITY);
+        assert_eq!(d.fingerprint(), plain);
+        // Non-identity feature: distinct fingerprint, distinct memo key.
+        let f = FeatureAction {
+            bottleneck: BottleneckKnob::Half,
+            quant: QuantKnob::Int8,
+        };
+        d.set_feature(f);
+        assert_ne!(d.fingerprint(), plain);
+        assert_eq!(d.feature(), f);
+        let c = d.materialize().unwrap();
+        assert_eq!(c.feature, f);
+        // All-edge partitions normalize to identity (no transfer to
+        // compress), keeping the feature-free fingerprint.
+        let mut e = DeltaState::from_plan(&base, Partition::AllEdge, &id);
+        let plain_edge = e.fingerprint();
+        e.set_feature(f);
+        assert!(e.feature().is_identity());
+        assert_eq!(e.fingerprint(), plain_edge);
     }
 
     #[test]

@@ -71,15 +71,18 @@ impl EvalEnv {
         let te = self.edge.range_latency_ms_scalar(m, 0, cut);
         let tt = self
             .transfer
-            .latency_ms(candidate.transfer_bytes(), bandwidth);
+            .latency_ms(candidate.transfer_bytes_scalar(), bandwidth);
         let tc = self.cloud.range_latency_ms_scalar(m, cut, m.len());
         te + tt + tc
     }
 
-    /// Full evaluation of a candidate (accuracy from the oracle over the
-    /// candidate's recorded actions on `base`).
+    /// Full evaluation of a candidate (deployed accuracy from the oracle
+    /// over the candidate's recorded actions on `base` plus its
+    /// cut-tensor feature compression).
     pub fn evaluate(&self, base: &ModelSpec, candidate: &Candidate, bandwidth: Mbps) -> Evaluation {
-        let accuracy = self.oracle.evaluate(base, &candidate.actions);
+        let accuracy = self
+            .oracle
+            .evaluate_deployed(base, &candidate.actions, candidate.feature);
         let latency = self.latency_ms(candidate, bandwidth);
         Evaluation::new(accuracy, latency, &self.reward)
     }

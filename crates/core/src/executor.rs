@@ -884,6 +884,7 @@ mod tests {
                 level: 0,
                 partition_abs: None,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },
@@ -896,6 +897,7 @@ mod tests {
                 level: 1,
                 partition_abs: None,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },
@@ -907,6 +909,7 @@ mod tests {
                 level: 1,
                 partition_abs: Some(r1.start),
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },

@@ -87,6 +87,7 @@ fn random_tree(base: &ModelSpec, levels: &[f64], rng: &mut StdRng) -> ModelTree 
                 level,
                 partition_abs,
                 actions,
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 0.0,
             },

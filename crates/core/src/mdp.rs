@@ -20,7 +20,7 @@
 
 use std::sync::{Arc, OnceLock};
 
-use cadmc_compress::{CompressError, Technique};
+use cadmc_compress::{CompressError, FeatureAction, Technique};
 use cadmc_nn::ModelSpec;
 
 use crate::candidate::Partition;
@@ -44,6 +44,9 @@ pub struct State {
     steps: Vec<(usize, Technique)>,
     /// The partition decision, once taken.
     partition: Option<Partition>,
+    /// The feature-compression decision for the cut tensor, once taken.
+    /// Only legal after a transfer-bearing partition.
+    feature: Option<FeatureAction>,
     /// Materialized model for `steps` (set eagerly by [`transition`];
     /// shared across clones). Empty-step states read `base` directly.
     cache: Arc<OnceLock<ModelSpec>>,
@@ -51,7 +54,9 @@ pub struct State {
 
 impl PartialEq for State {
     fn eq(&self, other: &Self) -> bool {
-        self.partition == other.partition && self.model() == other.model()
+        self.partition == other.partition
+            && self.feature == other.feature
+            && self.model() == other.model()
     }
 }
 
@@ -62,6 +67,7 @@ impl State {
             base: base.into(),
             steps: Vec::new(),
             partition: None,
+            feature: None,
             cache: Arc::new(OnceLock::new()),
         }
     }
@@ -78,6 +84,11 @@ impl State {
     /// The partition decision, once taken.
     pub fn partition(&self) -> Option<Partition> {
         self.partition
+    }
+
+    /// The feature-compression decision for the cut tensor, once taken.
+    pub fn feature(&self) -> Option<FeatureAction> {
+        self.feature
     }
 
     /// The compression steps taken so far (the state's action delta).
@@ -99,10 +110,13 @@ impl State {
 
     /// The paper's string encoding of the state (Eq. 1 per layer).
     pub fn encode(&self) -> String {
-        let placement = match self.partition {
+        let mut placement = match self.partition {
             None => "unplaced".to_string(),
             Some(p) => p.to_string(),
         };
+        if let Some(f) = self.feature {
+            placement.push_str(&format!(" feat:{}", f.code()));
+        }
         format!("{} [{placement}]", self.model().encode())
     }
 
@@ -124,6 +138,10 @@ pub enum Action {
         /// The Table 2 technique to apply.
         technique: Technique,
     },
+    /// Compress the cut tensor with a bottleneck × quantization pair.
+    /// Only legal after a transfer-bearing partition (never all-edge),
+    /// and at most once per episode.
+    Feature(FeatureAction),
 }
 
 /// Errors from applying an action.
@@ -139,6 +157,11 @@ pub enum TransitionError {
         /// The offending layer.
         layer: usize,
     },
+    /// A feature action was attempted before the partition decision, or
+    /// on an all-edge placement where no cut tensor exists.
+    FeatureWithoutTransfer,
+    /// A second feature action was attempted.
+    FeatureAlreadySet,
 }
 
 impl std::fmt::Display for TransitionError {
@@ -148,6 +171,14 @@ impl std::fmt::Display for TransitionError {
             TransitionError::AlreadyPartitioned => write!(f, "state is already partitioned"),
             TransitionError::BeyondCut { layer } => {
                 write!(f, "layer {layer} lies in the cloud part and cannot be compressed")
+            }
+            TransitionError::FeatureWithoutTransfer => write!(
+                f,
+                "feature compression needs a transfer-bearing partition; the state is \
+                 unpartitioned or all-edge"
+            ),
+            TransitionError::FeatureAlreadySet => {
+                write!(f, "the cut tensor's feature action was already decided")
             }
         }
     }
@@ -180,6 +211,28 @@ pub fn transition(state: &State, action: Action) -> Result<State, TransitionErro
                 base: Arc::clone(&state.base),
                 steps: state.steps.clone(),
                 partition: Some(p),
+                feature: state.feature,
+                cache: Arc::clone(&state.cache),
+            })
+        }
+        Action::Feature(f) => {
+            let transfers = match state.partition {
+                None | Some(Partition::AllEdge) => false,
+                Some(Partition::AllCloud) | Some(Partition::AfterLayer(_)) => true,
+            };
+            if !transfers {
+                return Err(TransitionError::FeatureWithoutTransfer);
+            }
+            if state.feature.is_some() {
+                return Err(TransitionError::FeatureAlreadySet);
+            }
+            // O(1): the cut-tensor overlay touches no layer, so every Arc
+            // is shared with the parent.
+            Ok(State {
+                base: Arc::clone(&state.base),
+                steps: state.steps.clone(),
+                partition: state.partition,
+                feature: Some(f),
                 cache: Arc::clone(&state.cache),
             })
         }
@@ -204,6 +257,7 @@ pub fn transition(state: &State, action: Action) -> Result<State, TransitionErro
                 base: Arc::clone(&state.base),
                 steps,
                 partition: state.partition,
+                feature: state.feature,
                 cache: Arc::new(OnceLock::from(model)),
             })
         }
@@ -229,6 +283,20 @@ pub fn valid_actions(state: &State) -> Vec<Action> {
         for technique in Technique::applicable_at(model, layer) {
             out.push(Action::Compress { layer, technique });
         }
+    }
+    // The cut-tensor knobs: available exactly once, after a
+    // transfer-bearing partition (identity is the default, not an action).
+    let transfers = matches!(
+        state.partition,
+        Some(Partition::AllCloud) | Some(Partition::AfterLayer(_))
+    );
+    if transfers && state.feature.is_none() {
+        out.extend(
+            FeatureAction::ALL
+                .iter()
+                .filter(|f| !f.is_identity())
+                .map(|&f| Action::Feature(f)),
+        );
     }
     out
 }
@@ -280,13 +348,54 @@ mod tests {
         let s2 = transition(&s, Action::Partition(Partition::AfterLayer(2))).unwrap();
         let after = valid_actions(&s2).len();
         assert!(after < before);
-        // All remaining actions are edge-side compressions.
+        // All remaining actions are edge-side compressions or cut-tensor
+        // feature knobs.
         for a in valid_actions(&s2) {
             match a {
                 Action::Compress { layer, .. } => assert!(layer <= 2),
+                Action::Feature(f) => assert!(!f.is_identity()),
                 Action::Partition(_) => panic!("partition already taken"),
             }
         }
+    }
+
+    #[test]
+    fn feature_requires_transfer_and_is_single_shot() {
+        let s = State::initial(zoo::vgg11_cifar());
+        let feat = Action::Feature(FeatureAction::from_index(4));
+        // Before any partition: no cut tensor exists yet.
+        assert_eq!(
+            transition(&s, feat),
+            Err(TransitionError::FeatureWithoutTransfer)
+        );
+        // All-edge: still no transfer.
+        let edge = transition(&s, Action::Partition(Partition::AllEdge)).unwrap();
+        assert_eq!(
+            transition(&edge, feat),
+            Err(TransitionError::FeatureWithoutTransfer)
+        );
+        assert!(valid_actions(&edge)
+            .iter()
+            .all(|a| !matches!(a, Action::Feature(_))));
+        // A transfer-bearing cut accepts exactly one feature decision.
+        let cut = transition(&s, Action::Partition(Partition::AfterLayer(1))).unwrap();
+        let n_feature = valid_actions(&cut)
+            .iter()
+            .filter(|a| matches!(a, Action::Feature(_)))
+            .count();
+        assert_eq!(n_feature, FeatureAction::COUNT - 1);
+        let decided = transition(&cut, feat).unwrap();
+        assert_eq!(decided.feature(), Some(FeatureAction::from_index(4)));
+        assert_eq!(
+            transition(&decided, feat),
+            Err(TransitionError::FeatureAlreadySet)
+        );
+        assert!(valid_actions(&decided)
+            .iter()
+            .all(|a| !matches!(a, Action::Feature(_))));
+        // The overlay shares the model allocation (O(1) transition).
+        assert!(std::ptr::eq(cut.model(), decided.model()));
+        assert!(decided.encode().contains("feat:"));
     }
 
     #[test]

@@ -194,6 +194,7 @@ mod tests {
                 level: 1,
                 partition_abs: None,
                 actions: Vec::new(),
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 0.0,
             },

@@ -14,7 +14,7 @@ use cadmc_netsim::{BandwidthTrace, FaultProcessConfig, FaultSchedule};
 use cadmc_nn::zoo;
 use cadmc_telemetry as telemetry;
 
-use crate::baselines::{random_partition, random_plan};
+use crate::baselines::{random_feature, random_partition, random_plan};
 use crate::candidate::{Candidate, Partition};
 use crate::env::EvalEnv;
 use crate::executor::{execute, ExecConfig, Mode, Policy, RequestOutcome};
@@ -52,12 +52,19 @@ fn random_tree(seed: u64, n_blocks: usize, k: usize) -> ModelTree {
                 }
             }
         }
+        // Transfer-bearing cut nodes may carry a random feature action,
+        // exercising the cut-tensor overlay through the whole tree algebra.
+        let feature = match partition_abs {
+            Some(abs) if abs < base.len() => random_feature(&mut rng),
+            _ => cadmc_compress::FeatureAction::IDENTITY,
+        };
         let id = tree.push_node(
             parent,
             TreeNode {
                 level,
                 partition_abs,
                 actions,
+                feature,
                 children: Vec::new(),
                 reward: 0.0,
             },
@@ -271,7 +278,9 @@ proptest! {
         let partition = random_partition(&base, &mut rng);
         let edge_len = partition.edge_len(base.len());
         let plan = random_plan(&base, edge_len, &mut rng);
-        let c = Candidate::compose(&base, partition, &plan).expect("random plan composes");
+        let c = Candidate::compose(&base, partition, &plan)
+            .expect("random plan composes")
+            .with_feature(random_feature(&mut rng));
         let kernel = env.latency_ms(&c, Mbps(bw));
         let scalar = env.latency_ms_scalar(&c, Mbps(bw));
         prop_assert_eq!(
@@ -281,6 +290,37 @@ proptest! {
             kernel,
             scalar
         );
+    }
+
+    /// The cut-tensor overlay never *increases* transfer bytes, agrees
+    /// with the explicit per-layer scalar walk exactly, and evaluation
+    /// with any feature action never panics and stays bounded.
+    #[test]
+    fn feature_overlay_shrinks_and_matches_scalar(
+        seed in 0u64..500,
+        bw in 0.05f64..500.0,
+        feat_idx in 0usize..9,
+    ) {
+        let base = match seed % 3 {
+            0 => zoo::vgg11_cifar(),
+            1 => zoo::alexnet_cifar(),
+            _ => zoo::tiny_cnn(),
+        };
+        let env = EvalEnv::phone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfea7);
+        let partition = random_partition(&base, &mut rng);
+        let edge_len = partition.edge_len(base.len());
+        let plan = random_plan(&base, edge_len, &mut rng);
+        let feature = cadmc_compress::FeatureAction::from_index(feat_idx);
+        let plainc = Candidate::compose(&base, partition, &plan).expect("random plan composes");
+        let raw = plainc.transfer_bytes();
+        let c = plainc.with_feature(feature);
+        prop_assert!(c.transfer_bytes() <= raw, "feature inflated the cut tensor");
+        prop_assert_eq!(c.transfer_bytes(), c.transfer_bytes_scalar());
+        let e = env.evaluate(&base, &c, Mbps(bw));
+        prop_assert!((0.0..=400.0).contains(&e.reward));
+        prop_assert!(e.latency_ms > 0.0 && e.latency_ms.is_finite());
+        prop_assert!((0.5..=1.0).contains(&e.accuracy));
     }
 
     /// The fused single-splice compose fast path is indistinguishable

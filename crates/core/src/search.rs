@@ -6,7 +6,7 @@ use cadmc_nn::ModelSpec;
 
 use crate::candidate::Partition;
 use crate::controller::{
-    CompressionController, PartitionAction, PartitionController, Reinforce,
+    CompressionController, FeatureController, PartitionAction, PartitionController, Reinforce,
 };
 
 /// Hyper-parameters shared by the branch and tree searches.
@@ -50,6 +50,12 @@ pub struct SearchConfig {
     /// Rollout worker pool. Purely a scheduling knob: any value produces
     /// bit-identical results (see [`crate::parallel`]).
     pub parallelism: crate::parallel::Parallelism,
+    /// Enables the third action family: feature compression (bottleneck ×
+    /// quantization) of the cut tensor, searched jointly with partition
+    /// and layer compression. Off by default — when disabled, no feature
+    /// parameters register, no extra RNG draws happen, and every search
+    /// output is bit-identical to the pre-feature engine.
+    pub feature_actions: bool,
 }
 
 impl Default for SearchConfig {
@@ -66,6 +72,7 @@ impl Default for SearchConfig {
             entropy_beta: 0.0,
             rollout_batch: 8,
             parallelism: crate::parallel::Parallelism::serial(),
+            feature_actions: false,
         }
     }
 }
@@ -103,6 +110,10 @@ pub struct Controllers {
     pub partition: PartitionController,
     /// The compression policy π_c.
     pub compression: CompressionController,
+    /// The feature-compression policy π_f over the cut tensor. `None`
+    /// unless [`SearchConfig::feature_actions`] is set — registered last
+    /// so enabling it never renumbers the other controllers' parameters.
+    pub feature: Option<FeatureController>,
     /// Monte-Carlo policy-gradient trainer.
     pub trainer: Reinforce,
 }
@@ -114,11 +125,15 @@ impl Controllers {
         let partition = PartitionController::new(&mut params, "partition", cfg.hidden, cfg.seed);
         let compression =
             CompressionController::new(&mut params, "compression", cfg.hidden, cfg.seed ^ 0x77);
+        let feature = cfg
+            .feature_actions
+            .then(|| FeatureController::new(&mut params, "feature", cfg.seed ^ 0xfea7));
         let trainer = Reinforce::new(cfg.lr, 400.0).with_entropy(cfg.entropy_beta);
         Self {
             params,
             partition,
             compression,
+            feature,
             trainer,
         }
     }
@@ -185,5 +200,20 @@ mod tests {
     fn controllers_share_one_param_set() {
         let c = Controllers::new(&SearchConfig::quick(1));
         assert!(c.params.len() > 8, "both controllers registered params");
+    }
+
+    #[test]
+    fn feature_controller_is_gated_and_additive() {
+        let plain = Controllers::new(&SearchConfig::quick(1));
+        assert!(plain.feature.is_none());
+        let cfg = SearchConfig {
+            feature_actions: true,
+            ..SearchConfig::quick(1)
+        };
+        let with_feature = Controllers::new(&cfg);
+        assert!(with_feature.feature.is_some());
+        // Registered after the other controllers: strictly more params,
+        // none renamed/renumbered.
+        assert_eq!(with_feature.params.len(), plain.params.len() + 2);
     }
 }

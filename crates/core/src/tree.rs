@@ -15,7 +15,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use cadmc_accuracy::AppliedAction;
-use cadmc_compress::CompressionPlan;
+use cadmc_compress::{CompressionPlan, FeatureAction};
 use cadmc_nn::ModelSpec;
 use cadmc_telemetry as telemetry;
 
@@ -44,6 +44,10 @@ pub struct TreeNode {
     pub partition_abs: Option<usize>,
     /// Compression actions taken in this block (absolute base indices).
     pub actions: Vec<AppliedAction>,
+    /// Feature compression applied to the cut tensor when this node
+    /// partitions. Identity (and only legally identity) on
+    /// non-partitioned nodes — validated by [`crate::validate::model_tree`].
+    pub feature: FeatureAction,
     /// Children node ids, one per bandwidth type (empty for leaves and
     /// partitioned nodes).
     pub children: Vec<usize>,
@@ -213,6 +217,7 @@ impl ModelTree {
         let mut partition = Partition::AllEdge;
         let mut plan = CompressionPlan::identity(self.base.len());
         let mut cut: Option<usize> = None;
+        let mut feature = FeatureAction::IDENTITY;
         for &id in path {
             let node = &self.nodes[id];
             for a in &node.actions {
@@ -220,6 +225,9 @@ impl ModelTree {
             }
             if let Some(abs) = node.partition_abs {
                 cut = Some(abs);
+                // The cut node owns the handoff, so it owns the feature
+                // compression of the tensor crossing it.
+                feature = node.feature;
                 break;
             }
         }
@@ -240,6 +248,7 @@ impl ModelTree {
         let plan = plan.sanitized(&self.base);
         Candidate::compose(&self.base, partition, &plan)
             .expect("sanitized plans always compose")
+            .with_feature(feature)
     }
 
     /// Degradation fallbacks for a failed Alg. 2 walk: alternative
@@ -430,6 +439,7 @@ mod tests {
                     layer_index: r0.start,
                     technique: Technique::W1FilterPrune,
                 }],
+                feature: FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 0.0,
             },
@@ -440,6 +450,7 @@ mod tests {
                 level: 1,
                 partition_abs: None,
                 actions: vec![],
+                feature: FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 0.0,
             },
@@ -451,6 +462,7 @@ mod tests {
                 level: 1,
                 partition_abs: Some(r1.start),
                 actions: vec![],
+                feature: FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 340.0,
             },
@@ -462,6 +474,12 @@ mod tests {
                 level: 2,
                 partition_abs: Some(r2.start + 1),
                 actions: vec![],
+                // The cut node carries the feature compression of its
+                // handoff tensor — exercised by compose/serde tests.
+                feature: FeatureAction {
+                    bottleneck: cadmc_compress::BottleneckKnob::Half,
+                    quant: cadmc_compress::QuantKnob::Int8,
+                },
                 children: Vec::new(),
                 reward: 350.0,
             },
@@ -475,6 +493,7 @@ mod tests {
                     layer_index: r2.start,
                     technique: Technique::C1MobileNet,
                 }],
+                feature: FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 345.0,
             },
@@ -511,6 +530,16 @@ mod tests {
             .actions
             .iter()
             .any(|a| a.technique == Technique::W1FilterPrune));
+        // The poor-bandwidth walk lands on C1, whose cut carries a
+        // half-bottleneck int8 feature action: the composed candidate
+        // must ship 8× fewer bytes than the raw cut tensor (2× from the
+        // bottleneck × 4× from int8, aligned shapes).
+        assert_eq!(cand.feature.code(), "B2Q8");
+        assert_eq!(cand.transfer_bytes() * 8, cand.raw_transfer_bytes());
+        // The good-bandwidth walk lands on B2 (identity feature).
+        let (_, cand2) = tree.compose(|_| 50.0);
+        assert!(cand2.feature.is_identity());
+        assert_eq!(cand2.transfer_bytes(), cand2.raw_transfer_bytes());
     }
 
     #[test]

@@ -18,6 +18,7 @@
 use std::sync::Arc;
 
 use cadmc_accuracy::AppliedAction;
+use cadmc_compress::FeatureAction;
 use cadmc_latency::Mbps;
 use cadmc_netsim::BandwidthTrace;
 use cadmc_nn::ModelSpec;
@@ -265,9 +266,12 @@ impl BlockSlices {
 /// composition drops at-or-beyond-cut actions the same way.
 fn path_delta<'a>(tree: &'a ModelTree, path: &[usize]) -> DeltaState<'a> {
     let mut cut: Option<usize> = None;
+    let mut feature = FeatureAction::IDENTITY;
     for &id in path {
-        if let Some(abs) = tree.nodes()[id].partition_abs {
+        let node = &tree.nodes()[id];
+        if let Some(abs) = node.partition_abs {
             cut = Some(abs);
+            feature = node.feature;
             break;
         }
     }
@@ -278,6 +282,7 @@ fn path_delta<'a>(tree: &'a ModelTree, path: &[usize]) -> DeltaState<'a> {
         None => Partition::AllEdge,
     };
     let mut delta = DeltaState::new(base, partition);
+    delta.set_feature(feature);
     let edge_len = partition.edge_len(base.len());
     for &id in path {
         let node = &tree.nodes()[id];
@@ -411,10 +416,39 @@ fn generate_tree(
                 }
             }
         }
+        // The feature policy decides once per cut node: which bottleneck ×
+        // quantization pair to apply to the cut tensor. Only cuts that
+        // actually transfer bytes consult it, so the disabled path (and
+        // every non-partitioned node) draws nothing from the RNG.
+        let feature = match (&controllers.feature, partition_abs) {
+            (Some(fc), Some(abs)) if abs < base.len() => {
+                let raw_bytes = if abs == 0 {
+                    base.input_bytes()
+                } else {
+                    base.cut_bytes_after(abs - 1)
+                };
+                let f = fc.sample(
+                    &mut tape,
+                    &controllers.params,
+                    bw,
+                    abs,
+                    base.len(),
+                    raw_bytes,
+                    rng,
+                );
+                if !f.is_identity() {
+                    telemetry::event!("compress.feature", action = f.code(), raw_bytes = raw_bytes,);
+                    telemetry::counter!("compress.feature.picks", 1);
+                }
+                f
+            }
+            _ => FeatureAction::IDENTITY,
+        };
         let node = TreeNode {
             level,
             partition_abs,
             actions,
+            feature,
             children: Vec::new(),
             reward: 0.0,
         };
@@ -489,6 +523,13 @@ pub fn rigid_tree(
             level,
             partition_abs: node_cut,
             actions,
+            // The node owning the cut carries the candidate's feature
+            // action; everywhere else it is structurally identity.
+            feature: if node_cut.is_some() {
+                cand.feature
+            } else {
+                FeatureAction::IDENTITY
+            },
             children: Vec::new(),
             reward: 0.0,
         }
@@ -575,6 +616,11 @@ fn boost_tree(
             level: 0,
             partition_abs: root_cut,
             actions: root_actions,
+            feature: if root_cut.is_some() {
+                root_src.feature
+            } else {
+                FeatureAction::IDENTITY
+            },
             children: Vec::new(),
             reward: 0.0,
         },
@@ -617,6 +663,11 @@ fn boost_tree(
                     level,
                     partition_abs: node_cut,
                     actions,
+                    feature: if node_cut.is_some() {
+                        cand.feature
+                    } else {
+                        FeatureAction::IDENTITY
+                    },
                     children: Vec::new(),
                     reward: 0.0,
                 },
@@ -656,6 +707,7 @@ fn complete_tree(tree: &mut ModelTree, env: &EvalEnv, memo: &MemoPool) {
                         level,
                         partition_abs: None,
                         actions: Vec::new(),
+                        feature: FeatureAction::IDENTITY,
                         children: Vec::new(),
                         reward: 0.0,
                     },

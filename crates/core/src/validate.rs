@@ -197,6 +197,22 @@ pub enum ValidateError {
         /// Mismatch description.
         detail: String,
     },
+    /// A candidate records a non-identity feature-compression action but
+    /// its partition transfers no bytes (all-edge deployment), so there is
+    /// no cut tensor to compress.
+    FeatureWithoutTransfer {
+        /// Display code of the offending feature action (e.g. `"B2Q8"`).
+        feature: String,
+    },
+    /// A tree node carries a non-identity feature action without owning a
+    /// transfer-bearing partition; the feature knob is only meaningful on
+    /// the node that cuts the model.
+    FeatureOnUnpartitionedNode {
+        /// Offending node id.
+        node: usize,
+        /// Display code of the offending feature action.
+        feature: String,
+    },
 }
 
 impl std::fmt::Display for ValidateError {
@@ -286,6 +302,17 @@ impl std::fmt::Display for ValidateError {
             ValidateError::BranchComposeMismatch { branch, detail } => {
                 write!(f, "branch {branch} does not compose a valid deployment: {detail}")
             }
+            ValidateError::FeatureWithoutTransfer { feature } => write!(
+                f,
+                "feature action {feature} is set on an all-edge deployment; feature \
+                 compression applies to the cut tensor, which only exists when the \
+                 partition transfers bytes"
+            ),
+            ValidateError::FeatureOnUnpartitionedNode { node, feature } => write!(
+                f,
+                "node {node} carries feature action {feature} but does not own a \
+                 transfer-bearing partition; only the cut node may compress the cut tensor"
+            ),
         }
     }
 }
@@ -499,6 +526,11 @@ pub fn candidate(base: &ModelSpec, cand: &Candidate) -> Result<(), ValidateError
             i + 1
         }
     };
+    if !cand.feature.is_identity() && edge_len == base.len() {
+        return Err(ValidateError::FeatureWithoutTransfer {
+            feature: cand.feature.code(),
+        });
+    }
     let mut plan = CompressionPlan::identity(base.len());
     for a in &cand.actions {
         if a.layer_index >= edge_len {
@@ -647,6 +679,18 @@ pub fn model_tree(tree: &ModelTree) -> Result<(), ValidateError> {
             return Err(ValidateError::NonFiniteReward {
                 node: id,
                 value: node.reward,
+            });
+        }
+        // The feature knob compresses the cut tensor, so only the node
+        // that owns a transfer-bearing cut may carry a non-identity one.
+        if !node.feature.is_identity()
+            && !node
+                .partition_abs
+                .is_some_and(|abs| abs < tree.base().len())
+        {
+            return Err(ValidateError::FeatureOnUnpartitionedNode {
+                node: id,
+                feature: node.feature.code(),
             });
         }
         if node.children.is_empty()
@@ -805,6 +849,7 @@ mod tests {
                 level: 0,
                 partition_abs: None,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 1.0,
             },
@@ -816,6 +861,7 @@ mod tests {
                     level: 1,
                     partition_abs: None,
                     actions: vec![],
+                    feature: cadmc_compress::FeatureAction::IDENTITY,
                     children: vec![],
                     reward: 1.0,
                 },
@@ -845,6 +891,7 @@ mod tests {
                 level: 0,
                 partition_abs: None,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },
@@ -855,6 +902,7 @@ mod tests {
                 level: 1,
                 partition_abs: None,
                 actions: vec![],
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: vec![],
                 reward: 0.0,
             },
@@ -897,6 +945,48 @@ mod tests {
         assert!(matches!(
             model_tree(&tree),
             Err(ValidateError::ActionOutsideBlock { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn feature_without_transfer_is_rejected() {
+        use cadmc_compress::{BottleneckKnob, FeatureAction, QuantKnob};
+        let base = zoo::tiny_cnn();
+        let feat = FeatureAction {
+            bottleneck: BottleneckKnob::Half,
+            quant: QuantKnob::Int8,
+        };
+        // `with_feature` normalizes all-edge to identity, so forge the
+        // illegal state directly — exactly what a corrupted artifact would
+        // deserialize into.
+        let mut c = Candidate::base_all_edge(&base);
+        c.feature = feat;
+        assert!(matches!(
+            candidate(&base, &c),
+            Err(ValidateError::FeatureWithoutTransfer { .. })
+        ));
+        // The same action on a transfer-bearing cut is legal.
+        let cut = Candidate::compose(
+            &base,
+            Partition::AfterLayer(0),
+            &CompressionPlan::identity(base.len()),
+        )
+        .unwrap()
+        .with_feature(feat);
+        candidate(&base, &cut).unwrap();
+    }
+
+    #[test]
+    fn feature_on_unpartitioned_node_is_rejected() {
+        use cadmc_compress::{BottleneckKnob, FeatureAction, QuantKnob};
+        let mut tree = valid_tree();
+        tree.node_mut(1).feature = FeatureAction {
+            bottleneck: BottleneckKnob::Quarter,
+            quant: QuantKnob::Int4,
+        };
+        assert!(matches!(
+            model_tree(&tree),
+            Err(ValidateError::FeatureOnUnpartitionedNode { node: 1, .. })
         ));
     }
 

@@ -45,6 +45,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 0,
             partition_abs: None,
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },
@@ -56,6 +57,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 1,
             partition_abs: None,
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },
@@ -66,6 +68,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 1,
             partition_abs: Some(r1.start),
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },

@@ -102,6 +102,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 0,
             partition_abs: None,
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },
@@ -113,6 +114,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 1,
             partition_abs: None,
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },
@@ -123,6 +125,7 @@ fn two_fork_tree(base: &ModelSpec) -> ModelTree {
             level: 1,
             partition_abs: Some(r1.start),
             actions: vec![],
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             children: vec![],
             reward: 0.0,
         },

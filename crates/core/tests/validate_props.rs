@@ -58,6 +58,7 @@ fn random_tree(seed: u64, n_blocks: usize, k: usize) -> ModelTree {
                 level,
                 partition_abs,
                 actions,
+                feature: cadmc_compress::FeatureAction::IDENTITY,
                 children: Vec::new(),
                 reward: 0.0,
             },
@@ -165,6 +166,7 @@ proptest! {
             partition: Partition::AfterLayer(base.len() + extra),
             edge_layers: base.len(),
             actions: Vec::new(),
+            feature: cadmc_compress::FeatureAction::IDENTITY,
             cache: Default::default(),
         };
         match validate::candidate(&base, &cand) {

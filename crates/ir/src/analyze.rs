@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 
+use cadmc_compress::{BottleneckKnob, FeatureAction, QuantKnob};
 use cadmc_core::validate;
 use cadmc_nn::{LayerSpec, ModelSpec, Shape};
 
@@ -42,6 +43,8 @@ pub struct CheckedModel {
     ir_hash: u64,
     blocks: Option<usize>,
     levels: Option<Vec<f64>>,
+    bottleneck: Option<u32>,
+    quant: Option<u32>,
 }
 
 impl CheckedModel {
@@ -71,6 +74,33 @@ impl CheckedModel {
         self.levels.as_deref()
     }
 
+    /// `@bottleneck(divisor)` annotation, if present (2 or 4).
+    pub fn bottleneck_divisor(&self) -> Option<u32> {
+        self.bottleneck
+    }
+
+    /// `@quant(bits)` annotation, if present (8 or 4).
+    pub fn quant_bits(&self) -> Option<u32> {
+        self.quant
+    }
+
+    /// The feature-compression action the annotations pin for the cut
+    /// tensor; [`FeatureAction::IDENTITY`] when neither is declared.
+    pub fn feature(&self) -> FeatureAction {
+        FeatureAction {
+            bottleneck: match self.bottleneck {
+                Some(2) => BottleneckKnob::Half,
+                Some(4) => BottleneckKnob::Quarter,
+                _ => BottleneckKnob::Off,
+            },
+            quant: match self.quant {
+                Some(8) => QuantKnob::Int8,
+                Some(4) => QuantKnob::Int4,
+                _ => QuantKnob::F32,
+            },
+        }
+    }
+
     /// Wraps an already-trusted spec (e.g. straight from the zoo
     /// builders) without re-running analysis; used to compare the
     /// IR-checked and direct-builder search paths.
@@ -81,6 +111,8 @@ impl CheckedModel {
             ir_hash,
             blocks: None,
             levels: None,
+            bottleneck: None,
+            quant: None,
         }
     }
 }
@@ -208,6 +240,47 @@ impl<'a> Analyzer<'a> {
             return None;
         }
         self.lint_dead_branches(&chain);
+        // Feature-compression knob legality (IR207): the search engine
+        // only knows the knob ladder {2, 4} x {8, 4}; anything else
+        // would silently change the transfer-byte math.
+        let bottleneck = match self.ast.bottleneck {
+            Some((2, _)) => Some(2u32),
+            Some((4, _)) => Some(4u32),
+            Some((d, span)) => {
+                self.error(
+                    Code::BadFeature,
+                    span,
+                    format!(
+                        "`@bottleneck({d})` is not a legal channel divisor; expected 2 or 4"
+                    ),
+                );
+                None
+            }
+            None => None,
+        };
+        let quant = match self.ast.quant {
+            Some((8, _)) => Some(8u32),
+            Some((4, _)) => Some(4u32),
+            Some((b, span)) => {
+                self.error(
+                    Code::BadFeature,
+                    span,
+                    format!("`@quant({b})` is not a legal transfer bit width; expected 8 or 4"),
+                );
+                None
+            }
+            None => None,
+        };
+        if (bottleneck.is_some() || quant.is_some())
+            && !self.feature_bytes_mirror(
+                in128,
+                &chain,
+                bottleneck.unwrap_or(1) as u128,
+                quant.unwrap_or(32) as u128,
+            )
+        {
+            return None;
+        }
         if self.has_errors() {
             return None;
         }
@@ -245,12 +318,14 @@ impl<'a> Analyzer<'a> {
             },
             None => None,
         };
-        let ir_hash = emit::ir_hash(&spec, blocks, levels.as_deref());
+        let ir_hash = emit::ir_hash_full(&spec, blocks, levels.as_deref(), bottleneck, quant);
         Some(CheckedModel {
             spec,
             ir_hash,
             blocks,
             levels,
+            bottleneck,
+            quant,
         })
     }
 
@@ -787,6 +862,49 @@ impl<'a> Analyzer<'a> {
                 }
             }
             shape = out;
+        }
+        true
+    }
+
+    /// Checked u128 mirror of the feature-compression byte math
+    /// (`cadmc_compress::FeatureAction::compressed_bytes`) over every
+    /// legal cut tensor: the input plus each layer output. Accepting a
+    /// model here proves the native u64 feature arithmetic — raw bytes,
+    /// kept elements under the bottleneck divisor, packed bits under the
+    /// quantization width — cannot overflow on any cut the search may
+    /// pick. Returns false when an IR303 was raised.
+    fn feature_bytes_mirror(
+        &mut self,
+        input: Shape128,
+        chain: &[(LayerSpec, Span)],
+        divisor: u128,
+        bits: u128,
+    ) -> bool {
+        let mut shape = input;
+        let mut span = self.ast.name_span;
+        for i in 0..=chain.len() {
+            let checked = (|| -> Result<(), InferErr> {
+                let elems = shape.len().ok_or_else(overflow_cost)?;
+                let raw = cmul(elems, 4)?;
+                let kept = elems.div_ceil(divisor);
+                let packed = cmul(kept, bits)?.div_ceil(8);
+                if raw > MAX_COST || packed > MAX_COST {
+                    return Err(overflow_cost());
+                }
+                Ok(())
+            })();
+            if let Err(e) = checked {
+                self.infer_err(e, span);
+                return false;
+            }
+            if let Some((layer, lspan)) = chain.get(i) {
+                span = *lspan;
+                shape = match infer(layer, shape) {
+                    Ok(s) => s,
+                    // The main dataflow pass already diagnosed this.
+                    Err(_) => return true,
+                };
+            }
         }
         true
     }
@@ -1353,6 +1471,42 @@ mod tests {
         );
         assert!(codes(&a).contains(&Code::DeadBranch));
         assert!(a.model.is_some());
+    }
+
+    #[test]
+    fn feature_annotations_flow_and_gate() {
+        let body = "{\n  input (3, 8, 8)\n\
+                    layer c = conv(k=3, s=1, p=1, out=4) @class(1)\n\
+                    layer g = gap\n}";
+        let a = check(&format!("model M @bottleneck(2) @quant(8) {body}"));
+        assert!(a.diagnostics.is_empty(), "got {:?}", a.diagnostics);
+        let m = a.model.expect("model");
+        assert_eq!(m.bottleneck_divisor(), Some(2));
+        assert_eq!(m.quant_bits(), Some(8));
+        assert_eq!(m.feature().code(), "B2Q8");
+        // Each knob alone composes with identity on the other axis.
+        let b = check(&format!("model M @quant(4) {body}"))
+            .model
+            .expect("model");
+        assert_eq!(b.bottleneck_divisor(), None);
+        assert_eq!(b.feature().code(), "B1Q4");
+        // The knobs are part of the hashed surface.
+        let plain = check(&format!("model M {body}")).model.expect("model");
+        assert_ne!(m.ir_hash(), plain.ir_hash());
+        assert_ne!(m.ir_hash(), b.ir_hash());
+        // Unannotated models pin the identity action.
+        assert!(plain.feature().is_identity());
+        // Illegal knob values: IR207, no model.
+        for bad in [
+            "model M @bottleneck(3)",
+            "model M @bottleneck(0)",
+            "model M @quant(16)",
+            "model M @quant(0)",
+        ] {
+            let a = check(&format!("{bad} {body}"));
+            assert!(codes(&a).contains(&Code::BadFeature), "source: {bad}");
+            assert!(a.model.is_none(), "source: {bad}");
+        }
     }
 
     #[test]

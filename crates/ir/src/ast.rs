@@ -168,6 +168,10 @@ pub struct ModelAst {
     pub blocks: Option<(u64, Span)>,
     /// Optional `@levels(b0, b1, ...)` annotation.
     pub levels: Option<(Vec<f64>, Span)>,
+    /// Optional `@bottleneck(divisor)` feature-compression annotation.
+    pub bottleneck: Option<(u64, Span)>,
+    /// Optional `@quant(bits)` feature-compression annotation.
+    pub quant: Option<(u64, Span)>,
     /// Named dimension constants, in declaration order.
     pub dims: Vec<DimDecl>,
     /// Input declarations (the analyzer requires exactly one).

@@ -89,6 +89,7 @@ pub enum Code {
     SkipShapeMismatch, // IR204
     CoreValidation,    // IR205
     BadLevels,         // IR206
+    BadFeature,        // IR207
     // IR3xx — lints
     UnreachableLayer,  // IR301
     DeadBranch,        // IR302
@@ -98,7 +99,7 @@ pub enum Code {
 }
 
 /// Every code, in catalog order (used by the golden-corpus coverage test).
-pub const ALL_CODES: [Code; 23] = [
+pub const ALL_CODES: [Code; 24] = [
     Code::InvalidChar,
     Code::UnexpectedToken,
     Code::UnexpectedEof,
@@ -117,6 +118,7 @@ pub const ALL_CODES: [Code; 23] = [
     Code::SkipShapeMismatch,
     Code::CoreValidation,
     Code::BadLevels,
+    Code::BadFeature,
     Code::UnreachableLayer,
     Code::DeadBranch,
     Code::CostOverflow,
@@ -146,6 +148,7 @@ impl Code {
             Code::SkipShapeMismatch => "IR204",
             Code::CoreValidation => "IR205",
             Code::BadLevels => "IR206",
+            Code::BadFeature => "IR207",
             Code::UnreachableLayer => "IR301",
             Code::DeadBranch => "IR302",
             Code::CostOverflow => "IR303",
@@ -175,6 +178,7 @@ impl Code {
             Code::SkipShapeMismatch => "skip join shapes disagree and no projection fixes them",
             Code::CoreValidation => "checked graph rejected by the core validator",
             Code::BadLevels => "bandwidth levels annotation is not a valid ladder",
+            Code::BadFeature => "feature-compression annotation outside the legal knob set",
             Code::UnreachableLayer => "layer is not reachable from the chain head",
             Code::DeadBranch => "residual body performs no computation",
             Code::CostOverflow => "MACC/transfer-byte computation overflows 64 bits",

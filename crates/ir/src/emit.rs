@@ -22,9 +22,23 @@ pub fn emit_model(spec: &ModelSpec) -> String {
     emit_with(spec, None, None)
 }
 
-/// Emits a model with optional `@blocks` / `@levels` annotations — the
-/// full checked surface, and the exact byte stream the IR hash covers.
+/// Emits a model with optional `@blocks` / `@levels` annotations.
 pub fn emit_with(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>) -> String {
+    emit_full(spec, blocks, levels, None, None)
+}
+
+/// Emits a model with every scheduling annotation — `@blocks`,
+/// `@levels`, and the feature-compression knobs `@bottleneck(divisor)` /
+/// `@quant(bits)` — the full checked surface, and the exact byte stream
+/// the IR hash covers. Canonical annotation order is fixed so re-parsing
+/// and re-emitting is byte-identical.
+pub fn emit_full(
+    spec: &ModelSpec,
+    blocks: Option<usize>,
+    levels: Option<&[f64]>,
+    bottleneck: Option<u32>,
+    quant: Option<u32>,
+) -> String {
     let mut out = String::new();
     out.push_str("model ");
     out.push_str(&emit_name(spec.name()));
@@ -34,6 +48,12 @@ pub fn emit_with(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>
     if let Some(ls) = levels {
         let parts: Vec<String> = ls.iter().map(|l| format!("{l}")).collect();
         out.push_str(&format!(" @levels({})", parts.join(", ")));
+    }
+    if let Some(d) = bottleneck {
+        out.push_str(&format!(" @bottleneck({d})"));
+    }
+    if let Some(bits) = quant {
+        out.push_str(&format!(" @quant({bits})"));
     }
     out.push_str(" {\n");
     let input = spec.input_shape();
@@ -131,6 +151,18 @@ fn emit_layer(out: &mut String, name: &str, layer: &LayerSpec, depth: usize) {
 /// is fully specified), so it can key on-disk tree caches.
 pub fn ir_hash(spec: &ModelSpec, blocks: Option<usize>, levels: Option<&[f64]>) -> u64 {
     fnv1a64(emit_with(spec, blocks, levels).as_bytes())
+}
+
+/// [`ir_hash`] over the full annotation surface, including the
+/// feature-compression knobs.
+pub fn ir_hash_full(
+    spec: &ModelSpec,
+    blocks: Option<usize>,
+    levels: Option<&[f64]>,
+    bottleneck: Option<u32>,
+    quant: Option<u32>,
+) -> u64 {
+    fnv1a64(emit_full(spec, blocks, levels, bottleneck, quant).as_bytes())
 }
 
 pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -43,7 +43,7 @@ pub mod parser;
 pub use analyze::{analyze, Analysis, CheckedModel};
 pub use cache::{context_hash, ModelContextKey};
 pub use diag::{render_json, render_text, Code, Diagnostic, Severity, Span};
-pub use emit::{emit_model, emit_with, ir_hash, EmitIr};
+pub use emit::{emit_full, emit_model, emit_with, ir_hash, ir_hash_full, EmitIr};
 pub use parser::parse;
 
 /// Outcome of checking one IR source file.
@@ -108,6 +108,31 @@ mod tests {
         assert_eq!(model.spec(), &spec);
         // Re-emission is byte-identical: emission is the canonical form.
         assert_eq!(model.spec().emit_ir(), text);
+    }
+
+    #[test]
+    fn feature_annotations_round_trip_emission() {
+        let spec = cadmc_nn::zoo::tiny_cnn();
+        let text = emit_full(&spec, Some(2), Some(&[2.0, 20.0]), Some(4), Some(8));
+        let out = check_source(&text);
+        assert!(out.is_clean(), "diagnostics: {:?}", out.diagnostics);
+        let model = out.model.expect("model");
+        assert_eq!(model.feature().code(), "B4Q8");
+        // Re-emission from the checked model is byte-identical, and the
+        // structural hash covers the feature knobs.
+        let re = emit_full(
+            model.spec(),
+            model.blocks(),
+            model.levels(),
+            model.bottleneck_divisor(),
+            model.quant_bits(),
+        );
+        assert_eq!(re, text);
+        assert_eq!(
+            model.ir_hash(),
+            ir_hash_full(&spec, Some(2), Some(&[2.0, 20.0]), Some(4), Some(8))
+        );
+        assert_ne!(model.ir_hash(), ir_hash(&spec, Some(2), Some(&[2.0, 20.0])));
     }
 
     #[test]

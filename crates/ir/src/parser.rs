@@ -142,6 +142,8 @@ impl Parser {
             name_span,
             blocks: None,
             levels: None,
+            bottleneck: None,
+            quant: None,
             dims: Vec::new(),
             inputs: Vec::new(),
             layers: Vec::new(),
@@ -198,7 +200,8 @@ impl Parser {
 
     fn model_attr(&mut self, ast: &mut ModelAst) -> Result<(), Diagnostic> {
         let at = self.expect_tok(&TokenKind::At, "`@`")?;
-        let (name, name_span) = self.ident("an annotation name (`blocks` or `levels`)")?;
+        let (name, name_span) =
+            self.ident("an annotation name (`blocks`, `levels`, `bottleneck` or `quant`)")?;
         match name.as_str() {
             "blocks" => {
                 self.expect_tok(&TokenKind::LParen, "`(`")?;
@@ -212,6 +215,32 @@ impl Parser {
                     ));
                 }
                 ast.blocks = Some((v, at.span.to(vspan).to(close.span)));
+            }
+            "bottleneck" => {
+                self.expect_tok(&TokenKind::LParen, "`(`")?;
+                let (v, vspan) = self.int("a channel divisor")?;
+                let close = self.expect_tok(&TokenKind::RParen, "`)`")?;
+                if ast.bottleneck.is_some() {
+                    return Err(Diagnostic::new(
+                        Code::BadParam,
+                        at.span.to(close.span),
+                        "duplicate `@bottleneck` annotation",
+                    ));
+                }
+                ast.bottleneck = Some((v, at.span.to(vspan).to(close.span)));
+            }
+            "quant" => {
+                self.expect_tok(&TokenKind::LParen, "`(`")?;
+                let (v, vspan) = self.int("a bit width")?;
+                let close = self.expect_tok(&TokenKind::RParen, "`)`")?;
+                if ast.quant.is_some() {
+                    return Err(Diagnostic::new(
+                        Code::BadParam,
+                        at.span.to(close.span),
+                        "duplicate `@quant` annotation",
+                    ));
+                }
+                ast.quant = Some((v, at.span.to(vspan).to(close.span)));
             }
             "levels" => {
                 self.expect_tok(&TokenKind::LParen, "`(`")?;
@@ -250,7 +279,10 @@ impl Parser {
                 return Err(Diagnostic::new(
                     Code::BadParam,
                     at.span.to(name_span),
-                    format!("unknown model annotation `@{name}`; expected `@blocks` or `@levels`"),
+                    format!(
+                        "unknown model annotation `@{name}`; expected `@blocks`, `@levels`, \
+                         `@bottleneck` or `@quant`"
+                    ),
                 ))
             }
         }

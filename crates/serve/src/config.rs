@@ -61,6 +61,11 @@ pub struct ServerConfig {
     /// Whether a breach transition also counts as one failure signal on
     /// that tenant's circuit breaker (sustained burn then trips it).
     pub slo_breaker_hook: bool,
+    /// Whether per-session tree searches explore cut-tensor
+    /// feature-compression actions (bottleneck × quantization). Off
+    /// keeps the search space — and every cached tree — bit-identical
+    /// to the pre-feature engine.
+    pub feature_actions: bool,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +92,7 @@ impl Default for ServerConfig {
             slo_burn_threshold: 2.0,
             slo_min_events: 4,
             slo_breaker_hook: true,
+            feature_actions: false,
         }
     }
 }

@@ -218,10 +218,11 @@ pub(crate) fn resolve(spec: &SessionSpec, cfg: &ServerConfig) -> Result<Resolved
         Platform::CloudServer => "cloud",
     };
     let descriptor = format!(
-        "device={device}|scenario={}|k={CONTEXT_LEVELS}|seed={}|episodes={}",
+        "device={device}|scenario={}|k={CONTEXT_LEVELS}|seed={}|episodes={}|features={}",
         spec.scenario.name(),
         cfg.seed,
         cfg.episodes,
+        cfg.feature_actions,
     );
     let key = ModelContextKey::new(&model, &descriptor);
     let ctx = NetworkContext::from_scenario(spec.scenario, CONTEXT_LEVELS, cfg.seed);
@@ -247,6 +248,7 @@ pub(crate) fn search_tree(
 ) -> ModelTree {
     let scfg = SearchConfig {
         episodes: cfg.episodes.max(1),
+        feature_actions: cfg.feature_actions,
         ..SearchConfig::quick(cfg.seed)
     };
     let mut controllers = Controllers::new(&scfg);

@@ -1,10 +1,16 @@
 //! Property-based integration tests spanning crates: random compression
-//! plans, partitions, traces and reward inputs must uphold the system's
-//! invariants end to end.
+//! plans, partitions, feature-compression knobs, traces and reward
+//! inputs must uphold the system's invariants end to end.
+//!
+//! Regression-file policy: failures found here are pinned as explicit
+//! named `#[test]`s (see `pinned_regression_*` below), never via a
+//! `.proptest-regressions` file — the vendored proptest stand-in does
+//! not read persistence files, so a seed checked in there is silently
+//! dead. DESIGN.md §16 records the policy.
 
 use proptest::prelude::*;
 
-use cadmc::compress::{CompressionPlan, Technique};
+use cadmc::compress::{CompressionPlan, FeatureAction, Technique};
 use cadmc::core::{Candidate, EvalEnv, Partition, RewardSpec};
 use cadmc::latency::{DeviceProfile, Mbps, TransferModel};
 use cadmc::netsim::{BandwidthTrace, ProcessConfig};
@@ -19,6 +25,26 @@ fn arb_technique() -> impl Strategy<Value = Option<Technique>> {
 
 fn arb_plan(len: usize) -> impl Strategy<Value = CompressionPlan> {
     proptest::collection::vec(arb_technique(), len).prop_map(CompressionPlan::from_actions)
+}
+
+fn arb_feature() -> impl Strategy<Value = FeatureAction> {
+    (0usize..FeatureAction::COUNT).prop_map(FeatureAction::from_index)
+}
+
+/// Pinned from the one entry the old `.proptest-regressions` file held
+/// (it predated the delta-state refactor and was never replayed by the
+/// vendored proptest): a late `W1FilterPrune` plus a trailing `F3Gap`
+/// composed at cut 14 once shrank to a shape mismatch.
+#[test]
+fn pinned_regression_filter_prune_then_gap_at_cut_14() {
+    let base = zoo::vgg11_cifar();
+    let mut actions: Vec<Option<Technique>> = vec![None; base.len()];
+    actions[13] = Some(Technique::W1FilterPrune);
+    actions[base.len() - 1] = Some(Technique::F3Gap);
+    let plan = CompressionPlan::from_actions(actions).sanitized(&base);
+    let c = Candidate::compose(&base, Partition::AfterLayer(13), &plan).expect("sanitized plan");
+    assert_eq!(c.model.output_shape(), base.output_shape());
+    assert!(c.model.total_maccs() <= base.total_maccs());
 }
 
 proptest! {
@@ -130,6 +156,79 @@ proptest! {
             let parts = profile.range_latency_ms(&base, 0, split)
                 + profile.range_latency_ms(&base, split, base.len());
             prop_assert!((total - parts).abs() < 1e-9);
+        }
+    }
+
+    /// The O(1) range-latency kernel is pinned to the scalar per-layer
+    /// walk at 0 ULP for every device and arbitrary (start, end) ranges.
+    #[test]
+    fn range_latency_matches_scalar_to_zero_ulp(
+        a in 0usize..24,
+        b in 0usize..24,
+        model_idx in 0usize..3,
+    ) {
+        let base = match model_idx {
+            0 => zoo::vgg11_cifar(),
+            1 => zoo::alexnet_cifar(),
+            _ => zoo::squeezenet_cifar(),
+        };
+        let (a, b) = (a.min(base.len()), b.min(base.len()));
+        let (start, end) = (a.min(b), a.max(b));
+        for profile in [DeviceProfile::phone(), DeviceProfile::tx2(), DeviceProfile::cloud()] {
+            let fast = profile.range_latency_ms(&base, start, end);
+            let scalar = profile.range_latency_ms_scalar(&base, start, end);
+            prop_assert_eq!(
+                fast.to_bits(), scalar.to_bits(),
+                "device range [{}, {}) drifted: fast {} vs scalar {}",
+                start, end, fast, scalar
+            );
+        }
+    }
+
+    /// Feature-compression actions on the cut tensor: the O(1) overlay
+    /// matches the scalar per-layer walk exactly, never increases the
+    /// transfer bytes, and never panics for arbitrary
+    /// (knob, cut, model, plan) combinations.
+    #[test]
+    fn feature_actions_never_inflate_and_match_scalar(
+        feature in arb_feature(),
+        plan in arb_plan(zoo::vgg11_cifar().len()),
+        cut in 0usize..40,
+        model_idx in 0usize..5,
+    ) {
+        let base = match model_idx {
+            0 => zoo::vgg11_cifar(),
+            1 => zoo::alexnet_cifar(),
+            2 => zoo::squeezenet_cifar(),
+            3 => zoo::mobilenet_cifar(),
+            _ => zoo::vgg16_cifar(),
+        };
+        // The generated plan targets vgg11's length; identity-pad or
+        // truncate so every model still exercises arbitrary plans.
+        let mut actions = plan.actions().to_vec();
+        actions.resize(base.len(), None);
+        let plan = CompressionPlan::from_actions(actions).sanitized(&base);
+        let partition = if cut == 0 {
+            Partition::AllCloud
+        } else if cut >= base.len() {
+            Partition::AllEdge
+        } else {
+            Partition::AfterLayer(cut - 1)
+        };
+        let c = Candidate::compose(&base, partition, &plan)
+            .expect("sanitized plan")
+            .with_feature(feature);
+        prop_assert!(c.transfer_bytes() <= c.raw_transfer_bytes());
+        prop_assert_eq!(c.transfer_bytes(), c.transfer_bytes_scalar());
+        // An all-edge composition normalizes the feature away entirely.
+        if c.edge_layers == c.model.len() {
+            prop_assert!(c.feature.is_identity());
+            prop_assert_eq!(c.transfer_bytes(), 0);
+        }
+        // The latency kernel stays finite under every knob.
+        let env = EvalEnv::phone();
+        for bw in [0.05, 2.0, 60.0] {
+            prop_assert!(env.latency_ms(&c, Mbps(bw)).is_finite());
         }
     }
 }

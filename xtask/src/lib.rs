@@ -535,13 +535,17 @@ const L5_CRATES: [&str; 10] = [
 
 /// L7 scope: the files where MACC / parameter / transfer-byte arithmetic
 /// lives. A narrowing cast here truncates silently and corrupts rewards.
-const L7_CAST_PATHS: [&str; 6] = [
+/// `compress/src/feature.rs` is in scope because the feature-compression
+/// knobs own the compressed-cut-tensor byte math the transfer overlay
+/// trusts.
+const L7_CAST_PATHS: [&str; 7] = [
     "crates/nn/src/model.rs",
     "crates/nn/src/layer.rs",
     "crates/core/src/delta.rs",
     "crates/core/src/candidate.rs",
     "crates/latency/src/",
     "crates/ir/src/analyze.rs",
+    "crates/compress/src/feature.rs",
 ];
 
 /// L8 scope: the serving core and the executor/scheduler paths — the

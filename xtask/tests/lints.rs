@@ -504,6 +504,48 @@ fn l7_allowlist_escape_works() {
     assert!(report.unused_entries.is_empty());
 }
 
+// --- feature-compression module wiring ---------------------------------
+
+#[test]
+fn feature_modules_are_in_l1_and_l4_scope() {
+    let panic_src = "fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+    let float_src = "fn f(x: f64) -> bool {\n    x == 0.5\n}\n";
+    for rel in [
+        "crates/compress/src/feature.rs",
+        "crates/core/src/controller/feature.rs",
+    ] {
+        assert!(
+            lints_of(rel, panic_src).contains(&Lint::L1PanicSite),
+            "{rel} must be in L1 scope"
+        );
+        assert!(
+            lints_of(rel, float_src).contains(&Lint::L4FloatEq),
+            "{rel} must be in L4 scope"
+        );
+    }
+}
+
+#[test]
+fn feature_controller_is_in_l6_hot_path_scope() {
+    // The feature controller samples once per episode; a wholesale model
+    // clone there is exactly the allocation storm L6 exists to catch.
+    let src = "fn f(base: &ModelSpec) -> ModelSpec {\n    base.clone()\n}\n";
+    let found = lints_of("crates/core/src/controller/feature.rs", src);
+    assert!(found.contains(&Lint::L6HotClone), "{found:?}");
+}
+
+#[test]
+fn feature_byte_math_is_in_l7_cast_scope() {
+    let src = "fn f(x: u64) {\n    let _ = x as u32;\n}\n";
+    assert_eq!(
+        lints_of("crates/compress/src/feature.rs", src),
+        vec![Lint::L7LossyCast],
+        "the compressed-cut-tensor byte math must reject narrowing casts"
+    );
+    // The rest of the compress crate stays out of L7 scope.
+    assert_eq!(lints_of("crates/compress/src/technique.rs", src), vec![]);
+}
+
 // --- L8: unbounded queues in serving/executor paths --------------------
 
 const SERVE: &str = "crates/serve/src/server.rs";
